@@ -1,0 +1,282 @@
+//! Shared plumbing for the baseline stores.
+
+use std::sync::Arc;
+
+use kvapi::Result;
+use kvlog::{EntryMeta, LogWriter, StorageLog};
+use kvtables::{BloomFilter, Slot, SLOT_BYTES};
+use parking_lot::Mutex;
+use pmem_sim::{PRegion, PmemDevice, ThreadCtx};
+
+/// A pool of per-thread log writers, indexed by `ThreadCtx::thread_id`.
+pub(crate) struct WriterPool {
+    writers: Vec<Mutex<LogWriter>>,
+}
+
+impl WriterPool {
+    pub fn new(log: &std::sync::Arc<StorageLog>, n: usize) -> Self {
+        Self {
+            writers: (0..n.max(1)).map(|_| Mutex::new(log.writer())).collect(),
+        }
+    }
+
+    pub fn append(
+        &self,
+        ctx: &mut ThreadCtx,
+        key: u64,
+        value: &[u8],
+        tombstone: bool,
+    ) -> Result<EntryMeta> {
+        let mut w = self.writers[ctx.thread_id % self.writers.len()].lock();
+        w.append(ctx, key, value, tombstone)
+    }
+
+    pub fn flush_all(&self, ctx: &mut ThreadCtx) -> Result<()> {
+        for w in &self.writers {
+            w.lock().flush(ctx)?;
+        }
+        Ok(())
+    }
+}
+
+/// A key-sorted run of 16-byte slots on Pmem, as used by the key-sorted
+/// LSM designs of §3.7 (NoveLSM/MatrixKV models).
+///
+/// Unlike the hash tables used elsewhere, lookups binary-search an in-DRAM
+/// fence-pointer index (one first-hash per 256B block) and then read one
+/// Pmem block; construction pays per-key sorting CPU and optionally builds
+/// a Bloom filter.
+pub(crate) struct SortedRun {
+    region: PRegion,
+    n: usize,
+    /// First hash of each 256B block.
+    fence: Vec<u64>,
+    pub filter: Option<BloomFilter>,
+}
+
+const SLOTS_PER_BLOCK: usize = 256 / SLOT_BYTES;
+
+impl SortedRun {
+    /// Builds a run from `entries` (must be sorted by hash, deduplicated).
+    /// Charges per-key merge/sort CPU and a sequential Pmem write; builds a
+    /// filter when `bits_per_key > 0`.
+    pub fn build(
+        dev: &Arc<PmemDevice>,
+        ctx: &mut ThreadCtx,
+        entries: &[Slot],
+        bits_per_key: usize,
+    ) -> Result<Self> {
+        debug_assert!(entries.windows(2).all(|w| w[0].hash <= w[1].hash));
+        ctx.charge(entries.len() as u64 * ctx.cost.sort_per_key_ns);
+        let bytes = ((entries.len() * SLOT_BYTES).div_ceil(256) * 256).max(256);
+        let region = dev.alloc_region(bytes as u64)?;
+        let mut fence = Vec::with_capacity(entries.len().div_ceil(SLOTS_PER_BLOCK));
+        let mut buf = Vec::with_capacity(16 << 10);
+        let mut written = 0u64;
+        for (i, slot) in entries.iter().enumerate() {
+            if i % SLOTS_PER_BLOCK == 0 {
+                fence.push(slot.hash);
+            }
+            buf.extend_from_slice(&slot.encode());
+            if buf.len() >= 16 << 10 {
+                dev.write_nt(ctx, region.off + written, &buf);
+                written += buf.len() as u64;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            dev.write_nt(ctx, region.off + written, &buf);
+        }
+        dev.fence(ctx);
+        let filter = if bits_per_key > 0 {
+            let mut f = BloomFilter::new(entries.len().max(1), bits_per_key);
+            for s in entries {
+                f.insert(ctx, s.hash);
+            }
+            Some(f)
+        } else {
+            None
+        };
+        Ok(Self {
+            region,
+            n: entries.len(),
+            fence,
+            filter,
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Persistent bytes.
+    #[allow(dead_code)]
+    pub fn bytes(&self) -> u64 {
+        self.region.len
+    }
+
+    /// DRAM bytes (fence pointers + filter).
+    pub fn dram_bytes(&self) -> u64 {
+        (self.fence.len() * 8) as u64 + self.filter.as_ref().map_or(0, |f| f.dram_bytes())
+    }
+
+    /// Looks up `hash`: binary search over the DRAM fence index, then one
+    /// Pmem block read and an in-block scan.
+    pub fn get(&self, dev: &PmemDevice, ctx: &mut ThreadCtx, hash: u64) -> Option<Slot> {
+        if self.n == 0 {
+            return None;
+        }
+        // Binary search the fence pointers (dependent DRAM accesses).
+        let steps = (usize::BITS - self.fence.len().leading_zeros()) as u64;
+        ctx.charge(steps * ctx.cost.dram_random_ns);
+        let block = match self.fence.binary_search(&hash) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        self.get_in_block(dev, ctx, hash, block)
+    }
+
+    /// Looks up `hash` when an external hint already names the block
+    /// (MatrixKV's cross-row hints): one DRAM hint access, one Pmem read.
+    pub fn get_with_hint(&self, dev: &PmemDevice, ctx: &mut ThreadCtx, hash: u64) -> Option<Slot> {
+        if self.n == 0 {
+            return None;
+        }
+        ctx.charge(ctx.cost.dram_random_ns);
+        let block = match self.fence.binary_search(&hash) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        self.get_in_block(dev, ctx, hash, block)
+    }
+
+    fn get_in_block(
+        &self,
+        dev: &PmemDevice,
+        ctx: &mut ThreadCtx,
+        hash: u64,
+        block: usize,
+    ) -> Option<Slot> {
+        let start = block * SLOTS_PER_BLOCK;
+        let count = SLOTS_PER_BLOCK.min(self.n - start);
+        let mut buf = [0u8; 256];
+        dev.read(
+            ctx,
+            self.region.off + (start * SLOT_BYTES) as u64,
+            &mut buf[..count * SLOT_BYTES],
+        );
+        for i in 0..count {
+            ctx.charge(ctx.cost.key_cmp_ns);
+            let s = Slot::decode(&buf[i * SLOT_BYTES..(i + 1) * SLOT_BYTES]);
+            if s.hash == hash {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Streams every entry (sequential Pmem read), for compactions.
+    pub fn iter_entries(&self, dev: &PmemDevice, ctx: &mut ThreadCtx) -> Vec<Slot> {
+        let total = self.n * SLOT_BYTES;
+        let mut out = Vec::with_capacity(self.n);
+        let mut buf = vec![0u8; 64 << 10];
+        let mut pos = 0usize;
+        let mut first = true;
+        while pos < total {
+            let take = buf.len().min(total - pos);
+            if first {
+                dev.read(ctx, self.region.off + pos as u64, &mut buf[..take]);
+                first = false;
+            } else {
+                dev.read_seq(ctx, self.region.off + pos as u64, &mut buf[..take]);
+            }
+            for chunk in buf[..take].chunks_exact(SLOT_BYTES) {
+                out.push(Slot::decode(chunk));
+            }
+            pos += take;
+        }
+        out
+    }
+
+    /// Frees the persistent region.
+    pub fn free(self, dev: &PmemDevice) {
+        dev.dealloc(self.region.off, self.region.len);
+    }
+}
+
+/// Merges hash-sorted slot lists, newest list first, deduplicating by hash
+/// (the newest version wins). Charges per-entry merge CPU.
+pub(crate) fn merge_sorted(ctx: &mut ThreadCtx, lists: &[Vec<Slot>]) -> Vec<Slot> {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    ctx.charge(total as u64 * ctx.cost.sort_per_key_ns);
+    let mut out: Vec<Slot> = Vec::with_capacity(total);
+    let mut idx = vec![0usize; lists.len()];
+    loop {
+        let mut best: Option<(usize, u64)> = None;
+        for (li, list) in lists.iter().enumerate() {
+            if idx[li] < list.len() {
+                let h = list[idx[li]].hash;
+                match best {
+                    // Strictly smaller wins; on a tie the earlier (newer)
+                    // list wins.
+                    Some((_, bh)) if h >= bh => {}
+                    _ => best = Some((li, h)),
+                }
+            }
+        }
+        let Some((li, h)) = best else { break };
+        let slot = lists[li][idx[li]];
+        // Advance every list past this hash (dedup: newest list won).
+        for (lj, list) in lists.iter().enumerate() {
+            while idx[lj] < list.len() && list[idx[lj]].hash == h {
+                idx[lj] += 1;
+            }
+        }
+        out.push(slot);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::hash64;
+
+    #[test]
+    fn sorted_run_roundtrip() {
+        let dev = PmemDevice::optane(16 << 20);
+        let mut ctx = ThreadCtx::with_default_cost();
+        let mut entries: Vec<Slot> = (1..=500u64).map(|k| Slot::new(hash64(k), k)).collect();
+        entries.sort_by_key(|s| s.hash);
+        let run = SortedRun::build(&dev, &mut ctx, &entries, 10).unwrap();
+        for k in 1..=500u64 {
+            let s = run.get(&dev, &mut ctx, hash64(k)).expect("present");
+            assert_eq!(s.loc, k);
+        }
+        assert!(run.get(&dev, &mut ctx, hash64(99_999)).is_none());
+        let mut back = run.iter_entries(&dev, &mut ctx);
+        back.sort_by_key(|s| s.hash);
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn merge_sorted_newest_wins() {
+        let mut ctx = ThreadCtx::with_default_cost();
+        let newer = vec![Slot::new(5, 50), Slot::new(10, 100)];
+        let older = vec![Slot::new(5, 5), Slot::new(7, 7)];
+        let merged = merge_sorted(&mut ctx, &[newer, older]);
+        assert_eq!(
+            merged,
+            vec![Slot::new(5, 50), Slot::new(7, 7), Slot::new(10, 100)]
+        );
+    }
+
+    #[test]
+    fn merge_sorted_empty_lists() {
+        let mut ctx = ThreadCtx::with_default_cost();
+        assert!(merge_sorted(&mut ctx, &[vec![], vec![]]).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! The baseline KV stores of the ChameleonDB evaluation (§3.2, §3.7).
+//!
+//! All stores share the value log and device model and differ only in their
+//! index design — exactly the controlled comparison the paper runs:
+//!
+//! * [`DramHash`] — a growable robin-hood hash index entirely in DRAM
+//!   (fast, but large footprint and slow restart; §1.3).
+//! * [`PmemHash`] — CCEH, a persistent extendible hash table updated in
+//!   place on Pmem (small writes, big write amplification; §1.1).
+//! * [`PmemLsm`] — a multi-shard hash-keyed LSM in Pmem, in three
+//!   flavours: no filters (`NF`), per-table Bloom filters (`F`), and upper
+//!   levels pinned in DRAM (`PinK`).
+//! * [`NoveLsm`] / [`MatrixKv`] — cost-structure models of the two
+//!   Pmem-aware LSM designs compared in §3.7 (in-Pmem mutable MemTable;
+//!   in-Pmem multi-sublevel L0 with RowTable metadata).
+
+mod cceh;
+mod common;
+mod dram_hash;
+mod matrixkv;
+mod novelsm;
+mod pmem_lsm;
+
+pub use cceh::{CcehConfig, PmemHash};
+pub use dram_hash::{DramHash, DramHashConfig};
+pub use matrixkv::{MatrixKv, MatrixKvConfig};
+pub use novelsm::{NoveLsm, NoveLsmConfig};
+pub use pmem_lsm::{LsmVariant, PmemLsm, PmemLsmConfig};

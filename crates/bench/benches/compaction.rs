@@ -1,0 +1,50 @@
+//! Criterion bench over the Fig. 15 / ablation family: cost of one full
+//! MemTable->flush->compaction cycle per compaction scheme, and of a
+//! last-level compaction served from the ABI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chameleon_bench::stores::{self, Scale};
+use chameleondb::CompactionScheme;
+use pmem_sim::ThreadCtx;
+
+/// Inserts enough unique keys to push every shard through repeated flush
+/// and compaction cycles; measures wall-clock per batch.
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_compaction_cycle");
+    let batch: u64 = 50_000;
+    group.throughput(Throughput::Elements(batch));
+    for scheme in [CompactionScheme::LevelByLevel, CompactionScheme::Direct] {
+        let name = match scheme {
+            CompactionScheme::LevelByLevel => "level-by-level",
+            CompactionScheme::Direct => "direct",
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &scheme| {
+            let scale = Scale {
+                keys: 4_000_000,
+                value_size: 8,
+                extra_ops: 100_000_000,
+            };
+            let mut cfg = stores::chameleon_config(scale);
+            cfg.compaction = scheme;
+            let (_dev, store) = stores::build_chameleon_with(scale, cfg);
+            let mut ctx = ThreadCtx::with_default_cost();
+            let mut k = 0u64;
+            b.iter(|| {
+                use kvapi::KvStore;
+                for _ in 0..batch {
+                    k += 1;
+                    store.put(&mut ctx, k, &k.to_le_bytes()).expect("put");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schemes
+}
+criterion_main!(benches);

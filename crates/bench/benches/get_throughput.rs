@@ -1,0 +1,51 @@
+//! Criterion bench over the Fig. 12/13 family: wall-clock cost of
+//! simulated gets per store on a pre-loaded dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chameleon_bench::stores::{self, Scale, StoreKind};
+use pmem_sim::ThreadCtx;
+
+const KEYS: u64 = 200_000;
+
+fn bench_gets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_get");
+    group.throughput(Throughput::Elements(1));
+    for kind in [
+        StoreKind::Chameleon,
+        StoreKind::PmemLsmNf,
+        StoreKind::PmemHash,
+        StoreKind::DramHash,
+    ] {
+        let scale = Scale {
+            keys: KEYS,
+            value_size: 8,
+            extra_ops: 0,
+        };
+        let built = stores::build(kind, scale);
+        let mut ctx = ThreadCtx::with_default_cost();
+        for k in 0..KEYS {
+            built.store.put(&mut ctx, k, &k.to_le_bytes()).expect("put");
+        }
+        built.store.sync(&mut ctx).expect("sync");
+        let mut out = Vec::new();
+        let mut rng = 7u64;
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                rng = kvapi::mix64(rng);
+                assert!(built
+                    .store
+                    .get(&mut ctx, rng % KEYS, &mut out)
+                    .expect("get"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gets
+}
+criterion_main!(benches);

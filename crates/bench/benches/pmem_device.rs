@@ -1,0 +1,54 @@
+//! Criterion bench for the Fig. 1 device microbenchmark family: random
+//! persists of various sizes and random reads. Measures *wall-clock*
+//! simulator overhead (the simulated-time results come from `repro fig1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmem_sim::{PmemDevice, ThreadCtx};
+
+fn bench_persists(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_random_persist");
+    for size in [16usize, 256, 4096] {
+        let dev = PmemDevice::optane(64 << 20);
+        let base = dev.alloc(32 << 20).unwrap();
+        let data = vec![0xAAu8; size];
+        let mut ctx = ThreadCtx::with_default_cost();
+        let mut rng = 1u64;
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                rng = kvapi::mix64(rng);
+                let off = base + (rng % ((32 << 20) / 256 - 16)) * 256;
+                dev.persist(&mut ctx, off, &data);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_random_read");
+    let dev = PmemDevice::optane(64 << 20);
+    let base = dev.alloc(32 << 20).unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    dev.persist(&mut ctx, base, &vec![1u8; 1 << 20]);
+    for size in [16usize, 256, 4096] {
+        let mut buf = vec![0u8; size];
+        let mut rng = 1u64;
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                rng = kvapi::mix64(rng);
+                let off = base + (rng % 2048) * 256;
+                dev.read(&mut ctx, off, &mut buf);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_persists, bench_reads
+}
+criterion_main!(benches);

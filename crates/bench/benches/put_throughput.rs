@@ -1,0 +1,45 @@
+//! Criterion bench over the Fig. 10 family: wall-clock cost of simulated
+//! puts per store (regression guard for the simulator's own overhead; the
+//! simulated-time figures come from `repro fig10`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chameleon_bench::stores::{self, Scale, StoreKind};
+use pmem_sim::ThreadCtx;
+
+fn bench_puts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_put");
+    group.throughput(Throughput::Elements(1));
+    for kind in [
+        StoreKind::Chameleon,
+        StoreKind::PmemHash,
+        StoreKind::DramHash,
+    ] {
+        // Criterion decides the iteration count; leave generous log
+        // headroom so long calibration runs cannot exhaust it.
+        let scale = Scale {
+            keys: 1_000_000,
+            value_size: 8,
+            extra_ops: 30_000_000,
+        };
+        let built = stores::build(kind, scale);
+        let mut ctx = ThreadCtx::with_default_cost();
+        let mut k = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| {
+                // Wrap within the sized key space: long calibration runs
+                // become steady-state overwrites instead of unbounded growth.
+                k = (k + 1) % 1_000_000;
+                built.store.put(&mut ctx, k, &k.to_le_bytes()).expect("put");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_puts
+}
+criterion_main!(benches);

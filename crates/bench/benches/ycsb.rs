@@ -1,0 +1,44 @@
+//! Criterion bench over the Fig. 14 family: one YCSB-A batch on
+//! ChameleonDB (wall-clock regression guard for driver + store together).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chameleon_bench::experiments::load_store;
+use chameleon_bench::stores::{self, Scale};
+use ycsb::{RunConfig, Workload};
+
+fn bench_ycsb(c: &mut Criterion) {
+    let keys: u64 = 200_000;
+    let batch: u64 = 10_000;
+    let scale = Scale {
+        keys,
+        value_size: 8,
+        extra_ops: 50_000_000, // many benched batches append updates
+    };
+    let (dev, store) = stores::build_chameleon(scale);
+    load_store(&store, &dev, keys, 4);
+
+    let mut group = c.benchmark_group("fig14_ycsb");
+    group.throughput(Throughput::Elements(batch));
+    for wl in [Workload::A, Workload::B, Workload::C] {
+        group.bench_with_input(BenchmarkId::from_parameter(wl.name()), &wl, |b, &wl| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = RunConfig {
+                    seed,
+                    ..RunConfig::new(wl, 1, batch, keys)
+                };
+                ycsb::run(&store, &cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ycsb
+}
+criterion_main!(benches);

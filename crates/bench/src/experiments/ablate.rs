@@ -1,0 +1,156 @@
+//! Ablations of ChameleonDB's design choices beyond the paper's figures.
+
+use serde::Serialize;
+use ycsb::Workload;
+
+use crate::experiments::{load_store, run_workload};
+use crate::stores;
+use crate::util::{fmt_ns, header, write_json, Opts};
+
+/// ABI on/off: isolates the Auxiliary Bypass Index's get-latency benefit
+/// (§2.2). With the ABI bypassed, gets walk the upper levels in Pmem —
+/// the Pmem-LSM-NF behaviour.
+#[derive(Serialize)]
+pub struct AbiAblation {
+    pub with_abi_get_mops: f64,
+    pub without_abi_get_mops: f64,
+    pub with_abi_median_ns: u64,
+    pub without_abi_median_ns: u64,
+}
+
+pub fn abi(opts: &Opts) -> AbiAblation {
+    header("Ablation: ABI on/off (get path)");
+    let mut result = AbiAblation {
+        with_abi_get_mops: 0.0,
+        without_abi_get_mops: 0.0,
+        with_abi_median_ns: 0,
+        without_abi_median_ns: 0,
+    };
+    for use_abi in [true, false] {
+        let scale = opts.scale();
+        let mut cfg = stores::chameleon_config(scale);
+        cfg.use_abi_for_get = use_abi;
+        let (dev, store) = stores::build_chameleon_with(scale, cfg);
+        load_store(&store, &dev, opts.keys, opts.threads);
+        let r = run_workload(&store, &dev, Workload::C, opts.keys, opts.ops, opts.threads);
+        assert_eq!(r.not_found, 0);
+        println!(
+            "  ABI {}: {:.2} Mops/s, median {}",
+            if use_abi { "on " } else { "off" },
+            r.mops(),
+            fmt_ns(r.read_hist.quantile(0.5))
+        );
+        if use_abi {
+            result.with_abi_get_mops = r.mops();
+            result.with_abi_median_ns = r.read_hist.quantile(0.5);
+        } else {
+            result.without_abi_get_mops = r.mops();
+            result.without_abi_median_ns = r.read_hist.quantile(0.5);
+        }
+    }
+    write_json(opts, "ablate_abi", &result);
+    result
+}
+
+/// Randomized vs fixed load factors: §2.5 claims randomization staggers
+/// compaction bursts. Measured as the coefficient of variation of windowed
+/// put throughput.
+#[derive(Serialize)]
+pub struct LoadFactorAblation {
+    pub fixed_cv: f64,
+    pub randomized_cv: f64,
+    pub fixed_mops: f64,
+    pub randomized_mops: f64,
+}
+
+pub fn load_factor(opts: &Opts) -> LoadFactorAblation {
+    header("Ablation: randomized vs fixed load factors (compaction bursts)");
+    let mut cvs = [0.0f64; 2];
+    let mut mops = [0.0f64; 2];
+    for (i, range) in [(0.75, 0.75), (0.65, 0.85)].into_iter().enumerate() {
+        let scale = opts.scale();
+        let mut cfg = stores::chameleon_config(scale);
+        cfg.load_factor = range;
+        let (dev, store) = stores::build_chameleon_with(scale, cfg);
+        dev.set_active_threads(opts.threads as u32);
+        let run_cfg = ycsb::RunConfig {
+            timeline_bucket_ns: 10_000_000,
+            ..ycsb::RunConfig::new(Workload::Load, opts.threads, opts.keys, 1)
+        };
+        let r = ycsb::run(&store, &run_cfg);
+        let series: Vec<f64> = r.timeline.iter().map(|&(_, n)| n as f64).collect();
+        // Drop the ramp-up/ramp-down windows.
+        let core = &series[series.len() / 10..series.len() * 9 / 10];
+        let mean = core.iter().sum::<f64>() / core.len().max(1) as f64;
+        let var =
+            core.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / core.len().max(1) as f64;
+        cvs[i] = var.sqrt() / mean.max(1e-9);
+        mops[i] = r.mops();
+        println!(
+            "  load factor {:?}: {:.2} Mops/s, throughput CV {:.3}",
+            range, mops[i], cvs[i]
+        );
+    }
+    let result = LoadFactorAblation {
+        fixed_cv: cvs[0],
+        randomized_cv: cvs[1],
+        fixed_mops: mops[0],
+        randomized_mops: mops[1],
+    };
+    write_json(opts, "ablate_load_factor", &result);
+    result
+}
+
+/// Between-level ratio sweep: put/get throughput and measured index write
+/// amplification vs the §2.5 formula `(l - 1 + r) / f`.
+#[derive(Serialize)]
+pub struct RatioPoint {
+    pub ratio: usize,
+    pub put_mops: f64,
+    pub get_mops: f64,
+    pub measured_index_wa: f64,
+    pub predicted_index_wa: f64,
+}
+
+pub fn ratio(opts: &Opts) -> Vec<RatioPoint> {
+    header("Ablation: between-level ratio r (and §2.5 WA formula check)");
+    let mut out = Vec::new();
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "r", "put Mops", "get Mops", "WA measured", "WA formula"
+    );
+    for r in [2usize, 4, 8] {
+        let scale = opts.scale();
+        let mut cfg = stores::chameleon_config(scale);
+        cfg.ratio = r;
+        let predicted = cfg.predicted_write_amplification();
+        let (dev, store) = stores::build_chameleon_with(scale, cfg);
+        dev.stats().reset();
+        let load = load_store(&store, &dev, opts.keys, opts.threads);
+        let stats = dev.stats().snapshot();
+        // Separate index traffic from log traffic: the log writes
+        // ~(header+value) per op sequentially with negligible inflation.
+        let log_bytes = opts.keys * (24 + 8);
+        let index_media = stats.media_bytes_written.saturating_sub(log_bytes);
+        let index_logical = opts.keys * 16;
+        let measured = index_media as f64 / index_logical as f64;
+        let gets = run_workload(&store, &dev, Workload::C, opts.keys, opts.ops, opts.threads);
+        println!(
+            "{:>6} {:>10.2} {:>10.2} {:>12.2} {:>12.2}",
+            r,
+            load.mops(),
+            gets.mops(),
+            measured,
+            predicted
+        );
+        out.push(RatioPoint {
+            ratio: r,
+            put_mops: load.mops(),
+            get_mops: gets.mops(),
+            measured_index_wa: measured,
+            predicted_index_wa: predicted,
+        });
+    }
+    write_json(opts, "ablate_ratio", &out);
+    out
+}

@@ -1,0 +1,125 @@
+//! Figure 2: per-level read latency breakdown (filter check vs table read)
+//! of a multi-level hash store on SATA SSD, PCIe SSD, and Optane Pmem.
+//!
+//! Expected shape: the table-read time is flat across levels on all three
+//! devices (one device read per get thanks to the filters); the filter-
+//! check time grows linearly with the level depth and is negligible against
+//! a 90us SATA read, noticeable against a 14us PCIe read, and dominant
+//! against a ~300ns Optane read — the paper's Challenge 2.
+
+use std::sync::Arc;
+
+use baselines::{LsmVariant, PmemLsm, PmemLsmConfig};
+use kvapi::KvStore;
+use kvlog::LogConfig;
+use pmem_sim::{DeviceProfile, PmemDevice, ThreadCtx};
+use serde::Serialize;
+
+use crate::util::{fmt_ns, header, write_json, Opts};
+
+#[derive(Serialize)]
+pub struct Fig2Point {
+    pub device: &'static str,
+    /// Search depth: number of tables consulted after the MemTable.
+    pub depth: usize,
+    pub keys_sampled: u64,
+    pub filter_check_ns: f64,
+    pub table_read_ns: f64,
+}
+
+/// Runs the Fig. 2 experiment on three device profiles.
+pub fn run(opts: &Opts) -> Vec<Fig2Point> {
+    header("Fig 2: per-level read latency split on SATA/PCIe/Optane");
+    let mut out = Vec::new();
+    for profile in [
+        DeviceProfile::sata_ssd(),
+        DeviceProfile::pcie_ssd(),
+        DeviceProfile::optane(),
+    ] {
+        out.extend(one_device(profile, opts));
+    }
+    write_json(opts, "fig02_level_latency", &out);
+    out
+}
+
+fn one_device(profile: DeviceProfile, opts: &Opts) -> Vec<Fig2Point> {
+    let device_name = profile.name;
+    println!("\n-- device: {device_name} --");
+    // A deep store (7 levels like LSM-trie) with one shard so keys spread
+    // across many (sub-)levels; Bloom filters on every table.
+    let keys: u64 = if opts.quick { 60_000 } else { 200_000 };
+    let dev = PmemDevice::new(profile, 2 << 30);
+    let cfg = PmemLsmConfig {
+        levels: 7,
+        shards: 1,
+        memtable_slots: 512,
+        ratio: 3,
+        log: LogConfig {
+            capacity: 256 << 20,
+            ..LogConfig::default()
+        },
+        manifest_bytes: 8 << 20,
+        ..PmemLsmConfig::with_shards(LsmVariant::Filter, 1)
+    };
+    let store = PmemLsm::create(Arc::clone(&dev), cfg).expect("create");
+    let mut ctx = ThreadCtx::with_default_cost();
+    for k in 0..keys {
+        store.put(&mut ctx, k, &k.to_le_bytes()).expect("put");
+    }
+    store.sync(&mut ctx).expect("sync");
+
+    // Bucket keys by the depth at which they reside.
+    let mut by_depth: std::collections::BTreeMap<usize, Vec<u64>> = Default::default();
+    for k in (0..keys).step_by(7) {
+        if let Some(d) = store.find_depth(k) {
+            if d > 0 {
+                by_depth.entry(d).or_default().push(k);
+            }
+        }
+    }
+
+    let cost = ctx.cost.clone();
+    let mut out = Vec::new();
+    println!(
+        "{:>6} {:>10} {:>14} {:>14}",
+        "depth", "keys", "filter check", "table read"
+    );
+    for (depth, bucket) in by_depth {
+        let sample: Vec<u64> = bucket.iter().copied().take(2000).collect();
+        if sample.len() < 20 {
+            continue;
+        }
+        let filters_before = store
+            .lsm_metrics()
+            .filters_checked
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let t0 = ctx.clock.now();
+        let mut buf = Vec::new();
+        for &k in &sample {
+            assert!(store.get(&mut ctx, k, &mut buf).expect("get"), "key lost");
+        }
+        let total = ctx.clock.now() - t0;
+        let filters = store
+            .lsm_metrics()
+            .filters_checked
+            .load(std::sync::atomic::Ordering::Relaxed)
+            - filters_before;
+        let filter_ns = filters as f64 * cost.bloom_check_ns as f64 / sample.len() as f64;
+        let table_ns = total as f64 / sample.len() as f64 - filter_ns;
+        println!(
+            "{:>6} {:>10} {:>14} {:>14}",
+            depth,
+            sample.len(),
+            fmt_ns(filter_ns as u64),
+            fmt_ns(table_ns.max(0.0) as u64)
+        );
+        out.push(Fig2Point {
+            device: device_name,
+            depth,
+            keys_sampled: sample.len() as u64,
+            filter_check_ns: filter_ns,
+            table_read_ns: table_ns.max(0.0),
+        });
+    }
+    out
+}

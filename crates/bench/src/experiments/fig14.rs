@@ -1,0 +1,92 @@
+//! Figure 14: YCSB workload results (Table 5 mixes), normalized to
+//! Pmem-Hash.
+
+use serde::Serialize;
+use ycsb::Workload;
+
+use crate::experiments::{load_store, run_workload};
+use crate::stores::{self, StoreKind};
+use crate::util::{header, write_json, Opts};
+
+#[derive(Serialize)]
+pub struct Fig14Cell {
+    pub workload: &'static str,
+    pub store: &'static str,
+    pub mops: f64,
+    pub normalized_to_pmem_hash: f64,
+}
+
+/// Runs every YCSB workload on every store.
+pub fn run(opts: &Opts) -> Vec<Fig14Cell> {
+    header("Fig 14: YCSB results (normalized to Pmem-Hash)");
+    // YCSB_D reads the most recently inserted keys; the paper issues only
+    // 10K requests there, we scale similarly.
+    let mut raw: Vec<(Workload, StoreKind, f64)> = Vec::new();
+    for kind in StoreKind::all() {
+        let built = stores::build(kind, opts.scale());
+        // YCSB_LOAD doubles as the warm-up of every other workload.
+        let load = load_store(built.store.as_ref(), &built.dev, opts.keys, opts.threads);
+        raw.push((Workload::Load, kind, load.mops()));
+        for wl in [
+            Workload::A,
+            Workload::B,
+            Workload::C,
+            Workload::D,
+            Workload::F,
+        ] {
+            let ops = if wl == Workload::D {
+                (opts.ops / 10).max(10_000)
+            } else {
+                opts.ops
+            };
+            let r = run_workload(
+                built.store.as_ref(),
+                &built.dev,
+                wl,
+                opts.keys,
+                ops,
+                opts.threads,
+            );
+            raw.push((wl, kind, r.mops()));
+        }
+    }
+
+    let mut out = Vec::new();
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "workload",
+        StoreKind::Chameleon.name(),
+        StoreKind::PmemLsmPink.name(),
+        StoreKind::PmemLsmNf.name(),
+        StoreKind::PmemLsmF.name(),
+        StoreKind::PmemHash.name(),
+        StoreKind::DramHash.name(),
+    );
+    for wl in Workload::all() {
+        let base = raw
+            .iter()
+            .find(|(w, k, _)| *w == wl && *k == StoreKind::PmemHash)
+            .map(|(_, _, m)| *m)
+            .unwrap_or(1.0);
+        let mut line = format!("{:>10}", wl.name());
+        for kind in StoreKind::all() {
+            let mops = raw
+                .iter()
+                .find(|(w, k, _)| *w == wl && *k == kind)
+                .map(|(_, _, m)| *m)
+                .unwrap_or(0.0);
+            let norm = mops / base.max(1e-9);
+            line += &format!(" {:>13.2}x", norm);
+            out.push(Fig14Cell {
+                workload: wl.name(),
+                store: kind.name(),
+                mops,
+                normalized_to_pmem_hash: norm,
+            });
+        }
+        line += &format!("   (Pmem-Hash: {base:.2} Mops/s)");
+        println!("{line}");
+    }
+    write_json(opts, "fig14_ycsb", &out);
+    out
+}

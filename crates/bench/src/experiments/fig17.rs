@@ -1,0 +1,129 @@
+//! Figure 17: comparison with NoveLSM and MatrixKV across value sizes —
+//! put/get throughput, Pmem bytes written/read, and Pmem bandwidths.
+//!
+//! Expected shape: ChameleonDB wins both put and get by large factors; the
+//! comparators write far more to the Pmem (leveled compaction, in-Pmem
+//! skiplist, RowTable metadata) and read far more per get (multi-sublevel
+//! walks, in-Pmem MemTable probing). Single compaction/put thread, as in
+//! the paper.
+
+use kvapi::KvStore;
+use pmem_sim::{PmemDevice, ThreadCtx};
+use serde::Serialize;
+
+use crate::stores::{self, Scale};
+use crate::util::{fmt_bytes, header, write_json, Opts};
+
+#[derive(Serialize)]
+pub struct Fig17Row {
+    pub store: &'static str,
+    pub value_size: usize,
+    pub put_kops: f64,
+    pub pmem_bytes_written: u64,
+    pub write_bw_gbps: f64,
+    pub get_kops: f64,
+    pub pmem_bytes_read: u64,
+    pub read_bw_gbps: f64,
+}
+
+/// Runs the §3.7 comparison.
+pub fn run(opts: &Opts) -> Vec<Fig17Row> {
+    header("Fig 17: ChameleonDB vs NoveLSM vs MatrixKV (one thread)");
+    // The paper writes 64GB and reads 16GB; we scale the totals down while
+    // sweeping the same value sizes.
+    let write_total: u64 = if opts.quick { 16 << 20 } else { 128 << 20 };
+    let read_total: u64 = write_total / 4;
+    let value_sizes = [64usize, 256, 1024, 4096, 16384, 65536];
+    let mut out = Vec::new();
+    println!(
+        "{:>12} {:>8} {:>10} {:>12} {:>8} {:>10} {:>12} {:>8}",
+        "store", "vsize", "put kops", "written", "w GB/s", "get kops", "read", "r GB/s"
+    );
+    for &vs in &value_sizes {
+        let ops = (write_total / (24 + vs as u64)).max(1000);
+        let scale = Scale {
+            keys: ops,
+            value_size: vs,
+            extra_ops: ops / 4,
+        };
+        for which in ["ChameleonDB", "NoveLSM", "MatrixKV"] {
+            let row = match which {
+                "ChameleonDB" => {
+                    let (dev, store) = stores::build_chameleon(scale);
+                    measure(which, &dev, &store, vs, ops, read_total)
+                }
+                "NoveLSM" => {
+                    let (dev, store) = stores::build_novelsm(scale);
+                    measure(which, &dev, &store, vs, ops, read_total)
+                }
+                _ => {
+                    let (dev, store) = stores::build_matrixkv(scale);
+                    measure(which, &dev, &store, vs, ops, read_total)
+                }
+            };
+            println!(
+                "{:>12} {:>8} {:>10.1} {:>12} {:>8.2} {:>10.1} {:>12} {:>8.2}",
+                row.store,
+                row.value_size,
+                row.put_kops,
+                fmt_bytes(row.pmem_bytes_written),
+                row.write_bw_gbps,
+                row.get_kops,
+                fmt_bytes(row.pmem_bytes_read),
+                row.read_bw_gbps
+            );
+            out.push(row);
+        }
+        println!();
+    }
+    write_json(opts, "fig17_novelsm_matrixkv", &out);
+    out
+}
+
+fn measure<S: KvStore>(
+    name: &'static str,
+    dev: &PmemDevice,
+    store: &S,
+    value_size: usize,
+    ops: u64,
+    read_total: u64,
+) -> Fig17Row {
+    dev.set_active_threads(1);
+    let mut ctx = ThreadCtx::with_default_cost();
+    let value = vec![0xF0u8; value_size];
+    dev.stats().reset();
+    let t0 = ctx.clock.now();
+    for k in 0..ops {
+        store.put(&mut ctx, k, &value).expect("put");
+    }
+    store.sync(&mut ctx).expect("sync");
+    let put_elapsed = (ctx.clock.now() - t0).max(1);
+    let wstats = dev.stats().snapshot();
+
+    // Random-key read phase.
+    let read_ops = (read_total / (24 + value_size as u64)).clamp(1000, ops);
+    dev.stats().reset();
+    let mut rng = kvapi::mix64(0x9999);
+    let mut out = Vec::new();
+    let t1 = ctx.clock.now();
+    for _ in 0..read_ops {
+        rng = kvapi::mix64(rng);
+        assert!(
+            store.get(&mut ctx, rng % ops, &mut out).expect("get"),
+            "loaded key missing in {name}"
+        );
+    }
+    let get_elapsed = (ctx.clock.now() - t1).max(1);
+    let rstats = dev.stats().snapshot();
+
+    Fig17Row {
+        store: name,
+        value_size,
+        put_kops: ops as f64 * 1e6 / put_elapsed as f64,
+        pmem_bytes_written: wstats.media_bytes_written,
+        write_bw_gbps: wstats.media_bytes_written as f64 / put_elapsed as f64,
+        get_kops: read_ops as f64 * 1e6 / get_elapsed as f64,
+        pmem_bytes_read: rstats.media_bytes_read,
+        read_bw_gbps: rstats.media_bytes_read as f64 / get_elapsed as f64,
+    }
+}

@@ -1,0 +1,340 @@
+//! §3.3 Overall performance: Figs. 10–13, Tables 2–4, and the Fig. 3
+//! four-measure summary.
+
+use kvapi::{CrashRecover, KvStore};
+use pmem_sim::Histogram;
+use serde::Serialize;
+use ycsb::Workload;
+
+use crate::experiments::{load_store, run_workload};
+use crate::stores::{self, Scale, StoreKind};
+use crate::util::{fmt_bytes, fmt_ns, header, write_json, Opts};
+
+/// One (store, threads) throughput point.
+#[derive(Serialize)]
+pub struct ThroughputPoint {
+    pub store: &'static str,
+    pub threads: usize,
+    pub mops: f64,
+}
+
+/// Latency distribution summary (Tables 2/3 + CDF series for Figs 11/13).
+#[derive(Serialize)]
+pub struct LatencySummary {
+    pub store: &'static str,
+    pub p50: u64,
+    pub p99: u64,
+    pub p999: u64,
+    pub p9999: u64,
+    pub max: u64,
+    pub cdf: Vec<(u64, f64)>,
+}
+
+fn latency_summary(store: &'static str, hist: &Histogram) -> LatencySummary {
+    LatencySummary {
+        store,
+        p50: hist.quantile(0.5),
+        p99: hist.quantile(0.99),
+        p999: hist.quantile(0.999),
+        p9999: hist.quantile(0.9999),
+        max: hist.max(),
+        cdf: hist.cdf(),
+    }
+}
+
+fn print_latency_table(title: &str, rows: &[LatencySummary]) {
+    println!("\n{title}");
+    println!(
+        "{:>16} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "store", "p50", "p99", "p99.9", "p99.99", "max"
+    );
+    for r in rows {
+        println!(
+            "{:>16} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            r.store,
+            fmt_ns(r.p50),
+            fmt_ns(r.p99),
+            fmt_ns(r.p999),
+            fmt_ns(r.p9999),
+            fmt_ns(r.max)
+        );
+    }
+}
+
+fn thread_counts(max: usize) -> Vec<usize> {
+    [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= max.max(1))
+        .collect()
+}
+
+/// Fig. 10: put throughput vs thread count, all six stores.
+pub fn fig10(opts: &Opts) -> Vec<ThroughputPoint> {
+    header("Fig 10: put throughput vs threads (unique-key 100% put)");
+    let mut out = Vec::new();
+    let keys = opts.ops.max(100_000);
+    println!("({keys} unique puts per point, fresh store each point)");
+    println!("{:>16} Mops/s at 1/2/4/8/16 threads", "store");
+    for kind in StoreKind::all() {
+        let mut row = format!("{:>16}", kind.name());
+        for threads in thread_counts(opts.threads) {
+            let scale = Scale {
+                keys,
+                value_size: 8,
+                extra_ops: 0,
+            };
+            let built = stores::build(kind, scale);
+            let r = load_store(built.store.as_ref(), &built.dev, keys, threads);
+            row += &format!(" {:>7.2}", r.mops());
+            out.push(ThroughputPoint {
+                store: kind.name(),
+                threads,
+                mops: r.mops(),
+            });
+        }
+        println!("{row}");
+    }
+    write_json(opts, "fig10_put_throughput", &out);
+    out
+}
+
+/// Fig. 11 + Table 2: put latency CDF and tail put latency (16 threads).
+pub fn fig11(opts: &Opts) -> Vec<LatencySummary> {
+    header("Fig 11 / Table 2: put latency CDF and tails");
+    let keys = opts.ops.max(100_000);
+    let mut rows = Vec::new();
+    for kind in StoreKind::all() {
+        let scale = Scale {
+            keys,
+            value_size: 8,
+            extra_ops: 0,
+        };
+        let built = stores::build(kind, scale);
+        let r = load_store(built.store.as_ref(), &built.dev, keys, opts.threads);
+        rows.push(latency_summary(kind.name(), &r.write_hist));
+    }
+    print_latency_table("Table 2: tail put latency (ns)", &rows);
+    write_json(opts, "fig11_put_latency", &rows);
+    rows
+}
+
+/// Fig. 12: get throughput vs thread count on a loaded store.
+pub fn fig12(opts: &Opts) -> Vec<ThroughputPoint> {
+    header("Fig 12: get throughput vs threads (random existing keys)");
+    let mut out = Vec::new();
+    println!(
+        "({} records loaded, {} gets per point)",
+        opts.keys, opts.ops
+    );
+    println!("{:>16} Mops/s at 1/2/4/8/16 threads", "store");
+    for kind in StoreKind::all() {
+        let built = stores::build(kind, opts.scale());
+        load_store(built.store.as_ref(), &built.dev, opts.keys, opts.threads);
+        let mut row = format!("{:>16}", kind.name());
+        for threads in thread_counts(opts.threads) {
+            let r = run_workload(
+                built.store.as_ref(),
+                &built.dev,
+                Workload::C,
+                opts.keys,
+                opts.ops,
+                threads,
+            );
+            assert_eq!(r.not_found, 0, "{}: loaded keys must be found", kind.name());
+            row += &format!(" {:>7.2}", r.mops());
+            out.push(ThroughputPoint {
+                store: kind.name(),
+                threads,
+                mops: r.mops(),
+            });
+        }
+        println!("{row}");
+    }
+    write_json(opts, "fig12_get_throughput", &out);
+    out
+}
+
+/// Fig. 13 + Table 3: single-thread get latency CDF and tails.
+pub fn fig13(opts: &Opts) -> Vec<LatencySummary> {
+    header("Fig 13 / Table 3: get latency CDF and tails (1 thread)");
+    let mut rows = Vec::new();
+    for kind in StoreKind::all() {
+        let built = stores::build(kind, opts.scale());
+        load_store(built.store.as_ref(), &built.dev, opts.keys, opts.threads);
+        let r = run_workload(
+            built.store.as_ref(),
+            &built.dev,
+            Workload::C,
+            opts.keys,
+            opts.ops.min(500_000),
+            1,
+        );
+        assert_eq!(r.not_found, 0);
+        rows.push(latency_summary(kind.name(), &r.read_hist));
+    }
+    print_latency_table("Table 3: tail get latency (ns)", &rows);
+    write_json(opts, "fig13_get_latency", &rows);
+    rows
+}
+
+/// One Table 4 row (plus the extra measures Fig. 3 normalizes).
+#[derive(Serialize)]
+pub struct Table4Row {
+    pub store: String,
+    pub put_mops: f64,
+    pub get_mops: f64,
+    pub dram_footprint_bytes: u64,
+    pub restart_ns: u64,
+    pub write_amplification: f64,
+    pub median_get_ns: u64,
+}
+
+fn measure_table4<S: KvStore + CrashRecover>(
+    name: &str,
+    dev: &pmem_sim::PmemDevice,
+    store: &mut S,
+    opts: &Opts,
+) -> Table4Row {
+    let load = load_store(store, dev, opts.keys, opts.threads);
+    let wa = dev.stats().snapshot().write_amplification();
+    let gets = run_workload(store, dev, Workload::C, opts.keys, opts.ops, opts.threads);
+    assert_eq!(gets.not_found, 0, "{name}: loaded keys must be found");
+    let footprint = store.dram_footprint();
+    // Restart: crash, then rebuild from media; the rebuild cost lands on
+    // this context's clock.
+    dev.set_active_threads(1);
+    let mut ctx = pmem_sim::ThreadCtx::with_default_cost();
+    store.crash_and_recover(&mut ctx).expect("recover");
+    let restart_ns = ctx.clock.now();
+    // Post-recovery sanity probe.
+    let mut out = Vec::new();
+    for k in (0..opts.keys).step_by((opts.keys / 64).max(1) as usize) {
+        assert!(
+            store.get(&mut ctx, k, &mut out).expect("get"),
+            "{name}: key {k} lost across restart"
+        );
+    }
+    Table4Row {
+        store: name.to_string(),
+        put_mops: load.mops(),
+        get_mops: gets.mops(),
+        dram_footprint_bytes: footprint,
+        restart_ns,
+        write_amplification: wa,
+        median_get_ns: gets.read_hist.quantile(0.5),
+    }
+}
+
+/// Table 4: overall comparison, plus the ChameleonDB Write-Intensive-Mode
+/// crash-restart variant quoted in §3.5.
+pub fn table4(opts: &Opts) -> Vec<Table4Row> {
+    header("Table 4: overall comparison (put/get throughput, DRAM footprint, restart)");
+    let scale = opts.scale();
+    let mut rows = Vec::new();
+
+    {
+        let (dev, mut s) = stores::build_chameleon(scale);
+        rows.push(measure_table4("ChameleonDB", &dev, &mut s, opts));
+    }
+    {
+        let (dev, mut s) = stores::build_lsm(baselines::LsmVariant::PinK, scale);
+        rows.push(measure_table4("Pmem-LSM-PinK", &dev, &mut s, opts));
+    }
+    {
+        let (dev, mut s) = stores::build_lsm(baselines::LsmVariant::NoFilter, scale);
+        rows.push(measure_table4("Pmem-LSM-NF", &dev, &mut s, opts));
+    }
+    {
+        let (dev, mut s) = stores::build_lsm(baselines::LsmVariant::Filter, scale);
+        rows.push(measure_table4("Pmem-LSM-F", &dev, &mut s, opts));
+    }
+    {
+        let (dev, mut s) = stores::build_cceh(scale);
+        rows.push(measure_table4("Pmem-Hash", &dev, &mut s, opts));
+    }
+    {
+        let (dev, mut s) = stores::build_dram_hash(scale);
+        rows.push(measure_table4("Dram-Hash", &dev, &mut s, opts));
+    }
+    // §3.5: restart after a crash in Write-Intensive Mode must replay the
+    // log into the ABI — longer than a normal ChameleonDB restart, still
+    // far shorter than Dram-Hash.
+    {
+        let mut cfg = stores::chameleon_config(scale);
+        cfg.write_intensive = true;
+        let (dev, mut s) = stores::build_chameleon_with(scale, cfg);
+        rows.push(measure_table4("ChameleonDB(WIM)", &dev, &mut s, opts));
+    }
+
+    println!(
+        "\n{:>18} {:>9} {:>9} {:>12} {:>12} {:>7} {:>10}",
+        "store", "put Mops", "get Mops", "DRAM", "restart", "WA", "med get"
+    );
+    for r in &rows {
+        println!(
+            "{:>18} {:>9.2} {:>9.2} {:>12} {:>12} {:>7.2} {:>10}",
+            r.store,
+            r.put_mops,
+            r.get_mops,
+            fmt_bytes(r.dram_footprint_bytes),
+            fmt_ns(r.restart_ns),
+            r.write_amplification,
+            fmt_ns(r.median_get_ns)
+        );
+    }
+    write_json(opts, "table4_overall", &rows);
+    fig3(opts, &rows);
+    rows
+}
+
+/// Fig. 3: the four-measure normalized comparison, derived from Table 4
+/// (smaller is better on every axis; each axis normalized to its worst).
+fn fig3(opts: &Opts, rows: &[Table4Row]) {
+    header("Fig 3: normalized four-measure comparison (1.0 = worst)");
+    let four: Vec<&Table4Row> = rows
+        .iter()
+        .filter(|r| {
+            ["ChameleonDB", "Pmem-LSM-NF", "Pmem-Hash", "Dram-Hash"].contains(&r.store.as_str())
+        })
+        .collect();
+    let worst_wa = four
+        .iter()
+        .map(|r| r.write_amplification)
+        .fold(0.0, f64::max);
+    let worst_lat = four.iter().map(|r| r.median_get_ns).max().unwrap_or(1) as f64;
+    let worst_mem = four
+        .iter()
+        .map(|r| r.dram_footprint_bytes)
+        .max()
+        .unwrap_or(1) as f64;
+    let worst_restart = four.iter().map(|r| r.restart_ns).max().unwrap_or(1) as f64;
+    #[derive(Serialize)]
+    struct Fig3Row {
+        store: String,
+        write_amp: f64,
+        read_latency: f64,
+        memory_footprint: f64,
+        recovery_time: f64,
+    }
+    let out: Vec<Fig3Row> = four
+        .iter()
+        .map(|r| Fig3Row {
+            store: r.store.clone(),
+            write_amp: r.write_amplification / worst_wa.max(1e-9),
+            read_latency: r.median_get_ns as f64 / worst_lat,
+            memory_footprint: r.dram_footprint_bytes as f64 / worst_mem,
+            recovery_time: r.restart_ns as f64 / worst_restart,
+        })
+        .collect();
+    println!(
+        "{:>16} {:>10} {:>10} {:>10} {:>10}",
+        "store", "write-amp", "read-lat", "memory", "recovery"
+    );
+    for r in &out {
+        println!(
+            "{:>16} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            r.store, r.write_amp, r.read_latency, r.memory_footprint, r.recovery_time
+        );
+    }
+    write_json(opts, "fig03_normalized", &out);
+}

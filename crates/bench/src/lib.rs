@@ -1,0 +1,9 @@
+//! Reproduction harness library for the ChameleonDB paper.
+//!
+//! Each `experiments::*` module regenerates one table or figure of the
+//! paper's evaluation section on the simulated Optane device. The `repro`
+//! binary dispatches to them; Criterion benches reuse the same builders.
+
+pub mod experiments;
+pub mod stores;
+pub mod util;

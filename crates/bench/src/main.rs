@@ -1,0 +1,107 @@
+//! `repro` — regenerates every table and figure of the ChameleonDB paper.
+//!
+//! Usage: `repro <experiment> [--keys N] [--ops N] [--threads N]
+//! [--out DIR | --no-out] [--quick]`
+//!
+//! Experiments: `fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+//! table4 ablate-abi ablate-loadfactor ablate-ratio all`. `table2`/`table3`
+//! are printed by `fig11`/`fig13`; `fig3` by `table4`.
+
+use chameleon_bench::experiments as exp;
+use chameleon_bench::util::Opts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        std::process::exit(2);
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    let started = std::time::Instant::now();
+    match cmd.as_str() {
+        "fig1" => {
+            exp::fig01::run(&opts);
+        }
+        "fig2" => {
+            exp::fig02::run(&opts);
+        }
+        "fig10" => {
+            exp::overall::fig10(&opts);
+        }
+        "fig11" | "table2" => {
+            exp::overall::fig11(&opts);
+        }
+        "fig12" => {
+            exp::overall::fig12(&opts);
+        }
+        "fig13" | "table3" => {
+            exp::overall::fig13(&opts);
+        }
+        "fig14" => {
+            exp::fig14::run(&opts);
+        }
+        "fig15" => {
+            exp::fig15::run(&opts);
+            exp::fig15::wim_restart(&opts);
+        }
+        "fig16" => {
+            exp::fig16::run(&opts);
+        }
+        "fig17" => {
+            exp::fig17::run(&opts);
+        }
+        "table4" | "fig3" => {
+            exp::overall::table4(&opts);
+        }
+        "ablate-abi" => {
+            exp::ablate::abi(&opts);
+        }
+        "ablate-loadfactor" => {
+            exp::ablate::load_factor(&opts);
+        }
+        "ablate-ratio" => {
+            exp::ablate::ratio(&opts);
+        }
+        "all" => {
+            exp::fig01::run(&opts);
+            exp::fig02::run(&opts);
+            exp::overall::fig10(&opts);
+            exp::overall::fig11(&opts);
+            exp::overall::fig12(&opts);
+            exp::overall::fig13(&opts);
+            exp::overall::table4(&opts);
+            exp::fig14::run(&opts);
+            exp::fig15::run(&opts);
+            exp::fig15::wim_restart(&opts);
+            exp::fig16::run(&opts);
+            exp::fig17::run(&opts);
+            exp::ablate::abi(&opts);
+            exp::ablate::load_factor(&opts);
+            exp::ablate::ratio(&opts);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+            std::process::exit(2);
+        }
+    }
+    eprintln!(
+        "\n[done in {:.1}s wall time]",
+        started.elapsed().as_secs_f64()
+    );
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <experiment> [--keys N] [--ops N] [--threads N] [--out DIR | --no-out] [--quick]\n\
+         experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
+                      table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio all"
+    );
+}

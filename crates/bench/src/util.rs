@@ -1,0 +1,169 @@
+//! Output formatting and experiment plumbing shared by the harness.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Command-line options shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Unique keys to load before measuring.
+    pub keys: u64,
+    /// Measured operations.
+    pub ops: u64,
+    /// Max thread count.
+    pub threads: usize,
+    /// Directory for machine-readable JSON artifacts (None = stdout only).
+    pub out_dir: Option<PathBuf>,
+    /// Quick mode: shrink everything ~10x (CI smoke runs).
+    pub quick: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            keys: 4_000_000,
+            ops: 1_000_000,
+            threads: 16,
+            out_dir: Some(PathBuf::from("results")),
+            quick: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses `--keys N --ops N --threads N --out DIR --quick` style flags.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Self::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--keys" => {
+                    opts.keys = it
+                        .next()
+                        .ok_or("--keys needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--keys: {e}"))?;
+                }
+                "--ops" => {
+                    opts.ops = it
+                        .next()
+                        .ok_or("--ops needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--ops: {e}"))?;
+                }
+                "--threads" => {
+                    opts.threads = it
+                        .next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--out" => {
+                    opts.out_dir = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
+                }
+                "--no-out" => opts.out_dir = None,
+                "--quick" => opts.quick = true,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if opts.quick {
+            opts.keys /= 10;
+            opts.ops /= 10;
+        }
+        Ok(opts)
+    }
+
+    /// Scale derived from these options.
+    pub fn scale(&self) -> crate::stores::Scale {
+        crate::stores::Scale {
+            keys: self.keys,
+            value_size: 8,
+            extra_ops: self.ops * 2,
+        }
+    }
+}
+
+/// Writes a JSON artifact for one experiment.
+pub fn write_json<T: Serialize>(opts: &Opts, name: &str, value: &T) {
+    let Some(dir) = &opts.out_dir else { return };
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create artifact");
+    serde_json::to_writer_pretty(&mut f, value).expect("serialize artifact");
+    writeln!(f).ok();
+    println!("  [artifact] {}", path.display());
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a simulated-nanosecond duration human-readably.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Formats bytes human-readably.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2}KB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags() {
+        let args: Vec<String> = ["--keys", "100", "--threads", "4", "--no-out"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Opts::parse(&args).unwrap();
+        assert_eq!(o.keys, 100);
+        assert_eq!(o.threads, 4);
+        assert!(o.out_dir.is_none());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let args = vec!["--bogus".to_string()];
+        assert!(Opts::parse(&args).is_err());
+    }
+
+    #[test]
+    fn quick_scales_down() {
+        let args = vec!["--quick".to_string()];
+        let o = Opts::parse(&args).unwrap();
+        assert_eq!(o.keys, Opts::default().keys / 10);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(1500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+        assert_eq!(fmt_bytes(100), "100B");
+        assert_eq!(fmt_bytes(2048), "2.00KB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00MB");
+    }
+}

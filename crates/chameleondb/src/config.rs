@@ -1,0 +1,222 @@
+//! Store configuration (Table 1 of the paper).
+
+use kvlog::LogConfig;
+
+use crate::mode::GpmConfig;
+
+/// Which compaction scheme drives the upper levels.
+///
+/// The paper's Fig. 15 compares the two; `Direct` is ChameleonDB's default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionScheme {
+    /// Classic cascade: a full level compacts into its immediate lower
+    /// level, possibly triggering a chain of compactions (Fig. 5a).
+    LevelByLevel,
+    /// Direct Compaction: one compaction covers the full prefix of levels
+    /// and writes a single output table at the first non-full level
+    /// (Fig. 5b).
+    Direct,
+}
+
+/// Configuration of a [`crate::ChameleonDb`].
+///
+/// [`ChameleonConfig::paper`] reproduces Table 1 exactly; the scaled
+/// variants keep the identical per-shard geometry (MemTable size, levels,
+/// ratio, ABI ratio) with fewer shards so experiments fit in a test run.
+#[derive(Debug, Clone)]
+pub struct ChameleonConfig {
+    /// Number of shards (Table 1: 16384). Must be a power of two.
+    pub shards: usize,
+    /// MemTable slot count per shard (Table 1: 8KB = 512 slots of 16B).
+    pub memtable_slots: usize,
+    /// Total LSM levels including the last (Table 1: 4).
+    pub levels: usize,
+    /// Between-level ratio `r` (Table 1: 4).
+    pub ratio: usize,
+    /// Load-factor threshold range; each shard draws its own threshold
+    /// uniformly from this range (Table 1: 0.65–0.85, §2.5 "Randomized
+    /// Load Factors").
+    pub load_factor: (f64, f64),
+    /// ABI slot count per shard; `None` derives the exact upper-level
+    /// capacity (Table 1's 512KB per shard for the paper geometry).
+    pub abi_slots: Option<usize>,
+    /// Compaction scheme for upper levels.
+    pub compaction: CompactionScheme,
+    /// Start in Write-Intensive Mode (§2.3).
+    pub write_intensive: bool,
+    /// Number of worker threads the store pre-allocates log writers for.
+    pub max_threads: usize,
+    /// Maximum ABI tables that may be dumped unmerged by Get-Protect Mode
+    /// (§2.4; paper default 1).
+    pub max_abi_dumps: usize,
+    /// Rebuild ABIs eagerly during `recover()` instead of on first touch
+    /// per shard ("recovered along with serving front-end requests").
+    pub eager_abi_rebuild: bool,
+    /// Deterministic seed for the per-shard load-factor draw.
+    pub seed: u64,
+    /// Storage-log configuration.
+    pub log: LogConfig,
+    /// Manifest capacity in bytes (each record is 32B; sized generously).
+    pub manifest_bytes: u64,
+    /// Dynamic Get-Protect Mode configuration (§2.4).
+    pub gpm: GpmConfig,
+    /// Ablation switch: when false, gets ignore the ABI and walk the upper
+    /// levels in Pmem (isolating the ABI's contribution; the ABI is still
+    /// maintained for compactions and recovery).
+    pub use_abi_for_get: bool,
+}
+
+impl ChameleonConfig {
+    /// The paper's Table 1 configuration: 16384 shards, 8KB MemTables
+    /// (128MB total), 4 levels, ratio 4, load factors 0.65–0.85, 512KB ABIs
+    /// (8GB total).
+    pub fn paper() -> Self {
+        Self::with_shards(16384)
+    }
+
+    /// Table 1 geometry with a custom shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            memtable_slots: 512,
+            levels: 4,
+            ratio: 4,
+            load_factor: (0.65, 0.85),
+            abi_slots: None,
+            compaction: CompactionScheme::Direct,
+            write_intensive: false,
+            max_threads: 64,
+            max_abi_dumps: 1,
+            eager_abi_rebuild: false,
+            seed: 0x43484D4C,
+            log: LogConfig::default(),
+            manifest_bytes: 4 << 20,
+            gpm: GpmConfig::default(),
+            use_abi_for_get: true,
+        }
+    }
+
+    /// A small configuration for unit tests and doc examples: 8 shards,
+    /// tiny MemTables, still 4 levels so every compaction path is
+    /// exercised.
+    pub fn tiny() -> Self {
+        Self {
+            shards: 8,
+            memtable_slots: 64,
+            log: LogConfig {
+                capacity: 64 << 20,
+                ..LogConfig::default()
+            },
+            manifest_bytes: 1 << 20,
+            ..Self::with_shards(8)
+        }
+    }
+
+    /// Slot capacity of the upper levels of one shard: `L0` holds up to
+    /// `r` MemTable-sized tables and each deeper upper level up to `r-1`
+    /// tables of exponentially growing size (the steady state of Direct
+    /// Compaction, §2.1).
+    pub fn upper_capacity_slots(&self) -> usize {
+        let m = self.memtable_slots;
+        let r = self.ratio;
+        let mut total = r * m;
+        let mut table = r * m;
+        // Levels 1..levels-1 are upper levels holding up to r-1 tables.
+        for _ in 1..self.levels.saturating_sub(1) {
+            total += (r - 1) * table;
+            table *= r;
+        }
+        total
+    }
+
+    /// Effective ABI slot count per shard.
+    pub fn effective_abi_slots(&self) -> usize {
+        self.abi_slots
+            .unwrap_or_else(|| self.upper_capacity_slots())
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.shards.is_power_of_two() {
+            return Err(format!(
+                "shards must be a power of two, got {}",
+                self.shards
+            ));
+        }
+        if self.levels < 2 {
+            return Err("need at least 2 levels (one upper + last)".into());
+        }
+        if self.ratio < 2 {
+            return Err("between-level ratio must be >= 2".into());
+        }
+        let (lo, hi) = self.load_factor;
+        if !(0.1..=0.95).contains(&lo) || !(0.1..=0.95).contains(&hi) || lo > hi {
+            return Err(format!("bad load factor range {lo}..{hi}"));
+        }
+        if self.max_threads == 0 {
+            return Err("max_threads must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// The paper's index write-amplification estimate `(l - 1 + r) / f`
+    /// (§2.5), using the midpoint load factor. The ablation harness checks
+    /// measured media traffic against this.
+    pub fn predicted_write_amplification(&self) -> f64 {
+        let f = (self.load_factor.0 + self.load_factor.1) / 2.0;
+        ((self.levels - 1 + self.ratio) as f64) / f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let c = ChameleonConfig::paper();
+        assert_eq!(c.shards, 16384);
+        // 8KB MemTable per shard = 512 slots of 16B.
+        assert_eq!(c.memtable_slots * 16, 8 << 10);
+        assert_eq!(c.levels, 4);
+        assert_eq!(c.ratio, 4);
+        assert_eq!(c.load_factor, (0.65, 0.85));
+        // ABI = 512KB per shard = 32768 slots.
+        assert_eq!(c.effective_abi_slots() * 16, 512 << 10);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn upper_capacity_for_paper_geometry() {
+        // l=4, r=4, m=512: L0 4x512 + L1 3x2048 + L2 3x8192 = 32768.
+        let c = ChameleonConfig::paper();
+        assert_eq!(c.upper_capacity_slots(), 32768);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = ChameleonConfig::tiny();
+        c.shards = 3;
+        assert!(c.validate().is_err());
+        let mut c = ChameleonConfig::tiny();
+        c.levels = 1;
+        assert!(c.validate().is_err());
+        let mut c = ChameleonConfig::tiny();
+        c.load_factor = (0.9, 0.2);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn predicted_write_amplification_formula() {
+        let c = ChameleonConfig::paper();
+        // (4 - 1 + 4) / 0.75 = 9.33...
+        assert!((c.predicted_write_amplification() - 7.0 / 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_level_config_has_only_l0_uppers() {
+        let mut c = ChameleonConfig::tiny();
+        c.levels = 2;
+        assert_eq!(c.upper_capacity_slots(), c.ratio * c.memtable_slots);
+    }
+}

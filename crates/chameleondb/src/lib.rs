@@ -1,0 +1,53 @@
+//! ChameleonDB: a key-value store for Optane persistent memory.
+//!
+//! A from-scratch Rust reproduction of the EuroSys '21 paper, running on the
+//! simulated Optane device of `pmem-sim`. The design (Fig. 4 of the paper):
+//!
+//! * **Multi-shard LSM index** (§2.1): keys are placed by hash into shards;
+//!   each shard is a small multi-level structure of fixed-size
+//!   linear-probing hash tables. Upper levels use size-tiered compaction,
+//!   the last level is leveled ("lazy leveling"), and *Direct Compaction*
+//!   merges a full prefix of levels in one step (Fig. 5).
+//! * **Auxiliary Bypass Index** (§2.2): a per-shard DRAM hash table over
+//!   everything in the upper levels, so a get touches at most the MemTable,
+//!   the ABI, and the last-level table — never a chain of levels.
+//! * **Write-Intensive Mode** (§2.3): suspends upper-level maintenance,
+//!   trading restart time for put throughput.
+//! * **Get-Protect Mode** (§2.4): monitors tail get latency, suspends
+//!   compactions during put bursts, and dumps the ABI to Pmem as an
+//!   unmerged extra level instead of paying a last-level merge.
+//! * **Randomized load factors** (§2.5): each shard flushes at a different
+//!   threshold to stagger compaction bursts.
+//!
+//! Values live in a shared storage log (`kvlog`); the index stores 16-byte
+//! `{hash, location}` slots. Everything needed after a crash is persisted:
+//! table images, a two-region manifest with a superblock, and the log.
+//!
+//! # Examples
+//!
+//! ```
+//! use chameleondb::{ChameleonConfig, ChameleonDb};
+//! use kvapi::KvStore;
+//! use pmem_sim::{PmemDevice, ThreadCtx};
+//!
+//! let dev = PmemDevice::optane(256 << 20);
+//! let db = ChameleonDb::create(dev, ChameleonConfig::tiny()).unwrap();
+//! let mut ctx = ThreadCtx::with_default_cost();
+//! db.put(&mut ctx, 42, b"value").unwrap();
+//! let mut out = Vec::new();
+//! assert!(db.get(&mut ctx, 42, &mut out).unwrap());
+//! assert_eq!(out, b"value");
+//! ```
+
+mod config;
+mod manifest;
+mod metrics;
+mod mode;
+mod shard;
+mod store;
+
+pub use config::{ChameleonConfig, CompactionScheme};
+pub use manifest::{Manifest, ManifestRecord, Superblock, LEVEL_DUMPED};
+pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
+pub use mode::{GpmConfig, Mode};
+pub use store::ChameleonDb;

@@ -1,0 +1,461 @@
+//! Persistent metadata: superblock and table manifest.
+//!
+//! Every structural change (table flushed, compaction committed) appends
+//! records to a manifest region with a single trailing fence, so recovery
+//! can rebuild the exact level structure of every shard by replaying it.
+//! Two manifest regions alternate: when the active one fills up, a snapshot
+//! of the live table set is written to the other and a single 8-byte
+//! superblock word — `epoch << 1 | active` — is persisted to commit the
+//! switch (8-byte aligned stores are the atomic persistence unit on real
+//! Pmem).
+
+use std::sync::Arc;
+
+use kvapi::{KvError, Result};
+use parking_lot::Mutex;
+use pmem_sim::{PRegion, PmemDevice, ThreadCtx};
+
+const SB_MAGIC: u64 = 0x4348_414D_5F53_4231; // "CHAM_SB1"
+const RECORD_BYTES: u64 = 32;
+
+/// Marker level for GPM-dumped ABI tables (not a real LSM level).
+pub const LEVEL_DUMPED: u8 = 0xFE;
+
+/// One manifest record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManifestRecord {
+    /// A table became live.
+    Add {
+        /// Owning shard.
+        shard: u32,
+        /// LSM level, or [`LEVEL_DUMPED`].
+        level: u8,
+        /// Per-shard monotonic table number.
+        table_seq: u64,
+        /// Persistent region of the table.
+        region: PRegion,
+    },
+    /// The table whose region starts at `off` was freed.
+    Del {
+        /// Start offset of the freed table's region.
+        off: u64,
+    },
+}
+
+impl ManifestRecord {
+    fn encode(&self) -> [u8; RECORD_BYTES as usize] {
+        let mut out = [0u8; RECORD_BYTES as usize];
+        match *self {
+            ManifestRecord::Add {
+                shard,
+                level,
+                table_seq,
+                region,
+            } => {
+                let word0 = (1u64 << 56) | ((level as u64) << 48) | shard as u64;
+                out[0..8].copy_from_slice(&word0.to_le_bytes());
+                out[8..16].copy_from_slice(&table_seq.to_le_bytes());
+                out[16..24].copy_from_slice(&region.off.to_le_bytes());
+                out[24..32].copy_from_slice(&region.len.to_le_bytes());
+            }
+            ManifestRecord::Del { off } => {
+                let word0 = 2u64 << 56;
+                out[0..8].copy_from_slice(&word0.to_le_bytes());
+                out[16..24].copy_from_slice(&off.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a record; `Ok(None)` marks the end of valid data.
+    fn decode(buf: &[u8]) -> Result<Option<Self>> {
+        let word0 = u64::from_le_bytes(buf[0..8].try_into().expect("record bytes"));
+        let kind = word0 >> 56;
+        match kind {
+            0 => Ok(None),
+            1 => Ok(Some(ManifestRecord::Add {
+                shard: word0 as u32,
+                level: (word0 >> 48) as u8,
+                table_seq: u64::from_le_bytes(buf[8..16].try_into().expect("record bytes")),
+                region: PRegion {
+                    off: u64::from_le_bytes(buf[16..24].try_into().expect("record bytes")),
+                    len: u64::from_le_bytes(buf[24..32].try_into().expect("record bytes")),
+                },
+            })),
+            2 => Ok(Some(ManifestRecord::Del {
+                off: u64::from_le_bytes(buf[16..24].try_into().expect("record bytes")),
+            })),
+            _ => Err(KvError::Corrupt("manifest record kind")),
+        }
+    }
+}
+
+/// The 256-byte superblock anchoring all persistent structures.
+///
+/// Lives at a fixed, known offset (the store's first allocation). The
+/// `blob` carries store-specific configuration so `recover` can validate
+/// that it is reopening with a compatible geometry.
+#[derive(Debug, Clone)]
+pub struct Superblock {
+    /// Manifest epoch (bumped at every rewrite); low bit selects A/B below.
+    pub epoch: u64,
+    /// Which manifest region is active (0 or 1).
+    pub active: u8,
+    /// Value-log region.
+    pub log_region: PRegion,
+    /// The two manifest regions.
+    pub manifest: [PRegion; 2],
+    /// Store-specific opaque configuration.
+    pub blob: [u8; 128],
+}
+
+impl Superblock {
+    /// Persists the full superblock at `off`.
+    pub fn write(&self, dev: &PmemDevice, ctx: &mut ThreadCtx, off: u64) {
+        let mut buf = [0u8; 256];
+        buf[0..8].copy_from_slice(&SB_MAGIC.to_le_bytes());
+        let commit = (self.epoch << 1) | self.active as u64;
+        buf[8..16].copy_from_slice(&commit.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.log_region.off.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.log_region.len.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.manifest[0].off.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.manifest[0].len.to_le_bytes());
+        buf[48..56].copy_from_slice(&self.manifest[1].off.to_le_bytes());
+        buf[56..64].copy_from_slice(&self.manifest[1].len.to_le_bytes());
+        buf[64..192].copy_from_slice(&self.blob);
+        dev.persist(ctx, off, &buf);
+    }
+
+    /// Reads and validates the superblock at `off`.
+    pub fn read(dev: &PmemDevice, ctx: &mut ThreadCtx, off: u64) -> Result<Self> {
+        let mut buf = [0u8; 256];
+        dev.read(ctx, off, &mut buf);
+        let magic = u64::from_le_bytes(buf[0..8].try_into().expect("sb bytes"));
+        if magic != SB_MAGIC {
+            return Err(KvError::Corrupt("superblock magic"));
+        }
+        let commit = u64::from_le_bytes(buf[8..16].try_into().expect("sb bytes"));
+        let word = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().expect("sb bytes"));
+        let mut blob = [0u8; 128];
+        blob.copy_from_slice(&buf[64..192]);
+        Ok(Self {
+            epoch: commit >> 1,
+            active: (commit & 1) as u8,
+            log_region: PRegion {
+                off: word(16),
+                len: word(24),
+            },
+            manifest: [
+                PRegion {
+                    off: word(32),
+                    len: word(40),
+                },
+                PRegion {
+                    off: word(48),
+                    len: word(56),
+                },
+            ],
+            blob,
+        })
+    }
+
+    /// Atomically commits a manifest switch by persisting only the 8-byte
+    /// commit word.
+    pub fn commit_flip(dev: &PmemDevice, ctx: &mut ThreadCtx, off: u64, epoch: u64, active: u8) {
+        let commit = (epoch << 1) | active as u64;
+        dev.persist(ctx, off + 8, &commit.to_le_bytes());
+    }
+}
+
+struct ManifestInner {
+    regions: [PRegion; 2],
+    active: usize,
+    epoch: u64,
+    /// Write cursor within the active region.
+    cursor: u64,
+}
+
+/// Append-only, double-buffered table manifest.
+pub struct Manifest {
+    dev: Arc<PmemDevice>,
+    sb_off: u64,
+    inner: Mutex<ManifestInner>,
+}
+
+impl std::fmt::Debug for Manifest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Manifest")
+            .field("active", &inner.active)
+            .field("epoch", &inner.epoch)
+            .field("cursor", &inner.cursor)
+            .finish()
+    }
+}
+
+impl Manifest {
+    /// Creates an empty manifest over two freshly zeroed regions.
+    pub fn create(dev: Arc<PmemDevice>, sb_off: u64, regions: [PRegion; 2]) -> Self {
+        Self {
+            dev,
+            sb_off,
+            inner: Mutex::new(ManifestInner {
+                regions,
+                active: 0,
+                epoch: 0,
+                cursor: 0,
+            }),
+        }
+    }
+
+    /// Opens the manifest after a restart and replays the active region,
+    /// returning the live table set (in append order).
+    pub fn open(
+        dev: Arc<PmemDevice>,
+        ctx: &mut ThreadCtx,
+        sb_off: u64,
+        sb: &Superblock,
+    ) -> Result<(Self, Vec<ManifestRecord>)> {
+        let active = sb.active as usize;
+        let region = sb.manifest[active];
+        let mut records = Vec::new();
+        let mut buf = [0u8; RECORD_BYTES as usize];
+        let mut cursor = 0u64;
+        let mut first = true;
+        while cursor + RECORD_BYTES <= region.len {
+            if first {
+                dev.read(ctx, region.off + cursor, &mut buf);
+                first = false;
+            } else {
+                dev.read_seq(ctx, region.off + cursor, &mut buf);
+            }
+            match ManifestRecord::decode(&buf)? {
+                None => break,
+                Some(rec) => records.push(rec),
+            }
+            cursor += RECORD_BYTES;
+        }
+        // Fold deletions into the live set.
+        let mut live: Vec<ManifestRecord> = Vec::new();
+        for rec in records {
+            match rec {
+                ManifestRecord::Add { .. } => live.push(rec),
+                ManifestRecord::Del { off } => {
+                    live.retain(
+                        |r| !matches!(r, ManifestRecord::Add { region, .. } if region.off == off),
+                    );
+                }
+            }
+        }
+        let manifest = Self {
+            dev,
+            sb_off,
+            inner: Mutex::new(ManifestInner {
+                regions: sb.manifest,
+                active,
+                epoch: sb.epoch,
+                cursor,
+            }),
+        };
+        Ok((manifest, live))
+    }
+
+    /// Appends `records` with one fence. If the active region is full, the
+    /// caller-supplied `live` snapshot (which must already reflect
+    /// `records`) is written to the inactive region and the superblock is
+    /// flipped.
+    pub fn append(
+        &self,
+        ctx: &mut ThreadCtx,
+        records: &[ManifestRecord],
+        live: impl FnOnce() -> Vec<ManifestRecord>,
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let need = records.len() as u64 * RECORD_BYTES;
+        let region = inner.regions[inner.active];
+        if inner.cursor + need > region.len {
+            let snapshot = live();
+            self.rewrite_locked(ctx, &mut inner, &snapshot)?;
+            return Ok(());
+        }
+        let mut pos = region.off + inner.cursor;
+        for rec in records {
+            self.dev.write_nt(ctx, pos, &rec.encode());
+            pos += RECORD_BYTES;
+        }
+        self.dev.fence(ctx);
+        inner.cursor += need;
+        Ok(())
+    }
+
+    /// Writes a live-set snapshot into the inactive region and commits the
+    /// flip. Used for overflow handling and by tests.
+    pub fn rewrite(&self, ctx: &mut ThreadCtx, live: &[ManifestRecord]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.rewrite_locked(ctx, &mut inner, live)
+    }
+
+    fn rewrite_locked(
+        &self,
+        ctx: &mut ThreadCtx,
+        inner: &mut ManifestInner,
+        live: &[ManifestRecord],
+    ) -> Result<()> {
+        let target = 1 - inner.active;
+        let region = inner.regions[target];
+        let need = (live.len() as u64 + 1) * RECORD_BYTES;
+        if need > region.len {
+            return Err(KvError::Full("manifest snapshot exceeds region"));
+        }
+        let mut pos = region.off;
+        for rec in live {
+            self.dev.write_nt(ctx, pos, &rec.encode());
+            pos += RECORD_BYTES;
+        }
+        // Terminator so stale data beyond the snapshot is not replayed.
+        self.dev.write_nt(ctx, pos, &[0u8; RECORD_BYTES as usize]);
+        self.dev.fence(ctx);
+        inner.active = target;
+        inner.epoch += 1;
+        inner.cursor = live.len() as u64 * RECORD_BYTES;
+        Superblock::commit_flip(&self.dev, ctx, self.sb_off, inner.epoch, inner.active as u8);
+        Ok(())
+    }
+
+    /// Current epoch (test/debug aid).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<PmemDevice>, u64, [PRegion; 2], ThreadCtx) {
+        let dev = PmemDevice::optane(8 << 20);
+        let sb_off = dev.alloc(256).unwrap();
+        let a = dev.alloc_region(4096).unwrap();
+        let b = dev.alloc_region(4096).unwrap();
+        (dev, sb_off, [a, b], ThreadCtx::with_default_cost())
+    }
+
+    fn add(shard: u32, level: u8, seq: u64, off: u64) -> ManifestRecord {
+        ManifestRecord::Add {
+            shard,
+            level,
+            table_seq: seq,
+            region: PRegion { off, len: 1024 },
+        }
+    }
+
+    fn sb_for(log: PRegion, manifest: [PRegion; 2]) -> Superblock {
+        Superblock {
+            epoch: 0,
+            active: 0,
+            log_region: log,
+            manifest,
+            blob: [0u8; 128],
+        }
+    }
+
+    #[test]
+    fn superblock_roundtrip() {
+        let (dev, sb_off, regions, mut ctx) = setup();
+        let mut sb = sb_for(PRegion { off: 512, len: 99 }, regions);
+        sb.blob[0] = 0xAB;
+        sb.write(&dev, &mut ctx, sb_off);
+        let back = Superblock::read(&dev, &mut ctx, sb_off).unwrap();
+        assert_eq!(back.log_region, sb.log_region);
+        assert_eq!(back.manifest, regions);
+        assert_eq!(back.blob[0], 0xAB);
+        assert_eq!(back.active, 0);
+    }
+
+    #[test]
+    fn unwritten_superblock_is_corrupt() {
+        let (dev, sb_off, _regions, mut ctx) = setup();
+        assert!(matches!(
+            Superblock::read(&dev, &mut ctx, sb_off),
+            Err(KvError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let (dev, sb_off, regions, mut ctx) = setup();
+        let sb = sb_for(PRegion { off: 0, len: 0 }, regions);
+        sb.write(&dev, &mut ctx, sb_off);
+        let m = Manifest::create(Arc::clone(&dev), sb_off, regions);
+        m.append(
+            &mut ctx,
+            &[add(1, 0, 7, 4096), add(2, 1, 8, 8192)],
+            Vec::new,
+        )
+        .unwrap();
+        m.append(&mut ctx, &[ManifestRecord::Del { off: 4096 }], Vec::new)
+            .unwrap();
+        dev.crash();
+        let sb = Superblock::read(&dev, &mut ctx, sb_off).unwrap();
+        let (_m2, live) = Manifest::open(Arc::clone(&dev), &mut ctx, sb_off, &sb).unwrap();
+        assert_eq!(live, vec![add(2, 1, 8, 8192)]);
+    }
+
+    #[test]
+    fn unfenced_records_do_not_survive() {
+        let (dev, sb_off, regions, mut ctx) = setup();
+        let sb = sb_for(PRegion { off: 0, len: 0 }, regions);
+        sb.write(&dev, &mut ctx, sb_off);
+        let m = Manifest::create(Arc::clone(&dev), sb_off, regions);
+        m.append(&mut ctx, &[add(1, 0, 1, 4096)], Vec::new).unwrap();
+        // Write records directly without fencing by crashing mid-way: the
+        // append API always fences, so simulate by writing raw.
+        dev.write(&mut ctx, regions[0].off + 32, &add(9, 0, 2, 12345).encode());
+        dev.crash();
+        let sb = Superblock::read(&dev, &mut ctx, sb_off).unwrap();
+        let (_m2, live) = Manifest::open(Arc::clone(&dev), &mut ctx, sb_off, &sb).unwrap();
+        assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn overflow_triggers_rewrite_and_flip() {
+        let (dev, sb_off, _big, mut ctx) = setup();
+        // Tiny manifest regions: 4 records each (4 * 32B = 128B).
+        let a = dev.alloc_region(128).unwrap();
+        let b = dev.alloc_region(128).unwrap();
+        let sb = sb_for(PRegion { off: 0, len: 0 }, [a, b]);
+        sb.write(&dev, &mut ctx, sb_off);
+        let m = Manifest::create(Arc::clone(&dev), sb_off, [a, b]);
+        for i in 0..4u64 {
+            m.append(&mut ctx, &[add(0, 0, i, 4096 + i * 1024)], Vec::new)
+                .unwrap();
+        }
+        // Fifth append overflows; pretend compaction left two live tables.
+        let live = vec![add(0, 0, 3, 4096 + 3 * 1024), add(0, 0, 4, 99 * 1024)];
+        let live_clone = live.clone();
+        m.append(&mut ctx, &[live[1]], move || live_clone).unwrap();
+        assert_eq!(m.epoch(), 1);
+        dev.crash();
+        let sb = Superblock::read(&dev, &mut ctx, sb_off).unwrap();
+        assert_eq!(sb.active, 1);
+        let (_m2, replayed) = Manifest::open(Arc::clone(&dev), &mut ctx, sb_off, &sb).unwrap();
+        assert_eq!(replayed, live);
+    }
+
+    #[test]
+    fn snapshot_too_large_is_an_error() {
+        let (dev, sb_off, _regions, mut ctx) = setup();
+        let a = dev.alloc_region(64).unwrap();
+        let b = dev.alloc_region(64).unwrap();
+        let m = Manifest::create(Arc::clone(&dev), sb_off, [a, b]);
+        let live: Vec<ManifestRecord> = (0..10).map(|i| add(0, 0, i, i * 1024)).collect();
+        assert!(matches!(m.rewrite(&mut ctx, &live), Err(KvError::Full(_))));
+    }
+
+    #[test]
+    fn dumped_level_marker_roundtrips() {
+        let rec = add(5, LEVEL_DUMPED, 9, 2048);
+        let decoded = ManifestRecord::decode(&rec.encode()).unwrap().unwrap();
+        assert_eq!(decoded, rec);
+    }
+}

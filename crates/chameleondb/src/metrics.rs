@@ -1,0 +1,137 @@
+//! Store-level operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing where gets were served and how much maintenance the
+/// store performed. The harnesses use these to explain throughput results
+/// (e.g. ABI hit rate, compaction counts behind Fig. 15/16).
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    pub puts: AtomicU64,
+    pub gets: AtomicU64,
+    pub deletes: AtomicU64,
+    /// Gets answered from the MemTable.
+    pub memtable_hits: AtomicU64,
+    /// Gets answered from the Auxiliary Bypass Index.
+    pub abi_hits: AtomicU64,
+    /// Gets answered from a GPM-dumped ABI table.
+    pub dumped_hits: AtomicU64,
+    /// Gets answered from the last-level table.
+    pub last_hits: AtomicU64,
+    /// Gets answered from an upper-level Pmem table (degraded path while an
+    /// ABI is still being rebuilt after restart).
+    pub upper_hits: AtomicU64,
+    /// Gets that found no live entry.
+    pub misses: AtomicU64,
+    /// MemTable flushes to L0.
+    pub flushes: AtomicU64,
+    /// MemTable merges into the ABI (Write-Intensive Mode).
+    pub wim_merges: AtomicU64,
+    /// Upper-level (size-tiered) compactions.
+    pub mid_compactions: AtomicU64,
+    /// Last-level (leveled) compactions.
+    pub last_compactions: AtomicU64,
+    /// ABI dumps performed by Get-Protect Mode.
+    pub abi_dumps: AtomicU64,
+    /// Times the store entered Get-Protect Mode.
+    pub gpm_entries: AtomicU64,
+    /// Shard-ABI rebuilds performed lazily after a restart.
+    pub abi_rebuilds: AtomicU64,
+}
+
+macro_rules! snapshot_fields {
+    ($self:ident, $($f:ident),+ $(,)?) => {
+        StoreMetricsSnapshot {
+            $($f: $self.$f.load(Ordering::Relaxed)),+
+        }
+    };
+}
+
+impl StoreMetrics {
+    /// Relaxed snapshot of all counters.
+    pub fn snapshot(&self) -> StoreMetricsSnapshot {
+        snapshot_fields!(
+            self,
+            puts,
+            gets,
+            deletes,
+            memtable_hits,
+            abi_hits,
+            dumped_hits,
+            last_hits,
+            upper_hits,
+            misses,
+            flushes,
+            wim_merges,
+            mid_compactions,
+            last_compactions,
+            abi_dumps,
+            gpm_entries,
+            abi_rebuilds,
+        )
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of [`StoreMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreMetricsSnapshot {
+    pub puts: u64,
+    pub gets: u64,
+    pub deletes: u64,
+    pub memtable_hits: u64,
+    pub abi_hits: u64,
+    pub dumped_hits: u64,
+    pub last_hits: u64,
+    pub upper_hits: u64,
+    pub misses: u64,
+    pub flushes: u64,
+    pub wim_merges: u64,
+    pub mid_compactions: u64,
+    pub last_compactions: u64,
+    pub abi_dumps: u64,
+    pub gpm_entries: u64,
+    pub abi_rebuilds: u64,
+}
+
+impl StoreMetricsSnapshot {
+    /// Fraction of gets served by the ABI among all hits.
+    pub fn abi_hit_rate(&self) -> f64 {
+        let hits = self.memtable_hits
+            + self.abi_hits
+            + self.dumped_hits
+            + self.last_hits
+            + self.upper_hits;
+        if hits == 0 {
+            0.0
+        } else {
+            self.abi_hits as f64 / hits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = StoreMetrics::default();
+        m.puts.store(3, Ordering::Relaxed);
+        m.abi_hits.store(2, Ordering::Relaxed);
+        m.last_hits.store(2, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.puts, 3);
+        assert_eq!(s.abi_hits, 2);
+        assert!((s.abi_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(StoreMetricsSnapshot::default().abi_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,541 @@
+//! A shard: MemTable + ABI + multi-level table structure (§2.1–§2.2).
+
+use std::sync::Arc;
+
+use kvapi::{KvError, Result};
+use kvtables::{DramTable, FixedHashTable, Slot, TableBuilder};
+use pmem_sim::{PmemDevice, ThreadCtx};
+
+use crate::config::{ChameleonConfig, CompactionScheme};
+use crate::manifest::{ManifestRecord, LEVEL_DUMPED};
+use crate::metrics::StoreMetrics;
+use crate::mode::ModeController;
+
+/// Where a get found its answer (drives the hit-source metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GetSource {
+    MemTable,
+    Abi,
+    Upper,
+    Dumped,
+    Last,
+}
+
+/// Borrowed environment a shard operation runs in.
+pub(crate) struct ShardEnv<'a> {
+    pub dev: &'a Arc<PmemDevice>,
+    pub cfg: &'a ChameleonConfig,
+    pub metrics: &'a StoreMetrics,
+    pub mode: &'a ModeController,
+    /// Commits manifest adds/deletes atomically (store-level MetaLog).
+    pub commit: &'a dyn Fn(&mut ThreadCtx, &[ManifestRecord]) -> Result<()>,
+}
+
+/// One shard of the index: an in-DRAM MemTable, the in-DRAM Auxiliary
+/// Bypass Index over all upper levels, the upper-level tables on Pmem, any
+/// GPM-dumped ABI tables, and the single last-level table.
+pub(crate) struct Shard {
+    pub id: u32,
+    pub memtable: DramTable,
+    pub abi: DramTable,
+    /// False right after a restart until this shard's ABI has been rebuilt
+    /// from its upper-level tables ("recovered along with serving front-end
+    /// requests", §3.3).
+    pub abi_valid: bool,
+    /// Upper levels `L0..L(levels-2)`; within a level, tables are ordered
+    /// oldest-first (newest at the back).
+    pub uppers: Vec<Vec<FixedHashTable>>,
+    /// GPM-dumped ABI tables, oldest-first.
+    pub dumped: Vec<FixedHashTable>,
+    /// The last-level table.
+    pub last: Option<FixedHashTable>,
+    /// This shard's randomized MemTable load-factor threshold (§2.5).
+    pub load_threshold: f64,
+    /// Monotonic table numbering within the shard.
+    pub table_seq: u64,
+    /// Highest log sequence number persisted in this shard's tables; log
+    /// entries above it belong to the (volatile) MemTable/ABI.
+    pub checkpoint_seq: u64,
+}
+
+impl Shard {
+    /// Creates an empty shard.
+    pub fn new(id: u32, cfg: &ChameleonConfig, load_threshold: f64) -> Self {
+        Self {
+            id,
+            memtable: DramTable::new_resident(cfg.memtable_slots),
+            abi: DramTable::new(cfg.effective_abi_slots()),
+            abi_valid: true,
+            uppers: vec![Vec::new(); cfg.levels - 1],
+            dumped: Vec::new(),
+            last: None,
+            load_threshold,
+            table_seq: 0,
+            checkpoint_seq: 0,
+        }
+    }
+
+    /// DRAM bytes held by this shard's volatile structures.
+    pub fn dram_bytes(&self) -> u64 {
+        self.memtable.dram_bytes() + self.abi.dram_bytes()
+    }
+
+    /// Approximate live entries (slots across all structures; duplicates
+    /// across levels counted once via the ABI where possible).
+    pub fn approx_len(&self) -> u64 {
+        let upper = if self.abi_valid {
+            self.abi.len() as u64
+        } else {
+            self.uppers
+                .iter()
+                .flatten()
+                .map(|t| t.num_entries())
+                .sum::<u64>()
+        };
+        self.memtable.len() as u64
+            + upper
+            + self.dumped.iter().map(|t| t.num_entries()).sum::<u64>()
+            + self.last.as_ref().map_or(0, |t| t.num_entries())
+    }
+
+    fn next_table_seq(&mut self) -> u64 {
+        self.table_seq += 1;
+        self.table_seq
+    }
+
+    /// Inserts one slot into the MemTable (put or delete), flushing or
+    /// merging when the randomized load threshold is hit.
+    ///
+    /// Returns the previous MemTable location word for dead-byte accounting.
+    pub fn insert(
+        &mut self,
+        env: &ShardEnv<'_>,
+        ctx: &mut ThreadCtx,
+        slot: Slot,
+        seq: u64,
+    ) -> Result<Option<u64>> {
+        self.ensure_abi(env, ctx)?;
+        let old = self.memtable.insert(ctx, slot)?;
+        self.memtable.note_seq(seq);
+        if self.memtable.is_full(self.load_threshold) {
+            self.on_memtable_full(env, ctx)?;
+        }
+        Ok(old)
+    }
+
+    /// Looks up `hash` through the shard's structures in freshness order:
+    /// MemTable, ABI (or degraded upper-level search), dumped ABI tables,
+    /// then the last level (Fig. 6b).
+    pub fn get(
+        &mut self,
+        env: &ShardEnv<'_>,
+        ctx: &mut ThreadCtx,
+        hash: u64,
+    ) -> Result<Option<(Slot, GetSource)>> {
+        if let Some(s) = self.memtable.get(ctx, hash) {
+            return Ok(Some((s, GetSource::MemTable)));
+        }
+        if self.abi_valid && env.cfg.use_abi_for_get {
+            if let Some(s) = self.abi.get(ctx, hash) {
+                return Ok(Some((s, GetSource::Abi)));
+            }
+        } else {
+            // Degraded path: ABI not yet rebuilt after restart — search the
+            // upper levels table-by-table, newest first (the Pmem-LSM-NF
+            // behaviour the paper says ChameleonDB degrades to, §3.3).
+            let mut tables: Vec<&FixedHashTable> = self.uppers.iter().flatten().collect();
+            tables.sort_by_key(|t| std::cmp::Reverse(t.header().table_seq));
+            for t in tables {
+                if let Some(s) = t.get(env.dev, ctx, hash) {
+                    return Ok(Some((s, GetSource::Upper)));
+                }
+            }
+        }
+        for t in self.dumped.iter().rev() {
+            if let Some(s) = t.get(env.dev, ctx, hash) {
+                return Ok(Some((s, GetSource::Dumped)));
+            }
+        }
+        if let Some(t) = &self.last {
+            if let Some(s) = t.get(env.dev, ctx, hash) {
+                return Ok(Some((s, GetSource::Last)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Rebuilds the ABI from the upper-level tables if it is stale
+    /// (post-restart, on first touch).
+    pub fn ensure_abi(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
+        if self.abi_valid {
+            return Ok(());
+        }
+        let mut tables: Vec<FixedHashTable> = self.uppers.iter().flatten().cloned().collect();
+        tables.sort_by_key(|t| std::cmp::Reverse(t.header().table_seq));
+        for t in &tables {
+            for slot in t.iter_entries(env.dev, ctx) {
+                // Newest-first: keep the first version seen per hash.
+                self.abi.insert_if_absent(ctx, slot)?;
+                self.abi.note_seq(t.header().max_log_seq);
+            }
+        }
+        self.abi_valid = true;
+        StoreMetrics::bump(&env.metrics.abi_rebuilds);
+        Ok(())
+    }
+
+    fn on_memtable_full(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
+        if env.mode.suspend_upper_maintenance() {
+            self.merge_memtable_into_abi(env, ctx)
+        } else {
+            // If a GPM episode left dumped ABI tables behind, fold them into
+            // the last level now that the burst has subsided (§2.4: "dumped
+            // tables will gradually be merged ... after the put burst").
+            if !self.dumped.is_empty() {
+                self.compact_last_level(env, ctx)?;
+            }
+            self.flush_memtable(env, ctx)?;
+            self.maybe_compact(env, ctx)
+        }
+    }
+
+    /// Write-Intensive / Get-Protect path (§2.3): fold the MemTable into
+    /// the ABI without persisting an L0 table. The KV data itself is
+    /// already durable in the storage log.
+    fn merge_memtable_into_abi(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
+        self.make_abi_room(env, ctx, self.memtable.len())?;
+        let max_seq = self.memtable.max_seq();
+        let slots: Vec<Slot> = self.memtable.iter().collect();
+        for slot in slots {
+            self.abi.insert_bulk(ctx, slot)?;
+        }
+        self.abi.note_seq(max_seq);
+        self.memtable.clear();
+        StoreMetrics::bump(&env.metrics.wim_merges);
+        Ok(())
+    }
+
+    /// Ensures the ABI can absorb `incoming` more entries, dumping it or
+    /// compacting the last level if not (§2.4).
+    fn make_abi_room(
+        &mut self,
+        env: &ShardEnv<'_>,
+        ctx: &mut ThreadCtx,
+        incoming: usize,
+    ) -> Result<()> {
+        // Leave headroom: a linear-probe table degrades sharply near 1.0.
+        let limit = (self.abi.capacity() as f64 * 0.9) as usize;
+        if self.abi.len() + incoming <= limit {
+            return Ok(());
+        }
+        if env.mode.prefer_abi_dump() && self.dumped.len() < env.cfg.max_abi_dumps {
+            self.dump_abi(env, ctx)
+        } else {
+            self.compact_last_level(env, ctx)
+        }
+    }
+
+    /// Get-Protect Mode's cheap eviction: persist the ABI as an unmerged
+    /// extra table instead of paying a last-level merge (Fig. 9).
+    fn dump_abi(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
+        if self.abi.is_empty() {
+            return Ok(());
+        }
+        let threshold = self.load_threshold;
+        let mut b = TableBuilder::sized_for(self.abi.len(), threshold);
+        b.note_seq(self.abi.max_seq());
+        for slot in self.abi.iter() {
+            b.insert(ctx, slot, false)?;
+        }
+        let seq = self.next_table_seq();
+        let table = b.build(env.dev, ctx, self.id, LEVEL_DUMPED as u32, seq)?;
+        (env.commit)(
+            ctx,
+            &[ManifestRecord::Add {
+                shard: self.id,
+                level: LEVEL_DUMPED,
+                table_seq: seq,
+                region: table.region(),
+            }],
+        )?;
+        self.checkpoint_seq = self.checkpoint_seq.max(table.header().max_log_seq);
+        self.dumped.push(table);
+        self.abi.clear();
+        StoreMetrics::bump(&env.metrics.abi_dumps);
+        Ok(())
+    }
+
+    /// Flushes the MemTable to a new L0 table and mirrors its entries into
+    /// the ABI (Fig. 7).
+    fn flush_memtable(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        self.make_abi_room(env, ctx, self.memtable.len())?;
+        let mut b = TableBuilder::new(env.cfg.memtable_slots);
+        b.note_seq(self.memtable.max_seq());
+        let slots: Vec<Slot> = self.memtable.iter().collect();
+        for &slot in &slots {
+            b.insert(ctx, slot, false)?;
+        }
+        let seq = self.next_table_seq();
+        let table = b.build(env.dev, ctx, self.id, 0, seq)?;
+        (env.commit)(
+            ctx,
+            &[ManifestRecord::Add {
+                shard: self.id,
+                level: 0,
+                table_seq: seq,
+                region: table.region(),
+            }],
+        )?;
+        self.checkpoint_seq = self.checkpoint_seq.max(table.header().max_log_seq);
+        self.uppers[0].push(table);
+        let max_seq = self.memtable.max_seq();
+        for slot in slots {
+            self.abi.insert_bulk(ctx, slot)?;
+        }
+        self.abi.note_seq(max_seq);
+        self.memtable.clear();
+        StoreMetrics::bump(&env.metrics.flushes);
+        Ok(())
+    }
+
+    fn maybe_compact(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
+        let r = env.cfg.ratio;
+        match env.cfg.compaction {
+            CompactionScheme::Direct => {
+                if self.uppers[0].len() < r {
+                    return Ok(());
+                }
+                // Find the first deeper upper level with room (< r-1
+                // tables); merge the whole prefix into it (Fig. 5b). If
+                // every deeper level is at r-1, it is a last-level
+                // compaction.
+                let mut target = None;
+                for j in 1..self.uppers.len() {
+                    if self.uppers[j].len() < r - 1 {
+                        target = Some(j);
+                        break;
+                    }
+                }
+                match target {
+                    Some(j) => self.compact_uppers_into(env, ctx, j),
+                    None => self.compact_last_level(env, ctx),
+                }
+            }
+            CompactionScheme::LevelByLevel => {
+                // Cascade one level at a time (Fig. 5a).
+                loop {
+                    let mut acted = false;
+                    for j in 0..self.uppers.len() {
+                        if self.uppers[j].len() >= r {
+                            if j + 1 < self.uppers.len() {
+                                self.compact_level_into_next(env, ctx, j)?;
+                            } else {
+                                self.compact_last_level(env, ctx)?;
+                            }
+                            acted = true;
+                            break;
+                        }
+                    }
+                    if !acted {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Direct Compaction: merge every table in upper levels `0..target`
+    /// into a single new table appended to level `target`.
+    fn compact_uppers_into(
+        &mut self,
+        env: &ShardEnv<'_>,
+        ctx: &mut ThreadCtx,
+        target: usize,
+    ) -> Result<()> {
+        let mut inputs: Vec<FixedHashTable> = Vec::new();
+        for level in self.uppers[..target].iter_mut() {
+            inputs.append(level);
+        }
+        self.merge_tables_to_level(env, ctx, inputs, target)?;
+        StoreMetrics::bump(&env.metrics.mid_compactions);
+        Ok(())
+    }
+
+    /// Level-by-Level: merge level `j`'s tables into one table at `j+1`.
+    fn compact_level_into_next(
+        &mut self,
+        env: &ShardEnv<'_>,
+        ctx: &mut ThreadCtx,
+        j: usize,
+    ) -> Result<()> {
+        let inputs = std::mem::take(&mut self.uppers[j]);
+        self.merge_tables_to_level(env, ctx, inputs, j + 1)?;
+        StoreMetrics::bump(&env.metrics.mid_compactions);
+        Ok(())
+    }
+
+    /// Shared size-tiered merge: reads `inputs` from Pmem newest-first,
+    /// dedups, writes one output table at `target_level`.
+    fn merge_tables_to_level(
+        &mut self,
+        env: &ShardEnv<'_>,
+        ctx: &mut ThreadCtx,
+        mut inputs: Vec<FixedHashTable>,
+        target_level: usize,
+    ) -> Result<()> {
+        debug_assert!(!inputs.is_empty());
+        inputs.sort_by_key(|t| std::cmp::Reverse(t.header().table_seq));
+        let total: u64 = inputs.iter().map(|t| t.num_entries()).sum();
+        let mut b = TableBuilder::sized_for(total as usize, self.load_threshold);
+        for t in &inputs {
+            b.note_seq(t.header().max_log_seq);
+            for slot in t.iter_entries(env.dev, ctx) {
+                b.insert(ctx, slot, false)?;
+            }
+        }
+        let seq = self.next_table_seq();
+        let table = b.build(env.dev, ctx, self.id, target_level as u32, seq)?;
+        let mut records = vec![ManifestRecord::Add {
+            shard: self.id,
+            level: target_level as u8,
+            table_seq: seq,
+            region: table.region(),
+        }];
+        records.extend(inputs.iter().map(|t| ManifestRecord::Del {
+            off: t.region().off,
+        }));
+        (env.commit)(ctx, &records)?;
+        for t in inputs {
+            t.free(env.dev);
+        }
+        self.uppers[target_level].push(table);
+        Ok(())
+    }
+
+    /// Last-level (leveled) compaction: merge the ABI (the DRAM copy of all
+    /// upper-level items, Fig. 8), any dumped ABI tables, and the existing
+    /// last-level table into a fresh last-level table; then clear the upper
+    /// levels and the ABI (§2.1–§2.2).
+    pub fn compact_last_level(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
+        self.ensure_abi(env, ctx)?;
+        let dumped_entries: u64 = self.dumped.iter().map(|t| t.num_entries()).sum();
+        let last_entries = self.last.as_ref().map_or(0, |t| t.num_entries());
+        let total = self.abi.len() as u64 + dumped_entries + last_entries;
+        if total == 0 {
+            return Ok(());
+        }
+        let mut b = TableBuilder::sized_for(total as usize, self.load_threshold);
+        // Newest first: ABI (DRAM reads — the Fig. 8 optimisation), then
+        // dumped tables newest-first, then the old last level.
+        b.note_seq(self.abi.max_seq());
+        for slot in self.abi.iter() {
+            ctx.charge(ctx.cost.dram_seq_line_ns);
+            b.insert(ctx, slot, true)?;
+        }
+        for t in self.dumped.iter().rev() {
+            b.note_seq(t.header().max_log_seq);
+            for slot in t.iter_entries(env.dev, ctx) {
+                b.insert(ctx, slot, true)?;
+            }
+        }
+        if let Some(t) = &self.last {
+            b.note_seq(t.header().max_log_seq);
+            for slot in t.iter_entries(env.dev, ctx) {
+                b.insert(ctx, slot, true)?;
+            }
+        }
+        let last_level = (env.cfg.levels - 1) as u32;
+        let seq = self.next_table_seq();
+        let table = b.build(env.dev, ctx, self.id, last_level, seq)?;
+        let mut records = vec![ManifestRecord::Add {
+            shard: self.id,
+            level: last_level as u8,
+            table_seq: seq,
+            region: table.region(),
+        }];
+        let olds: Vec<FixedHashTable> = self
+            .uppers
+            .iter_mut()
+            .flat_map(std::mem::take)
+            .chain(self.dumped.drain(..))
+            .chain(self.last.take())
+            .collect();
+        records.extend(olds.iter().map(|t| ManifestRecord::Del {
+            off: t.region().off,
+        }));
+        (env.commit)(ctx, &records)?;
+        for t in olds {
+            t.free(env.dev);
+        }
+        self.checkpoint_seq = self.checkpoint_seq.max(table.header().max_log_seq);
+        self.last = Some(table);
+        self.abi.clear();
+        StoreMetrics::bump(&env.metrics.last_compactions);
+        Ok(())
+    }
+
+    /// Flushes the MemTable and folds everything into the last level (used
+    /// by tests and by explicit checkpointing).
+    pub fn force_checkpoint(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
+        if !self.memtable.is_empty() {
+            self.flush_memtable(env, ctx)?;
+        }
+        if !self.abi.is_empty() || !self.dumped.is_empty() {
+            self.compact_last_level(env, ctx)?;
+        }
+        Ok(())
+    }
+}
+
+/// Draws the per-shard randomized load-factor threshold (§2.5).
+pub(crate) fn shard_load_threshold(cfg: &ChameleonConfig, shard: u32) -> f64 {
+    let (lo, hi) = cfg.load_factor;
+    if (hi - lo).abs() < f64::EPSILON {
+        return lo;
+    }
+    let u =
+        kvapi::mix64(cfg.seed ^ (shard as u64).wrapping_mul(0x9E37_79B9)) as f64 / u64::MAX as f64;
+    lo + (hi - lo) * u
+}
+
+/// Validation helper shared with recovery: total entries that can ever be
+/// staged in the ABI must fit its capacity.
+pub(crate) fn check_abi_capacity(cfg: &ChameleonConfig) -> Result<()> {
+    if cfg.effective_abi_slots() < cfg.upper_capacity_slots() {
+        return Err(KvError::Full(
+            "configured ABI smaller than upper-level capacity",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_thresholds_are_deterministic_and_in_range() {
+        let cfg = ChameleonConfig::tiny();
+        let (lo, hi) = cfg.load_factor;
+        let mut distinct = std::collections::HashSet::new();
+        for s in 0..64u32 {
+            let t = shard_load_threshold(&cfg, s);
+            assert!(t >= lo && t <= hi, "threshold {t} outside [{lo},{hi}]");
+            assert_eq!(t, shard_load_threshold(&cfg, s));
+            distinct.insert((t * 1e9) as u64);
+        }
+        assert!(distinct.len() > 32, "thresholds must be staggered");
+    }
+
+    #[test]
+    fn abi_capacity_check() {
+        let cfg = ChameleonConfig::tiny();
+        assert!(check_abi_capacity(&cfg).is_ok());
+        let mut bad = cfg;
+        bad.abi_slots = Some(8);
+        assert!(check_abi_capacity(&bad).is_err());
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration-test host crate; tests live in tests/.

@@ -1,0 +1,231 @@
+//! Crash-consistency: stores must never lose synced data, regardless of
+//! when the power fails, and must never resurrect deleted keys.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use baselines::{
+    CcehConfig, DramHash, DramHashConfig, LsmVariant, PmemHash, PmemLsm, PmemLsmConfig,
+};
+use chameleondb::{ChameleonConfig, ChameleonDb};
+use kvapi::{CrashRecover, KvStore};
+use kvlog::LogConfig;
+use pmem_sim::{PmemDevice, ThreadCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KEY_SPACE: u64 = 3_000;
+
+fn small_log() -> LogConfig {
+    LogConfig {
+        capacity: 128 << 20,
+        ..LogConfig::default()
+    }
+}
+
+/// Repeated rounds of mutate -> sync -> crash -> recover -> audit.
+fn crash_loop<S, F>(mut store: S, seed: u64, rounds: usize, _reopen: F)
+where
+    S: KvStore + CrashRecover,
+    F: Fn(),
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let mut out = Vec::new();
+    for round in 0..rounds {
+        for _ in 0..4000 {
+            let key = rng.gen_range(0..KEY_SPACE);
+            if rng.gen_bool(0.85) {
+                let v = rng.gen::<u128>().to_le_bytes().to_vec();
+                store.put(&mut ctx, key, &v).expect("put");
+                model.insert(key, v);
+            } else {
+                store.delete(&mut ctx, key).expect("delete");
+                model.remove(&key);
+            }
+        }
+        store.sync(&mut ctx).expect("sync");
+        store.crash_and_recover(&mut ctx).expect("recover");
+        for (k, v) in &model {
+            assert!(
+                store.get(&mut ctx, *k, &mut out).expect("get"),
+                "round {round}: key {k} lost"
+            );
+            assert_eq!(&out, v, "round {round}: key {k} stale value");
+        }
+        for k in 0..KEY_SPACE {
+            if !model.contains_key(&k) {
+                assert!(
+                    !store.get(&mut ctx, k, &mut out).expect("get"),
+                    "round {round}: deleted key {k} resurrected"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chameleondb_survives_repeated_crashes() {
+    let dev = PmemDevice::optane(1 << 30);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = small_log();
+    let db = ChameleonDb::create(Arc::clone(&dev), cfg).unwrap();
+    crash_loop(db, 1, 4, || {});
+}
+
+#[test]
+fn chameleondb_wim_survives_repeated_crashes() {
+    let dev = PmemDevice::optane(1 << 30);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = small_log();
+    cfg.write_intensive = true;
+    let db = ChameleonDb::create(Arc::clone(&dev), cfg).unwrap();
+    crash_loop(db, 2, 3, || {});
+}
+
+#[test]
+fn pmem_lsm_survives_repeated_crashes() {
+    for variant in [LsmVariant::NoFilter, LsmVariant::PinK] {
+        let dev = PmemDevice::optane(1 << 30);
+        let mut cfg = PmemLsmConfig::tiny(variant);
+        cfg.log = small_log();
+        let db = PmemLsm::create(Arc::clone(&dev), cfg).unwrap();
+        crash_loop(db, 3, 3, || {});
+    }
+}
+
+#[test]
+fn cceh_survives_repeated_crashes() {
+    let dev = PmemDevice::optane(1 << 30);
+    let db = PmemHash::create(
+        Arc::clone(&dev),
+        CcehConfig {
+            log: small_log(),
+            ..CcehConfig::default()
+        },
+    )
+    .unwrap();
+    crash_loop(db, 4, 3, || {});
+}
+
+#[test]
+fn dram_hash_survives_repeated_crashes() {
+    let dev = PmemDevice::optane(1 << 30);
+    let db = DramHash::create(
+        Arc::clone(&dev),
+        DramHashConfig {
+            log: small_log(),
+            ..DramHashConfig::default()
+        },
+    )
+    .unwrap();
+    crash_loop(db, 5, 3, || {});
+}
+
+/// Un-synced writes may be lost on crash, but recovery must still yield a
+/// *prefix-consistent* state: any key whose batch did reach the log is
+/// intact, and no value is ever garbage.
+#[test]
+fn unsynced_tail_loss_is_clean() {
+    let dev = PmemDevice::optane(1 << 30);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = small_log();
+    let db = ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    for k in 0..5_000u64 {
+        db.put(&mut ctx, k, &(k * 3).to_le_bytes()).unwrap();
+    }
+    // No sync: the last batches are volatile.
+    drop(db);
+    dev.crash();
+    let db = ChameleonDb::recover(Arc::clone(&dev), cfg, &mut ctx).unwrap();
+    let mut out = Vec::new();
+    let mut present = 0u64;
+    for k in 0..5_000u64 {
+        if db.get(&mut ctx, k, &mut out).unwrap() {
+            assert_eq!(out, (k * 3).to_le_bytes(), "key {k} has garbage value");
+            present += 1;
+        }
+    }
+    // Most keys were batch-flushed along the way; only the tail can be gone.
+    assert!(present >= 4_000, "lost too much: only {present} survived");
+}
+
+/// Crash immediately after create: recovery of an empty store works.
+#[test]
+fn empty_store_recovers() {
+    let dev = PmemDevice::optane(512 << 20);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = small_log();
+    let db = ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap();
+    drop(db);
+    dev.crash();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let db = ChameleonDb::recover(Arc::clone(&dev), cfg, &mut ctx).unwrap();
+    let mut out = Vec::new();
+    assert!(!db.get(&mut ctx, 1, &mut out).unwrap());
+    db.put(&mut ctx, 1, b"first").unwrap();
+    assert!(db.get(&mut ctx, 1, &mut out).unwrap());
+}
+
+/// Restart-time ordering (Table 4's qualitative claim): ChameleonDB's
+/// restart must be far cheaper than Dram-Hash's at equal key count, and a
+/// Write-Intensive-Mode crash must sit in between.
+#[test]
+fn restart_time_ordering_matches_table4() {
+    let keys = 200_000u64;
+    let mut times = HashMap::new();
+    for which in ["chameleon", "chameleon-wim", "dram-hash"] {
+        let dev = PmemDevice::optane(2 << 30);
+        let mut ctx = ThreadCtx::with_default_cost();
+        let restart_ns = match which {
+            "dram-hash" => {
+                let mut db = DramHash::create(
+                    Arc::clone(&dev),
+                    DramHashConfig {
+                        log: small_log(),
+                        ..DramHashConfig::default()
+                    },
+                )
+                .unwrap();
+                for k in 0..keys {
+                    db.put(&mut ctx, k, &k.to_le_bytes()).unwrap();
+                }
+                db.sync(&mut ctx).unwrap();
+                let t0 = ctx.clock.now();
+                db.crash_and_recover(&mut ctx).unwrap();
+                ctx.clock.now() - t0
+            }
+            name => {
+                let mut cfg = ChameleonConfig::with_shards(8);
+                cfg.log = small_log();
+                cfg.write_intensive = name == "chameleon-wim";
+                let mut db = ChameleonDb::create(Arc::clone(&dev), cfg).unwrap();
+                for k in 0..keys {
+                    db.put(&mut ctx, k, &k.to_le_bytes()).unwrap();
+                }
+                db.sync(&mut ctx).unwrap();
+                let t0 = ctx.clock.now();
+                db.crash_and_recover(&mut ctx).unwrap();
+                ctx.clock.now() - t0
+            }
+        };
+        times.insert(which, restart_ns);
+    }
+    let cham = times["chameleon"];
+    let wim = times["chameleon-wim"];
+    let dram = times["dram-hash"];
+    assert!(
+        cham < dram / 2,
+        "ChameleonDB restart ({cham}ns) must be far below Dram-Hash ({dram}ns)"
+    );
+    assert!(
+        wim <= dram,
+        "WIM-crash restart ({wim}ns) must not exceed Dram-Hash ({dram}ns)"
+    );
+    assert!(
+        wim >= cham,
+        "WIM-crash restart ({wim}ns) must be at least normal restart ({cham}ns)"
+    );
+}

@@ -1,0 +1,173 @@
+//! Get-Protect Mode and mode-transition behaviour (§2.4).
+
+use std::sync::Arc;
+
+use chameleondb::{ChameleonConfig, ChameleonDb, GpmConfig, Mode};
+use kvapi::KvStore;
+use kvlog::LogConfig;
+use pmem_sim::{PmemDevice, ThreadCtx};
+
+fn gpm_store(max_dumps: usize) -> (Arc<PmemDevice>, ChameleonDb) {
+    let dev = PmemDevice::optane(1 << 30);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = LogConfig {
+        capacity: 256 << 20,
+        ..LogConfig::default()
+    };
+    cfg.max_abi_dumps = max_dumps;
+    cfg.gpm = GpmConfig {
+        enabled: true,
+        enter_threshold_ns: 1, // hair trigger: first window enters GPM
+        exit_threshold_ns: 0,  // never exits
+        window_ops: 16,
+    };
+    let db = ChameleonDb::create(Arc::clone(&dev), cfg).unwrap();
+    (dev, db)
+}
+
+/// Force GPM, fill the ABI, and verify the dump path: the ABI is persisted
+/// unmerged and remains searchable; data stays correct throughout.
+#[test]
+fn gpm_dumps_abi_instead_of_merging() {
+    let (_dev, db) = gpm_store(1);
+    let mut ctx = ThreadCtx::with_default_cost();
+    // Trip the GPM monitor with a burst of gets.
+    for k in 0..64u64 {
+        db.put(&mut ctx, k, b"warm").unwrap();
+    }
+    let mut out = Vec::new();
+    for _ in 0..64 {
+        db.get(&mut ctx, 1, &mut out).unwrap();
+    }
+    assert_eq!(db.mode(), Mode::GetProtect, "hair-trigger GPM must engage");
+
+    // In GPM, MemTables merge into the ABI; pushing enough distinct keys
+    // fills it (tiny config: ~4096-slot ABIs) and forces a dump.
+    let n = 80_000u64;
+    for k in 0..n {
+        db.put(&mut ctx, k, &k.to_le_bytes()).unwrap();
+    }
+    let m = db.metrics();
+    assert!(m.abi_dumps > 0, "expected ABI dumps, got {m:?}");
+    assert_eq!(m.flushes, 0, "GPM must suspend MemTable flushes");
+    // Every key remains readable (some now live in dumped tables).
+    for k in (0..n).step_by(97) {
+        assert!(db.get(&mut ctx, k, &mut out).unwrap(), "key {k} missing");
+        assert_eq!(out, k.to_le_bytes());
+    }
+    assert!(m.dumped_hits + db.metrics().dumped_hits > 0 || db.metrics().last_hits > 0);
+}
+
+/// Once the dump budget is exhausted, a full ABI falls back to last-level
+/// compaction even inside GPM.
+#[test]
+fn gpm_dump_budget_falls_back_to_compaction() {
+    let (_dev, db) = gpm_store(1);
+    let mut ctx = ThreadCtx::with_default_cost();
+    let mut out = Vec::new();
+    for _ in 0..64 {
+        db.get(&mut ctx, 1, &mut out).unwrap();
+    }
+    for k in 0..200_000u64 {
+        db.put(&mut ctx, k, &k.to_le_bytes()).unwrap();
+    }
+    let m = db.metrics();
+    assert!(m.abi_dumps >= 1);
+    assert!(
+        m.last_compactions > 0,
+        "budget exhausted: last-level compactions must run, got {m:?}"
+    );
+    for k in (0..200_000u64).step_by(997) {
+        assert!(db.get(&mut ctx, k, &mut out).unwrap(), "key {k} missing");
+    }
+}
+
+/// Dumped ABI tables survive a crash and are merged back into the last
+/// level once the store leaves GPM and resumes flushing.
+#[test]
+fn dumped_tables_survive_crash_and_merge_back() {
+    let dev = PmemDevice::optane(1 << 30);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = LogConfig {
+        capacity: 256 << 20,
+        ..LogConfig::default()
+    };
+    cfg.gpm = GpmConfig {
+        enabled: true,
+        enter_threshold_ns: 1,
+        exit_threshold_ns: 0,
+        window_ops: 16,
+    };
+    let db = ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let mut out = Vec::new();
+    for _ in 0..64 {
+        db.get(&mut ctx, 1, &mut out).unwrap();
+    }
+    for k in 0..80_000u64 {
+        db.put(&mut ctx, k, &k.to_le_bytes()).unwrap();
+    }
+    let dumps = db.metrics().abi_dumps;
+    assert!(dumps > 0);
+    db.sync(&mut ctx).unwrap();
+    drop(db);
+    dev.crash();
+
+    // Recover with GPM disabled: normal operation resumes, and the next
+    // flushes fold the dumped tables into the last level.
+    let mut cfg2 = cfg.clone();
+    cfg2.gpm = GpmConfig::default();
+    let db = ChameleonDb::recover(Arc::clone(&dev), cfg2, &mut ctx).unwrap();
+    for k in (0..80_000u64).step_by(71) {
+        assert!(
+            db.get(&mut ctx, k, &mut out).unwrap(),
+            "key {k} lost across crash"
+        );
+        assert_eq!(out, k.to_le_bytes());
+    }
+    // Drive more puts so every shard flushes at least once, absorbing dumps.
+    for k in 80_000..160_000u64 {
+        db.put(&mut ctx, k, &k.to_le_bytes()).unwrap();
+    }
+    for k in (0..160_000u64).step_by(311) {
+        assert!(
+            db.get(&mut ctx, k, &mut out).unwrap(),
+            "key {k} lost after merge-back"
+        );
+    }
+}
+
+/// Write-Intensive Mode can be toggled repeatedly at runtime without
+/// losing data, and the store keeps serving both modes' structures.
+#[test]
+fn repeated_mode_toggling_is_safe() {
+    let dev = PmemDevice::optane(1 << 30);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = LogConfig {
+        capacity: 256 << 20,
+        ..LogConfig::default()
+    };
+    let db = ChameleonDb::create(dev, cfg).unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let mut out = Vec::new();
+    let mut next = 0u64;
+    for round in 0..6 {
+        db.set_mode(if round % 2 == 0 {
+            Mode::WriteIntensive
+        } else {
+            Mode::Normal
+        });
+        for _ in 0..20_000 {
+            db.put(&mut ctx, next, &next.to_le_bytes()).unwrap();
+            next += 1;
+        }
+        for k in (0..next).step_by(503) {
+            assert!(
+                db.get(&mut ctx, k, &mut out).unwrap(),
+                "round {round}: key {k}"
+            );
+        }
+    }
+    assert!(db.metrics().wim_merges > 0);
+    assert!(db.metrics().flushes > 0);
+}

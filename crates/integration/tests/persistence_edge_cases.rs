@@ -1,0 +1,207 @@
+//! Edge cases in the persistence stack: extent boundaries, manifest churn,
+//! allocator reuse across recovery, and value-size extremes.
+
+use std::sync::Arc;
+
+use chameleondb::{ChameleonConfig, ChameleonDb, Manifest, ManifestRecord, Superblock};
+use kvapi::KvStore;
+use kvlog::{LogConfig, StorageLog, ENTRY_HEADER, EXTENT};
+use pmem_sim::{PRegion, PmemDevice, ThreadCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Entries sized to land exactly on and around extent boundaries must
+/// never straddle one, and all survive a crash.
+#[test]
+fn log_extent_boundary_entries() {
+    let dev = PmemDevice::optane(256 << 20);
+    let log = StorageLog::create(
+        Arc::clone(&dev),
+        LogConfig {
+            capacity: 64 << 20,
+            ..LogConfig::default()
+        },
+    )
+    .unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let mut w = log.writer();
+    // Value sized so ~3.9 entries fit per extent: every 4th append crosses.
+    let vlen = (EXTENT / 4) as usize - ENTRY_HEADER - 7;
+    let value = vec![0x5Au8; vlen];
+    let mut metas = Vec::new();
+    for k in 0..20u64 {
+        metas.push(w.append(&mut ctx, k, &value, false).unwrap());
+    }
+    w.flush(&mut ctx).unwrap();
+    for m in &metas {
+        let rel = m.off - log.region().off;
+        let end = rel + (ENTRY_HEADER + vlen) as u64;
+        assert_eq!(
+            rel / EXTENT,
+            (end - 1) / EXTENT,
+            "entry straddles an extent"
+        );
+    }
+    dev.crash();
+    let mut seen = 0;
+    log.scan(&mut ctx, |_| seen += 1).unwrap();
+    assert_eq!(seen, 20);
+}
+
+/// Maximum-size and empty values round-trip through a full store.
+#[test]
+fn value_size_extremes_through_store() {
+    let dev = PmemDevice::optane(1 << 30);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = LogConfig {
+        capacity: 256 << 20,
+        max_value: 200 << 10,
+        ..LogConfig::default()
+    };
+    let db = ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let big = vec![0xEEu8; 200 << 10];
+    db.put(&mut ctx, 1, &big).unwrap();
+    db.put(&mut ctx, 2, b"").unwrap();
+    // Over-limit is rejected cleanly.
+    assert!(db.put(&mut ctx, 3, &vec![0u8; (200 << 10) + 1]).is_err());
+    db.sync(&mut ctx).unwrap();
+    drop(db);
+    dev.crash();
+    let db = ChameleonDb::recover(Arc::clone(&dev), cfg, &mut ctx).unwrap();
+    let mut out = Vec::new();
+    assert!(db.get(&mut ctx, 1, &mut out).unwrap());
+    assert_eq!(out, big);
+    assert!(db.get(&mut ctx, 2, &mut out).unwrap());
+    assert!(out.is_empty());
+    assert!(!db.get(&mut ctx, 3, &mut out).unwrap());
+}
+
+/// Randomized manifest churn with periodic crashes: the replayed live set
+/// must always equal the model.
+#[test]
+fn manifest_random_churn_replays_exactly() {
+    let dev = PmemDevice::optane(64 << 20);
+    let sb_off = dev.alloc(256).unwrap();
+    let regions = [
+        dev.alloc_region(16 << 10).unwrap(), // 512 records per region
+        dev.alloc_region(16 << 10).unwrap(),
+    ];
+    let mut ctx = ThreadCtx::with_default_cost();
+    let sb = Superblock {
+        epoch: 0,
+        active: 0,
+        log_region: PRegion { off: 0, len: 0 },
+        manifest: regions,
+        blob: [0u8; 128],
+    };
+    sb.write(&dev, &mut ctx, sb_off);
+    let mut manifest = Manifest::create(Arc::clone(&dev), sb_off, regions);
+    let mut model: std::collections::BTreeMap<u64, ManifestRecord> = Default::default();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut next_off = 1u64;
+    for round in 0..400 {
+        if rng.gen_bool(0.7) || model.is_empty() {
+            let rec = ManifestRecord::Add {
+                shard: rng.gen_range(0..8),
+                level: rng.gen_range(0..4),
+                table_seq: round,
+                region: PRegion {
+                    off: next_off * 4096,
+                    len: 4096,
+                },
+            };
+            model.insert(next_off * 4096, rec);
+            next_off += 1;
+            let live: Vec<ManifestRecord> = model.values().copied().collect();
+            manifest.append(&mut ctx, &[rec], move || live).unwrap();
+        } else {
+            let off = *model.keys().nth(rng.gen_range(0..model.len())).unwrap();
+            model.remove(&off);
+            let live: Vec<ManifestRecord> = model.values().copied().collect();
+            manifest
+                .append(&mut ctx, &[ManifestRecord::Del { off }], move || live)
+                .unwrap();
+        }
+        if round % 67 == 0 {
+            dev.crash();
+            let sb = Superblock::read(&dev, &mut ctx, sb_off).unwrap();
+            let (m2, live) = Manifest::open(Arc::clone(&dev), &mut ctx, sb_off, &sb).unwrap();
+            let mut got: Vec<u64> = live
+                .iter()
+                .map(|r| match r {
+                    ManifestRecord::Add { region, .. } => region.off,
+                    _ => panic!("live set contains delete"),
+                })
+                .collect();
+            got.sort_unstable();
+            let want: Vec<u64> = model.keys().copied().collect();
+            assert_eq!(got, want, "round {round}: live set diverged");
+            manifest = m2;
+        }
+    }
+}
+
+/// Pmem space is reclaimed: steady-state overwrites must not grow the
+/// device allocation unboundedly (tables are freed after compactions).
+#[test]
+fn compactions_recycle_pmem_space() {
+    let dev = PmemDevice::optane(1 << 30);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = LogConfig {
+        capacity: 512 << 20,
+        ..LogConfig::default()
+    };
+    let db = ChameleonDb::create(Arc::clone(&dev), cfg).unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    // Overwrite the same keys repeatedly: the index size is bounded, so
+    // allocated table space must stabilise even as the log grows linearly.
+    for k in 0..30_000u64 {
+        db.put(&mut ctx, k, &k.to_le_bytes()).unwrap();
+    }
+    let after_first = dev.allocated_bytes();
+    for _ in 0..4 {
+        for k in 0..30_000u64 {
+            db.put(&mut ctx, k, &k.to_le_bytes()).unwrap();
+        }
+    }
+    let after_fifth = dev.allocated_bytes();
+    // The log grows by ~4x30k x 32B = ~3.8MB; table space must not balloon
+    // beyond that plus transient slack.
+    let growth = after_fifth - after_first;
+    assert!(
+        growth < 16 << 20,
+        "allocation grew {growth} bytes across steady-state overwrites"
+    );
+}
+
+/// A recovered store's allocator must not hand out regions overlapping
+/// recovered tables (regression guard for `reset_allocator`).
+#[test]
+fn recovered_allocator_does_not_clobber_tables() {
+    let dev = PmemDevice::optane(1 << 30);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = LogConfig {
+        capacity: 128 << 20,
+        ..LogConfig::default()
+    };
+    let db = ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    for k in 0..20_000u64 {
+        db.put(&mut ctx, k, &k.to_le_bytes()).unwrap();
+    }
+    db.sync(&mut ctx).unwrap();
+    drop(db);
+    dev.crash();
+    let db = ChameleonDb::recover(Arc::clone(&dev), cfg, &mut ctx).unwrap();
+    // Heavy post-recovery writing allocates many new tables; if the
+    // allocator overlapped old ones, reads below would return garbage.
+    for k in 20_000..60_000u64 {
+        db.put(&mut ctx, k, &k.to_le_bytes()).unwrap();
+    }
+    let mut out = Vec::new();
+    for k in (0..60_000u64).step_by(331) {
+        assert!(db.get(&mut ctx, k, &mut out).unwrap(), "key {k} clobbered");
+        assert_eq!(out, k.to_le_bytes());
+    }
+}

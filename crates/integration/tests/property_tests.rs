@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! whole store.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use chameleondb::{ChameleonConfig, ChameleonDb};
+use kvapi::{hash64, KvStore};
+use kvlog::{pack_loc, unpack_loc, LogConfig, StorageLog};
+use kvtables::{DramTable, RobinHoodMap, Slot, TableBuilder};
+use pmem_sim::{Histogram, PmemDevice, ThreadCtx};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// loc packing is lossless for every offset/hint within range.
+    #[test]
+    fn loc_roundtrip(off in 0u64..(1 << 46), vlen in 0usize..(1 << 17)) {
+        let (o, h) = unpack_loc(pack_loc(off, vlen));
+        prop_assert_eq!(o, off);
+        prop_assert_eq!(h, vlen);
+    }
+
+    /// The tombstone bit never collides with packed locations.
+    #[test]
+    fn loc_never_sets_bit63(off in 0u64..(1 << 46), vlen in 0usize..(1 << 20)) {
+        prop_assert_eq!(pack_loc(off, vlen) >> 63, 0);
+    }
+
+    /// Slot encoding is a bijection.
+    #[test]
+    fn slot_roundtrip(hash: u64, loc in 1u64..u64::MAX) {
+        let s = Slot { hash, loc };
+        prop_assert_eq!(Slot::decode(&s.encode()), s);
+    }
+
+    /// DramTable behaves like a map under arbitrary insert sequences.
+    #[test]
+    fn dram_table_is_a_map(ops in proptest::collection::vec((0u64..200, 1u64..1000), 1..300)) {
+        let mut table = DramTable::new(512);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut ctx = ThreadCtx::with_default_cost();
+        for (key, loc) in ops {
+            let h = hash64(key);
+            let old = table.insert(&mut ctx, Slot::new(h, loc)).unwrap();
+            prop_assert_eq!(old, model.insert(h, loc));
+        }
+        for (h, loc) in &model {
+            prop_assert_eq!(table.get(&mut ctx, *h).map(|s| s.loc), Some(*loc));
+        }
+        prop_assert_eq!(table.len(), model.len());
+    }
+
+    /// RobinHoodMap matches a HashMap under mixed insert/remove.
+    #[test]
+    fn robinhood_is_a_map(
+        ops in proptest::collection::vec((0u64..150, proptest::bool::ANY), 1..400)
+    ) {
+        let mut map = RobinHoodMap::new(8);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut ctx = ThreadCtx::with_default_cost();
+        for (i, (key, remove)) in ops.into_iter().enumerate() {
+            let h = hash64(key);
+            if remove {
+                prop_assert_eq!(map.remove(&mut ctx, h), model.remove(&h));
+            } else {
+                let loc = i as u64 + 1;
+                prop_assert_eq!(map.insert(&mut ctx, h, loc), model.insert(h, loc));
+            }
+        }
+        for (h, loc) in &model {
+            prop_assert_eq!(map.get(&mut ctx, *h), Some(*loc));
+        }
+        prop_assert_eq!(map.len(), model.len());
+    }
+
+    /// A built table returns exactly the newest staged version per hash.
+    #[test]
+    fn table_builder_newest_wins(keys in proptest::collection::vec(0u64..100, 1..200)) {
+        let dev = PmemDevice::optane(8 << 20);
+        let mut ctx = ThreadCtx::with_default_cost();
+        let mut b = TableBuilder::sized_for(keys.len(), 0.7);
+        let mut first_loc: HashMap<u64, u64> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let h = hash64(*key);
+            let loc = i as u64 + 1;
+            let inserted = b.insert(&mut ctx, Slot::new(h, loc), false).unwrap();
+            prop_assert_eq!(inserted, !first_loc.contains_key(&h));
+            first_loc.entry(h).or_insert(loc);
+        }
+        let t = b.build(&dev, &mut ctx, 0, 0, 1).unwrap();
+        for (h, loc) in &first_loc {
+            prop_assert_eq!(t.get(&dev, &mut ctx, *h).map(|s| s.loc), Some(*loc));
+        }
+    }
+
+    /// Histogram quantiles are monotone and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_monotone(values in proptest::collection::vec(1u64..10_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let quantiles = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let mut prev = 0;
+        for &q in &quantiles {
+            let x = h.quantile(q);
+            prop_assert!(x >= prev, "quantile({q}) = {x} < previous {prev}");
+            prev = x;
+        }
+        prop_assert_eq!(h.quantile(1.0), *values.iter().max().unwrap());
+        prop_assert!(h.quantile(0.0) >= h.min());
+    }
+
+    /// The log returns exactly what was appended, in scan order per writer.
+    #[test]
+    fn log_scan_returns_appends(
+        values in proptest::collection::vec(proptest::collection::vec(0u8..255, 0..100), 1..50)
+    ) {
+        let dev = PmemDevice::optane(64 << 20);
+        let log = StorageLog::create(dev, LogConfig {
+            capacity: 16 << 20,
+            ..LogConfig::default()
+        }).unwrap();
+        let mut ctx = ThreadCtx::with_default_cost();
+        let mut w = log.writer();
+        let mut locs = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            let meta = w.append(&mut ctx, i as u64, v, false).unwrap();
+            locs.push(meta.loc());
+        }
+        w.flush(&mut ctx).unwrap();
+        let mut out = Vec::new();
+        for (i, (v, loc)) in values.iter().zip(&locs).enumerate() {
+            let meta = log.read_entry(&mut ctx, *loc, &mut out).unwrap();
+            prop_assert_eq!(meta.key, i as u64);
+            prop_assert_eq!(&out, v);
+        }
+        let mut seen = 0;
+        log.scan(&mut ctx, |_| seen += 1).unwrap();
+        prop_assert_eq!(seen, values.len());
+    }
+}
+
+proptest! {
+    // The whole-store property is expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// ChameleonDB equals a HashMap under arbitrary op sequences, including
+    /// a crash/recover in the middle.
+    #[test]
+    fn chameleondb_model_with_crash(
+        ops in proptest::collection::vec((0u64..500, 0u8..10), 200..800),
+        crash_at in 100usize..200
+    ) {
+        let dev = PmemDevice::optane(512 << 20);
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.log = LogConfig { capacity: 64 << 20, ..LogConfig::default() };
+        let mut db = ChameleonDb::create(Arc::clone(&dev), cfg).unwrap();
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut ctx = ThreadCtx::with_default_cost();
+        let mut out = Vec::new();
+        for (i, (key, op)) in ops.iter().enumerate() {
+            if i == crash_at {
+                db.sync(&mut ctx).unwrap();
+                kvapi::CrashRecover::crash_and_recover(&mut db, &mut ctx).unwrap();
+            }
+            match op {
+                0..=6 => {
+                    let v = (key * 31 + i as u64).to_le_bytes().to_vec();
+                    db.put(&mut ctx, *key, &v).unwrap();
+                    model.insert(*key, v);
+                }
+                7 => {
+                    let expected = model.remove(key).is_some();
+                    prop_assert_eq!(db.delete(&mut ctx, *key).unwrap(), expected);
+                }
+                _ => {
+                    let got = db.get(&mut ctx, *key, &mut out).unwrap();
+                    prop_assert_eq!(got, model.contains_key(key));
+                    if got {
+                        prop_assert_eq!(&out, model.get(key).unwrap());
+                    }
+                }
+            }
+        }
+        for (k, v) in &model {
+            prop_assert!(db.get(&mut ctx, *k, &mut out).unwrap());
+            prop_assert_eq!(&out, v);
+        }
+    }
+}

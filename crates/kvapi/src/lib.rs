@@ -1,0 +1,117 @@
+//! Common API shared by ChameleonDB and the baseline stores.
+//!
+//! Every store in this workspace implements [`KvStore`] over a simulated
+//! persistent-memory device, so the evaluation harnesses can drive them
+//! interchangeably — the stores differ only in *where the index lives and
+//! how it is organized*, exactly as in §3.2 of the paper.
+
+use pmem_sim::{PmemError, ThreadCtx};
+
+pub mod hash;
+
+pub use hash::{bloom_hash, hash64, mix64};
+
+/// Errors surfaced by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The backing device ran out of space.
+    Pmem(PmemError),
+    /// A persistent structure failed validation during recovery.
+    Corrupt(&'static str),
+    /// A fixed-capacity structure (e.g. a full table that cannot be
+    /// compacted further) could not admit the item.
+    Full(&'static str),
+    /// The value is larger than the store's configured maximum.
+    ValueTooLarge { len: usize, max: usize },
+}
+
+impl From<PmemError> for KvError {
+    fn from(e: PmemError) -> Self {
+        KvError::Pmem(e)
+    }
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Pmem(e) => write!(f, "device error: {e}"),
+            KvError::Corrupt(what) => write!(f, "corrupt persistent state: {what}"),
+            KvError::Full(what) => write!(f, "structure full: {what}"),
+            KvError::ValueTooLarge { len, max } => {
+                write!(f, "value of {len} bytes exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Convenience alias for store results.
+pub type Result<T> = std::result::Result<T, KvError>;
+
+/// A key-value store over simulated persistent memory.
+///
+/// Keys are 8 bytes (the paper's key size); all stores place items by the
+/// key's 64-bit hash and do not support range scans (the paper excludes
+/// YCSB-E for the same reason). Values are opaque bytes stored in a
+/// persistent log.
+///
+/// Implementations are internally synchronized: `&self` methods may be
+/// called from many threads, each passing its own [`ThreadCtx`].
+pub trait KvStore: Send + Sync {
+    /// Short name used in harness output (e.g. `"chameleondb"`).
+    fn name(&self) -> &'static str;
+
+    /// Inserts or updates `key`.
+    fn put(&self, ctx: &mut ThreadCtx, key: u64, value: &[u8]) -> Result<()>;
+
+    /// Looks up `key`; appends the value into `out` and returns `true` if
+    /// present. `out` is cleared first.
+    fn get(&self, ctx: &mut ThreadCtx, key: u64, out: &mut Vec<u8>) -> Result<bool>;
+
+    /// Removes `key`; returns `true` if it was present.
+    fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Result<bool>;
+
+    /// Forces volatile write buffers (e.g. log batch buffers) to media so
+    /// that everything previously accepted is crash-recoverable.
+    fn sync(&self, ctx: &mut ThreadCtx) -> Result<()>;
+
+    /// Bytes of DRAM currently used by volatile structures (index tables,
+    /// MemTables, filters, caches) — the "DRAM footprint" column of Table 4.
+    fn dram_footprint(&self) -> u64;
+
+    /// Approximate number of live items.
+    fn approx_len(&self) -> u64;
+}
+
+/// Crash-recovery support (the "restart time" column of Table 4).
+pub trait CrashRecover {
+    /// Simulates a power failure (dropping all volatile state and every
+    /// un-fenced line on the device) and then rebuilds the store from the
+    /// durable media alone. On return the store serves requests again; the
+    /// simulated time the rebuild consumed is charged to `ctx`.
+    fn crash_and_recover(&mut self, ctx: &mut ThreadCtx) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = KvError::ValueTooLarge { len: 10, max: 4 };
+        assert!(e.to_string().contains("10"));
+        let e = KvError::Corrupt("manifest magic");
+        assert!(e.to_string().contains("manifest magic"));
+    }
+
+    #[test]
+    fn pmem_error_converts() {
+        let p = PmemError::OutOfMemory {
+            requested: 1,
+            available: 0,
+        };
+        let k: KvError = p.into();
+        assert!(matches!(k, KvError::Pmem(_)));
+    }
+}

@@ -1,0 +1,313 @@
+//! The mutable in-DRAM linear-probing table (MemTable / ABI).
+
+use kvapi::{KvError, Result};
+use pmem_sim::ThreadCtx;
+
+use crate::slot::Slot;
+
+/// A fixed-capacity, linear-probing hash table of [`Slot`]s in DRAM.
+///
+/// ChameleonDB uses this structure twice (§2.2, §2.5): as the per-shard
+/// MemTable that aggregates recent puts, and as the per-shard Auxiliary
+/// Bypass Index over all upper-level items. Capacity is fixed at creation —
+/// the paper deliberately avoids extendable hashing here because rehashing
+/// is what it is trying to keep off the put path.
+///
+/// Updates to an existing hash overwrite in place (latest wins). Deletes
+/// are recorded as tombstone slots, not removals, so flushed tables shadow
+/// older levels correctly.
+#[derive(Debug, Clone)]
+pub struct DramTable {
+    slots: Vec<Slot>,
+    mask: u64,
+    len: usize,
+    /// Highest log sequence number inserted (for recovery checkpoints).
+    max_seq: u64,
+    /// Whether the table is small enough to live in the CPU cache (KB-scale
+    /// MemTables): probes then cost an L1/L2 hit, not a DRAM miss.
+    resident: bool,
+}
+
+impl DramTable {
+    /// Creates a table with capacity for `num_slots` entries, rounded up to
+    /// a power of two (min 8). Probes are charged as DRAM misses (use
+    /// [`new_resident`](Self::new_resident) for KB-scale hot tables).
+    pub fn new(num_slots: usize) -> Self {
+        let n = num_slots.next_power_of_two().max(8);
+        Self {
+            slots: vec![Slot::EMPTY; n],
+            mask: (n - 1) as u64,
+            len: 0,
+            max_seq: 0,
+            resident: false,
+        }
+    }
+
+    /// Creates a cache-resident table (e.g. an 8KB MemTable): probes charge
+    /// an L1/L2 hit instead of a DRAM miss.
+    pub fn new_resident(num_slots: usize) -> Self {
+        Self {
+            resident: true,
+            ..Self::new(num_slots)
+        }
+    }
+
+    #[inline]
+    fn first_probe_ns(&self, ctx: &ThreadCtx) -> u64 {
+        if self.resident {
+            ctx.cost.dram_l2_ns
+        } else {
+            ctx.cost.dram_random_ns
+        }
+    }
+
+    /// Number of occupied slots (live + tombstone entries).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slots are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current load factor in `[0, 1]`.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.slots.len() as f64
+    }
+
+    /// Whether the load factor has reached `threshold` (the flush trigger).
+    pub fn is_full(&self, threshold: f64) -> bool {
+        self.load_factor() >= threshold
+    }
+
+    /// DRAM bytes occupied by the slot array.
+    pub fn dram_bytes(&self) -> u64 {
+        (self.slots.len() * crate::slot::SLOT_BYTES) as u64
+    }
+
+    /// Highest log sequence number ever inserted.
+    pub fn max_seq(&self) -> u64 {
+        self.max_seq
+    }
+
+    /// Records the log sequence number of an inserted entry.
+    pub fn note_seq(&mut self, seq: u64) {
+        self.max_seq = self.max_seq.max(seq);
+    }
+
+    /// Inserts or overwrites the slot for `slot.hash`.
+    ///
+    /// Returns the previous location word if the hash was present (callers
+    /// use it for dead-byte accounting). Fails with [`KvError::Full`] only
+    /// if every slot is occupied — callers are expected to flush at their
+    /// load-factor threshold long before that.
+    pub fn insert(&mut self, ctx: &mut ThreadCtx, slot: Slot) -> Result<Option<u64>> {
+        debug_assert!(!slot.is_empty());
+        self.insert_charged(ctx, slot, self.first_probe_ns(ctx))
+    }
+
+    /// Bulk insert used by flush/compaction paths: the table is streamed
+    /// through the cache, so the first probe costs an L1/L2 hit even for
+    /// tables that are cold on the get path.
+    pub fn insert_bulk(&mut self, ctx: &mut ThreadCtx, slot: Slot) -> Result<Option<u64>> {
+        self.insert_charged(ctx, slot, ctx.cost.dram_l2_ns)
+    }
+
+    fn insert_charged(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        slot: Slot,
+        first_probe_ns: u64,
+    ) -> Result<Option<u64>> {
+        debug_assert!(!slot.is_empty());
+        let mut idx = (slot.hash & self.mask) as usize;
+        ctx.charge(first_probe_ns);
+        for probe in 0..self.slots.len() {
+            if probe > 0 {
+                ctx.charge(ctx.cost.key_cmp_ns + ctx.cost.dram_seq_line_ns);
+            }
+            let cur = self.slots[idx];
+            if cur.is_empty() {
+                self.slots[idx] = slot;
+                self.len += 1;
+                return Ok(None);
+            }
+            if cur.hash == slot.hash {
+                self.slots[idx] = slot;
+                return Ok(Some(cur.loc));
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+        Err(KvError::Full("dram table"))
+    }
+
+    /// Inserts `slot` only if its hash is absent; returns whether it was
+    /// inserted. Used when rebuilding an index newest-entry-first (e.g.
+    /// ChameleonDB's ABI rebuild after restart).
+    pub fn insert_if_absent(&mut self, ctx: &mut ThreadCtx, slot: Slot) -> Result<bool> {
+        debug_assert!(!slot.is_empty());
+        let mut idx = (slot.hash & self.mask) as usize;
+        ctx.charge(ctx.cost.dram_l2_ns);
+        for probe in 0..self.slots.len() {
+            if probe > 0 {
+                ctx.charge(ctx.cost.key_cmp_ns + ctx.cost.dram_seq_line_ns);
+            }
+            let cur = self.slots[idx];
+            if cur.is_empty() {
+                self.slots[idx] = slot;
+                self.len += 1;
+                return Ok(true);
+            }
+            if cur.hash == slot.hash {
+                return Ok(false);
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+        Err(KvError::Full("dram table"))
+    }
+
+    /// Looks up `hash`, returning the slot if present (tombstones included —
+    /// a tombstone hit means "definitely deleted, stop searching").
+    pub fn get(&self, ctx: &mut ThreadCtx, hash: u64) -> Option<Slot> {
+        let mut idx = (hash & self.mask) as usize;
+        ctx.charge(self.first_probe_ns(ctx));
+        for probe in 0..self.slots.len() {
+            if probe > 0 {
+                ctx.charge(ctx.cost.key_cmp_ns + ctx.cost.dram_seq_line_ns);
+            }
+            let cur = self.slots[idx];
+            if cur.is_empty() {
+                return None;
+            }
+            if cur.hash == hash {
+                return Some(cur);
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+        None
+    }
+
+    /// Iterates over occupied slots in probe order.
+    pub fn iter(&self) -> impl Iterator<Item = Slot> + '_ {
+        self.slots.iter().copied().filter(|s| !s.is_empty())
+    }
+
+    /// Removes every entry, keeping the allocation (ABI clear after a
+    /// last-level compaction, §2.2).
+    pub fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = Slot::EMPTY);
+        self.len = 0;
+        self.max_seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::hash64;
+
+    fn ctx() -> ThreadCtx {
+        ThreadCtx::with_default_cost()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = DramTable::new(64);
+        let mut c = ctx();
+        for k in 1..=40u64 {
+            t.insert(&mut c, Slot::new(hash64(k), k * 100)).unwrap();
+        }
+        assert_eq!(t.len(), 40);
+        for k in 1..=40u64 {
+            let s = t.get(&mut c, hash64(k)).expect("present");
+            assert_eq!(s.loc, k * 100);
+        }
+        assert!(t.get(&mut c, hash64(999)).is_none());
+    }
+
+    #[test]
+    fn overwrite_returns_old_location() {
+        let mut t = DramTable::new(8);
+        let mut c = ctx();
+        let h = hash64(1);
+        assert_eq!(t.insert(&mut c, Slot::new(h, 10)).unwrap(), None);
+        assert_eq!(t.insert(&mut c, Slot::new(h, 20)).unwrap(), Some(10));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&mut c, h).unwrap().loc, 20);
+    }
+
+    #[test]
+    fn tombstone_is_returned_by_get() {
+        let mut t = DramTable::new(8);
+        let mut c = ctx();
+        let h = hash64(5);
+        t.insert(&mut c, Slot::new(h, 77)).unwrap();
+        t.insert(&mut c, Slot::tombstone(h, 88)).unwrap();
+        let s = t.get(&mut c, h).unwrap();
+        assert!(s.is_tombstone());
+        assert_eq!(s.location(), 88);
+    }
+
+    #[test]
+    fn full_table_errors_instead_of_spinning() {
+        let mut t = DramTable::new(8);
+        let mut c = ctx();
+        for k in 0..8u64 {
+            t.insert(&mut c, Slot::new(hash64(k), k + 1)).unwrap();
+        }
+        assert!(matches!(
+            t.insert(&mut c, Slot::new(hash64(100), 1)),
+            Err(KvError::Full(_))
+        ));
+    }
+
+    #[test]
+    fn load_factor_threshold() {
+        let mut t = DramTable::new(16);
+        let mut c = ctx();
+        for k in 0..12u64 {
+            t.insert(&mut c, Slot::new(hash64(k), k + 1)).unwrap();
+        }
+        assert!(t.is_full(0.75));
+        assert!(!t.is_full(0.8));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = DramTable::new(16);
+        let mut c = ctx();
+        t.insert(&mut c, Slot::new(hash64(1), 5)).unwrap();
+        t.note_seq(42);
+        t.clear();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.max_seq(), 0);
+        assert!(t.get(&mut c, hash64(1)).is_none());
+    }
+
+    #[test]
+    fn iter_yields_every_live_slot() {
+        let mut t = DramTable::new(64);
+        let mut c = ctx();
+        for k in 0..20u64 {
+            t.insert(&mut c, Slot::new(hash64(k), k + 1)).unwrap();
+        }
+        let mut locs: Vec<u64> = t.iter().map(|s| s.loc).collect();
+        locs.sort_unstable();
+        assert_eq!(locs, (1..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn probing_charges_time() {
+        let mut t = DramTable::new(8);
+        let mut c = ctx();
+        let before = c.clock.now();
+        t.insert(&mut c, Slot::new(hash64(1), 1)).unwrap();
+        assert!(c.clock.now() > before);
+    }
+}

@@ -1,0 +1,493 @@
+//! The immutable fixed-size hash table persisted as an LSM (sub-)level.
+
+use std::sync::Arc;
+
+use kvapi::{KvError, Result};
+use pmem_sim::{PRegion, PmemDevice, ThreadCtx};
+
+use crate::slot::{Slot, SLOT_BYTES};
+
+/// Size of the persisted, 256B-aligned table header.
+pub const TABLE_HEADER_BYTES: usize = 256;
+
+const MAGIC: u64 = 0x4348_414D_5F54_4231; // "CHAM_TB1"
+
+/// Decoded header of a persisted table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableHeader {
+    /// Slot capacity.
+    pub num_slots: u64,
+    /// Occupied slots (live + tombstones).
+    pub num_entries: u64,
+    /// Owning shard.
+    pub shard: u32,
+    /// LSM level the table was written into.
+    pub level: u32,
+    /// Per-shard monotonic table number — higher means newer, which is how
+    /// recovery re-establishes sub-level search order.
+    pub table_seq: u64,
+    /// Highest log sequence number contained (the MemTable-recovery
+    /// checkpoint of §2.1).
+    pub max_log_seq: u64,
+}
+
+impl TableHeader {
+    fn encode(&self) -> [u8; TABLE_HEADER_BYTES] {
+        let mut out = [0u8; TABLE_HEADER_BYTES];
+        out[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        out[8..16].copy_from_slice(&self.num_slots.to_le_bytes());
+        out[16..24].copy_from_slice(&self.num_entries.to_le_bytes());
+        out[24..28].copy_from_slice(&self.shard.to_le_bytes());
+        out[28..32].copy_from_slice(&self.level.to_le_bytes());
+        out[32..40].copy_from_slice(&self.table_seq.to_le_bytes());
+        out[40..48].copy_from_slice(&self.max_log_seq.to_le_bytes());
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self> {
+        let magic = u64::from_le_bytes(buf[0..8].try_into().expect("header bytes"));
+        if magic != MAGIC {
+            return Err(KvError::Corrupt("table magic"));
+        }
+        Ok(Self {
+            num_slots: u64::from_le_bytes(buf[8..16].try_into().expect("header bytes")),
+            num_entries: u64::from_le_bytes(buf[16..24].try_into().expect("header bytes")),
+            shard: u32::from_le_bytes(buf[24..28].try_into().expect("header bytes")),
+            level: u32::from_le_bytes(buf[28..32].try_into().expect("header bytes")),
+            table_seq: u64::from_le_bytes(buf[32..40].try_into().expect("header bytes")),
+            max_log_seq: u64::from_le_bytes(buf[40..48].try_into().expect("header bytes")),
+        })
+    }
+}
+
+/// An immutable linear-probing hash table on persistent memory.
+///
+/// Layout: one 256B header followed by `num_slots` 16-byte slots. Tables are
+/// built in DRAM by a [`TableBuilder`] and written with large sequential
+/// stores — the whole point of the paper's design is that index data reaches
+/// the Pmem only in this form, fully utilising the 256B write unit (§2.1).
+#[derive(Debug, Clone)]
+pub struct FixedHashTable {
+    region: PRegion,
+    header: TableHeader,
+}
+
+impl FixedHashTable {
+    /// Opens (and validates) a table previously persisted at `region`.
+    ///
+    /// Charges one random device read for the header — this is the cheap
+    /// part of recovery.
+    pub fn open(dev: &PmemDevice, ctx: &mut ThreadCtx, region: PRegion) -> Result<Self> {
+        let mut buf = [0u8; TABLE_HEADER_BYTES];
+        dev.read(ctx, region.off, &mut buf);
+        let header = TableHeader::decode(&buf)?;
+        let expect = TABLE_HEADER_BYTES as u64 + header.num_slots * SLOT_BYTES as u64;
+        if expect > region.len {
+            return Err(KvError::Corrupt("table region too small for header"));
+        }
+        Ok(Self { region, header })
+    }
+
+    /// The table's header metadata.
+    pub fn header(&self) -> &TableHeader {
+        &self.header
+    }
+
+    /// The persistent region backing this table.
+    pub fn region(&self) -> PRegion {
+        self.region
+    }
+
+    /// Occupied entries.
+    pub fn num_entries(&self) -> u64 {
+        self.header.num_entries
+    }
+
+    /// Total persistent bytes.
+    pub fn bytes(&self) -> u64 {
+        TABLE_HEADER_BYTES as u64 + self.header.num_slots * SLOT_BYTES as u64
+    }
+
+    /// Looks up `hash` by linear probing.
+    ///
+    /// Reads one 256B media block (16 slots) per device access: the first
+    /// access pays the device's random-read latency, continuation blocks
+    /// are charged bandwidth-only (XPBuffer locality), matching how a real
+    /// implementation scans adjacent cache lines.
+    pub fn get(&self, dev: &PmemDevice, ctx: &mut ThreadCtx, hash: u64) -> Option<Slot> {
+        let n = self.header.num_slots;
+        if n == 0 {
+            return None;
+        }
+        let slots_per_block = 256 / SLOT_BYTES; // 16
+        let start_idx = hash % n;
+        let base = self.region.off + TABLE_HEADER_BYTES as u64;
+        let mut block_buf = [0u8; 256];
+        let mut loaded_block = u64::MAX;
+        let mut first_read = true;
+        let mut idx = start_idx;
+        for probe in 0..n {
+            let block = (idx * SLOT_BYTES as u64) / 256;
+            if block != loaded_block {
+                let block_off = base + block * 256;
+                // The last block of a small table may be short; clamp.
+                let avail = ((n * SLOT_BYTES as u64) - block * 256).min(256) as usize;
+                if first_read {
+                    dev.read(ctx, block_off, &mut block_buf[..avail]);
+                    first_read = false;
+                } else {
+                    dev.read_adjacent(ctx, block_off, &mut block_buf[..avail]);
+                }
+                loaded_block = block;
+            }
+            let within = (idx as usize % slots_per_block) * SLOT_BYTES;
+            let slot = Slot::decode(&block_buf[within..within + SLOT_BYTES]);
+            ctx.charge(ctx.cost.key_cmp_ns);
+            if slot.is_empty() {
+                return None;
+            }
+            if slot.hash == hash {
+                return Some(slot);
+            }
+            idx = (idx + 1) % n;
+            let _ = probe;
+        }
+        None
+    }
+
+    /// Streams every occupied slot (sequential read of the whole table).
+    ///
+    /// Used by compactions that cannot be served from the ABI, by
+    /// Pmem-LSM-PinK to build its DRAM copies, and by ChameleonDB's
+    /// post-restart ABI rebuild.
+    pub fn iter_entries(&self, dev: &PmemDevice, ctx: &mut ThreadCtx) -> Vec<Slot> {
+        let total = (self.header.num_slots * SLOT_BYTES as u64) as usize;
+        let base = self.region.off + TABLE_HEADER_BYTES as u64;
+        let mut out = Vec::with_capacity(self.header.num_entries as usize);
+        let mut buf = vec![0u8; 64 << 10];
+        let mut pos = 0usize;
+        let mut first = true;
+        while pos < total {
+            let take = buf.len().min(total - pos);
+            if first {
+                dev.read(ctx, base + pos as u64, &mut buf[..take]);
+                first = false;
+            } else {
+                dev.read_seq(ctx, base + pos as u64, &mut buf[..take]);
+            }
+            for chunk in buf[..take].chunks_exact(SLOT_BYTES) {
+                let slot = Slot::decode(chunk);
+                if !slot.is_empty() {
+                    out.push(slot);
+                }
+            }
+            pos += take;
+        }
+        out
+    }
+
+    /// Frees the table's persistent region.
+    pub fn free(self, dev: &PmemDevice) {
+        dev.dealloc(self.region.off, self.region.len);
+    }
+}
+
+/// Builds an immutable table in DRAM, then persists it in one sequential
+/// sweep.
+///
+/// Insertion order is *newest first*: an insert whose hash is already
+/// staged is skipped, which is how compactions deduplicate overwritten
+/// keys. CPU work (staging probes) is charged to the builder's caller —
+/// this is the compaction CPU cost the paper discusses in §3.3.
+#[derive(Debug)]
+pub struct TableBuilder {
+    slots: Vec<Slot>,
+    num_slots: u64,
+    entries: u64,
+    max_log_seq: u64,
+}
+
+impl TableBuilder {
+    /// Creates a builder with exactly `num_slots` slots (callers size this
+    /// from entry count and load factor; it need not be a power of two).
+    pub fn new(num_slots: usize) -> Self {
+        Self {
+            slots: vec![Slot::EMPTY; num_slots.max(1)],
+            num_slots: num_slots.max(1) as u64,
+            entries: 0,
+            max_log_seq: 0,
+        }
+    }
+
+    /// Sizes a builder for `entries` items at `load_factor`, rounding the
+    /// byte size up to a whole 256B block.
+    pub fn sized_for(entries: usize, load_factor: f64) -> Self {
+        let raw = ((entries as f64 / load_factor).ceil() as usize).max(16);
+        let bytes = (raw * SLOT_BYTES).div_ceil(256) * 256;
+        Self::new(bytes / SLOT_BYTES)
+    }
+
+    /// Number of staged entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// Whether nothing has been staged.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> u64 {
+        self.num_slots
+    }
+
+    /// Records the highest log sequence number this table will cover.
+    pub fn note_seq(&mut self, seq: u64) {
+        self.max_log_seq = self.max_log_seq.max(seq);
+    }
+
+    /// Stages one slot. Returns `false` if the hash was already present
+    /// (the staged, newer version wins) or `Err` if the table is full.
+    ///
+    /// `drop_tombstone` should be true only when building the *last* level:
+    /// there is nothing older for the tombstone to shadow, so it can be
+    /// discarded (returns `Ok(false)`).
+    pub fn insert(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        slot: Slot,
+        drop_tombstone: bool,
+    ) -> Result<bool> {
+        debug_assert!(!slot.is_empty());
+        let mut idx = (slot.hash % self.num_slots) as usize;
+        // The image under construction streams through the cache.
+        ctx.charge(ctx.cost.dram_l2_ns);
+        for probe in 0..self.slots.len() {
+            if probe > 0 {
+                ctx.charge(ctx.cost.key_cmp_ns + ctx.cost.dram_seq_line_ns);
+            }
+            let cur = self.slots[idx];
+            if cur.is_empty() {
+                if slot.is_tombstone() && drop_tombstone {
+                    return Ok(false);
+                }
+                self.slots[idx] = slot;
+                self.entries += 1;
+                return Ok(true);
+            }
+            if cur.hash == slot.hash {
+                // Already staged by a newer source.
+                return Ok(false);
+            }
+            idx = (idx + 1) % self.slots.len();
+        }
+        Err(KvError::Full("table builder"))
+    }
+
+    /// Persists the staged table: header + slots, written sequentially with
+    /// non-temporal stores and a single trailing fence.
+    pub fn build(
+        self,
+        dev: &Arc<PmemDevice>,
+        ctx: &mut ThreadCtx,
+        shard: u32,
+        level: u32,
+        table_seq: u64,
+    ) -> Result<FixedHashTable> {
+        let header = TableHeader {
+            num_slots: self.num_slots,
+            num_entries: self.entries,
+            shard,
+            level,
+            table_seq,
+            max_log_seq: self.max_log_seq,
+        };
+        let bytes = TABLE_HEADER_BYTES as u64 + self.num_slots * SLOT_BYTES as u64;
+        let region = dev.alloc_region(bytes)?;
+        dev.write_nt(ctx, region.off, &header.encode());
+        // Stream the slot array in 16KB chunks to bound the copy buffer.
+        let base = region.off + TABLE_HEADER_BYTES as u64;
+        let mut chunk = Vec::with_capacity(16 << 10);
+        let mut written = 0u64;
+        for slot in &self.slots {
+            chunk.extend_from_slice(&slot.encode());
+            if chunk.len() >= 16 << 10 {
+                dev.write_nt(ctx, base + written, &chunk);
+                written += chunk.len() as u64;
+                chunk.clear();
+            }
+        }
+        if !chunk.is_empty() {
+            dev.write_nt(ctx, base + written, &chunk);
+        }
+        dev.fence(ctx);
+        Ok(FixedHashTable { region, header })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::hash64;
+
+    fn setup() -> (Arc<PmemDevice>, ThreadCtx) {
+        (PmemDevice::optane(16 << 20), ThreadCtx::with_default_cost())
+    }
+
+    fn build_with(
+        dev: &Arc<PmemDevice>,
+        ctx: &mut ThreadCtx,
+        keys: impl Iterator<Item = (u64, u64)>,
+        slots: usize,
+    ) -> FixedHashTable {
+        let mut b = TableBuilder::new(slots);
+        for (k, loc) in keys {
+            b.insert(ctx, Slot::new(hash64(k), loc), false).unwrap();
+        }
+        b.build(dev, ctx, 0, 0, 1).unwrap()
+    }
+
+    #[test]
+    fn build_then_get_all_keys() {
+        let (dev, mut ctx) = setup();
+        let t = build_with(&dev, &mut ctx, (1..=100u64).map(|k| (k, k * 7)), 160);
+        for k in 1..=100u64 {
+            let s = t.get(&dev, &mut ctx, hash64(k)).expect("present");
+            assert_eq!(s.loc, k * 7);
+        }
+        assert!(t.get(&dev, &mut ctx, hash64(5000)).is_none());
+        assert_eq!(t.num_entries(), 100);
+    }
+
+    #[test]
+    fn newest_first_dedup() {
+        let (dev, mut ctx) = setup();
+        let mut b = TableBuilder::new(32);
+        let h = hash64(9);
+        assert!(b.insert(&mut ctx, Slot::new(h, 111), false).unwrap());
+        assert!(!b.insert(&mut ctx, Slot::new(h, 222), false).unwrap());
+        let t = b.build(&dev, &mut ctx, 0, 0, 1).unwrap();
+        assert_eq!(t.get(&dev, &mut ctx, h).unwrap().loc, 111);
+    }
+
+    #[test]
+    fn tombstones_dropped_only_when_requested() {
+        let (_dev, mut ctx) = setup();
+        let h = hash64(3);
+        let mut keep = TableBuilder::new(16);
+        assert!(keep.insert(&mut ctx, Slot::tombstone(h, 5), false).unwrap());
+        assert_eq!(keep.len(), 1);
+        let mut drop_b = TableBuilder::new(16);
+        assert!(!drop_b
+            .insert(&mut ctx, Slot::tombstone(h, 5), true)
+            .unwrap());
+        assert_eq!(drop_b.len(), 0);
+    }
+
+    #[test]
+    fn open_validates_and_roundtrips_header() {
+        let (dev, mut ctx) = setup();
+        let t = build_with(&dev, &mut ctx, (1..=10u64).map(|k| (k, k)), 32);
+        let reopened = FixedHashTable::open(&dev, &mut ctx, t.region()).unwrap();
+        assert_eq!(reopened.header(), t.header());
+        // Garbage region fails validation.
+        let junk = dev.alloc_region(1024).unwrap();
+        assert!(matches!(
+            FixedHashTable::open(&dev, &mut ctx, junk),
+            Err(KvError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn table_survives_crash() {
+        let (dev, mut ctx) = setup();
+        let t = build_with(&dev, &mut ctx, (1..=50u64).map(|k| (k, k + 1)), 128);
+        dev.crash();
+        let reopened = FixedHashTable::open(&dev, &mut ctx, t.region()).unwrap();
+        for k in 1..=50u64 {
+            assert_eq!(reopened.get(&dev, &mut ctx, hash64(k)).unwrap().loc, k + 1);
+        }
+    }
+
+    #[test]
+    fn iter_entries_returns_every_slot() {
+        let (dev, mut ctx) = setup();
+        let t = build_with(&dev, &mut ctx, (1..=64u64).map(|k| (k, k * 2)), 128);
+        let mut locs: Vec<u64> = t
+            .iter_entries(&dev, &mut ctx)
+            .iter()
+            .map(|s| s.loc)
+            .collect();
+        locs.sort_unstable();
+        assert_eq!(locs, (1..=64).map(|k| k * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn build_writes_are_sequential_full_blocks() {
+        let (dev, mut ctx) = setup();
+        dev.stats().reset();
+        let _t = build_with(&dev, &mut ctx, (1..=1000u64).map(|k| (k, k)), 2048);
+        let s = dev.stats().snapshot();
+        // Table is a contiguous 256B-aligned image: no RMW blocks at all.
+        assert_eq!(
+            s.rmw_blocks, 0,
+            "table flush must not do partial-block writes"
+        );
+        let expected = TABLE_HEADER_BYTES as u64 + 2048 * 16;
+        assert_eq!(s.media_bytes_written, expected);
+    }
+
+    #[test]
+    fn builder_sized_for_rounds_to_blocks() {
+        let b = TableBuilder::sized_for(100, 0.75);
+        // ceil(100/0.75)=134 slots = 2144B -> rounds to 2304B = 144 slots.
+        assert_eq!(b.capacity() % 16, 0);
+        assert!(b.capacity() >= 134);
+    }
+
+    #[test]
+    fn full_builder_errors() {
+        let mut ctx = ThreadCtx::with_default_cost();
+        let mut b = TableBuilder::new(4);
+        for k in 0..4u64 {
+            b.insert(&mut ctx, Slot::new(hash64(k), k + 1), false)
+                .unwrap();
+        }
+        assert!(matches!(
+            b.insert(&mut ctx, Slot::new(hash64(99), 1), false),
+            Err(KvError::Full(_))
+        ));
+    }
+
+    #[test]
+    fn get_probes_cross_block_boundaries() {
+        let (dev, mut ctx) = setup();
+        // Tiny table with forced collisions: hashes chosen to collide at
+        // slot positions near the block boundary.
+        let n = 32u64; // 2 media blocks of slots
+        let mut b = TableBuilder::new(n as usize);
+        // All slots in block 0 occupied with hashes landing at index 14.
+        let hashes: Vec<u64> = (0..6u64).map(|i| 14 + i * n).collect();
+        for (i, &h) in hashes.iter().enumerate() {
+            b.insert(&mut ctx, Slot::new(h, (i + 1) as u64), false)
+                .unwrap();
+        }
+        let t = b.build(&dev, &mut ctx, 0, 0, 1).unwrap();
+        // The last inserted hash probes past index 15 into block 1.
+        let s = t.get(&dev, &mut ctx, hashes[5]).unwrap();
+        assert_eq!(s.loc, 6);
+    }
+
+    #[test]
+    fn free_returns_space_for_reuse() {
+        let (dev, mut ctx) = setup();
+        let t = build_with(&dev, &mut ctx, (1..=10u64).map(|k| (k, k)), 32);
+        let region = t.region();
+        let before = dev.allocated_bytes();
+        t.free(&dev);
+        assert!(dev.allocated_bytes() < before);
+        let again = dev.alloc_region(region.len).unwrap();
+        assert_eq!(again.off, region.off);
+    }
+}

@@ -1,0 +1,274 @@
+//! Growable robin-hood hash map (Dram-Hash baseline index).
+
+use pmem_sim::ThreadCtx;
+
+use crate::slot::{Slot, SLOT_BYTES};
+
+/// An open-addressing robin-hood map from key hash to location word.
+///
+/// Models the `martinus/robin-hood-hashing` table the paper uses for its
+/// Dram-Hash baseline (§3.2): probe-distance-ordered insertion, backward-
+/// shift deletion, and doubling growth with full rehash. The rehash is
+/// charged per moved entry, which is what produces Dram-Hash's multi-second
+/// worst-case put latency in Table 2.
+#[derive(Debug, Clone)]
+pub struct RobinHoodMap {
+    slots: Vec<Slot>,
+    mask: u64,
+    len: usize,
+    max_load: f64,
+    /// Simulated ns spent in the most recent rehash (0 if none yet).
+    last_rehash_ns: u64,
+}
+
+impl RobinHoodMap {
+    /// Creates a map with space for at least `capacity` entries before the
+    /// first growth.
+    pub fn new(capacity: usize) -> Self {
+        let n = (capacity.max(8) * 5 / 4).next_power_of_two();
+        Self {
+            slots: vec![Slot::EMPTY; n],
+            mask: (n - 1) as u64,
+            len: 0,
+            max_load: 0.8,
+            last_rehash_ns: 0,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// DRAM bytes of the slot array.
+    pub fn dram_bytes(&self) -> u64 {
+        (self.slots.len() * SLOT_BYTES) as u64
+    }
+
+    /// Simulated time consumed by the most recent growth rehash.
+    pub fn last_rehash_ns(&self) -> u64 {
+        self.last_rehash_ns
+    }
+
+    #[inline]
+    fn distance(&self, ideal: u64, idx: usize) -> u64 {
+        (idx as u64).wrapping_sub(ideal) & self.mask
+    }
+
+    /// Inserts or updates `hash -> loc`; returns the previous location if
+    /// the key was present.
+    pub fn insert(&mut self, ctx: &mut ThreadCtx, hash: u64, loc: u64) -> Option<u64> {
+        debug_assert!(loc != 0);
+        if (self.len + 1) as f64 > self.slots.len() as f64 * self.max_load {
+            self.grow(ctx);
+        }
+        let mut cur = Slot::new(hash, loc);
+        let mut idx = (hash & self.mask) as usize;
+        let mut dist = 0u64;
+        ctx.charge(ctx.cost.dram_random_ns);
+        loop {
+            let existing = self.slots[idx];
+            if existing.is_empty() {
+                self.slots[idx] = cur;
+                self.len += 1;
+                return None;
+            }
+            if existing.hash == cur.hash {
+                self.slots[idx] = cur;
+                return Some(existing.loc);
+            }
+            let existing_dist = self.distance(existing.hash & self.mask, idx);
+            if existing_dist < dist {
+                // Rob the rich: displace the closer-to-home entry.
+                self.slots[idx] = cur;
+                cur = existing;
+                dist = existing_dist;
+            }
+            idx = (idx + 1) & self.mask as usize;
+            dist += 1;
+            ctx.charge(ctx.cost.key_cmp_ns + ctx.cost.dram_seq_line_ns);
+        }
+    }
+
+    /// Looks up `hash`.
+    pub fn get(&self, ctx: &mut ThreadCtx, hash: u64) -> Option<u64> {
+        let mut idx = (hash & self.mask) as usize;
+        let mut dist = 0u64;
+        ctx.charge(ctx.cost.dram_random_ns);
+        loop {
+            let existing = self.slots[idx];
+            if existing.is_empty() {
+                return None;
+            }
+            if existing.hash == hash {
+                return Some(existing.loc);
+            }
+            // Robin-hood invariant: once we pass our own distance, the key
+            // cannot be further along.
+            if self.distance(existing.hash & self.mask, idx) < dist {
+                return None;
+            }
+            idx = (idx + 1) & self.mask as usize;
+            dist += 1;
+            ctx.charge(ctx.cost.key_cmp_ns + ctx.cost.dram_seq_line_ns);
+        }
+    }
+
+    /// Removes `hash`, returning its location, using backward-shift
+    /// deletion (no tombstones).
+    pub fn remove(&mut self, ctx: &mut ThreadCtx, hash: u64) -> Option<u64> {
+        let mut idx = (hash & self.mask) as usize;
+        let mut dist = 0u64;
+        ctx.charge(ctx.cost.dram_random_ns);
+        loop {
+            let existing = self.slots[idx];
+            if existing.is_empty() {
+                return None;
+            }
+            if existing.hash == hash {
+                break;
+            }
+            if self.distance(existing.hash & self.mask, idx) < dist {
+                return None;
+            }
+            idx = (idx + 1) & self.mask as usize;
+            dist += 1;
+            ctx.charge(ctx.cost.key_cmp_ns + ctx.cost.dram_seq_line_ns);
+        }
+        let removed = self.slots[idx].loc;
+        // Shift the following cluster back until a hole or a home entry.
+        loop {
+            let next = (idx + 1) & self.mask as usize;
+            let n = self.slots[next];
+            if n.is_empty() || self.distance(n.hash & self.mask, next) == 0 {
+                self.slots[idx] = Slot::EMPTY;
+                break;
+            }
+            self.slots[idx] = n;
+            idx = next;
+            ctx.charge(ctx.cost.dram_seq_line_ns);
+        }
+        self.len -= 1;
+        Some(removed)
+    }
+
+    /// Iterates live entries as `(hash, loc)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| (s.hash, s.loc))
+    }
+
+    fn grow(&mut self, ctx: &mut ThreadCtx) {
+        let new_len = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![Slot::EMPTY; new_len]);
+        self.mask = (self.slots.len() - 1) as u64;
+        self.len = 0;
+        let start = ctx.clock.now();
+        for s in old.into_iter().filter(|s| !s.is_empty()) {
+            // Re-insert; charges per-entry DRAM work, so a rehash of N
+            // entries costs ~N * dram_random_ns — the paper's 3.23s spike
+            // at a billion keys.
+            self.insert(ctx, s.hash, s.loc);
+        }
+        self.last_rehash_ns = ctx.clock.now() - start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::hash64;
+
+    fn ctx() -> ThreadCtx {
+        ThreadCtx::with_default_cost()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = RobinHoodMap::new(16);
+        let mut c = ctx();
+        for k in 1..=100u64 {
+            m.insert(&mut c, hash64(k), k * 3);
+        }
+        assert_eq!(m.len(), 100);
+        for k in 1..=100u64 {
+            assert_eq!(m.get(&mut c, hash64(k)), Some(k * 3));
+        }
+        for k in 1..=50u64 {
+            assert_eq!(m.remove(&mut c, hash64(k)), Some(k * 3));
+        }
+        assert_eq!(m.len(), 50);
+        for k in 1..=50u64 {
+            assert_eq!(m.get(&mut c, hash64(k)), None);
+        }
+        for k in 51..=100u64 {
+            assert_eq!(
+                m.get(&mut c, hash64(k)),
+                Some(k * 3),
+                "key {k} lost by deletion shifts"
+            );
+        }
+    }
+
+    #[test]
+    fn update_returns_old_value() {
+        let mut m = RobinHoodMap::new(8);
+        let mut c = ctx();
+        assert_eq!(m.insert(&mut c, hash64(1), 10), None);
+        assert_eq!(m.insert(&mut c, hash64(1), 20), Some(10));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn growth_preserves_entries_and_charges_time() {
+        let mut m = RobinHoodMap::new(8);
+        let mut c = ctx();
+        for k in 0..10_000u64 {
+            m.insert(&mut c, hash64(k), k + 1);
+        }
+        assert!(m.last_rehash_ns() > 0, "growth must charge rehash time");
+        for k in 0..10_000u64 {
+            assert_eq!(m.get(&mut c, hash64(k)), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn missing_keys_terminate_via_distance_invariant() {
+        let mut m = RobinHoodMap::new(1024);
+        let mut c = ctx();
+        for k in 0..500u64 {
+            m.insert(&mut c, hash64(k), k + 1);
+        }
+        for k in 10_000..10_500u64 {
+            assert_eq!(m.get(&mut c, hash64(k)), None);
+        }
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut m = RobinHoodMap::new(8);
+        let mut c = ctx();
+        m.insert(&mut c, hash64(1), 5);
+        assert_eq!(m.remove(&mut c, hash64(2)), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut m = RobinHoodMap::new(8);
+        let mut c = ctx();
+        for k in 0..20u64 {
+            m.insert(&mut c, hash64(k), k + 100);
+        }
+        let mut locs: Vec<u64> = m.iter().map(|(_, l)| l).collect();
+        locs.sort_unstable();
+        assert_eq!(locs, (100..120).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,148 @@
+//! A simple region allocator over the device arena.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::device::PmemError;
+
+/// Media-block alignment of every allocation (Optane XPLine).
+const ALIGN: u64 = 256;
+
+/// Bump allocator with size-keyed free lists.
+///
+/// The stores allocate persistent tables in a small number of fixed sizes
+/// (per-level table sizes, log segments, manifest pages), so exact-size
+/// reuse eliminates fragmentation in practice. Allocation never returns
+/// offset 0 — the first block is reserved so 0 can act as a null sentinel.
+#[derive(Debug)]
+pub struct PmemAllocator {
+    inner: Mutex<Inner>,
+    capacity: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    next: u64,
+    free: HashMap<u64, Vec<u64>>,
+    allocated: u64,
+}
+
+impl PmemAllocator {
+    /// Creates an allocator over `[ALIGN, capacity)`.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                next: ALIGN,
+                free: HashMap::new(),
+                allocated: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Allocates `len` bytes (rounded up to 256B), returning the offset.
+    pub fn alloc(&self, len: u64) -> Result<u64, PmemError> {
+        let size = Self::round(len);
+        let mut inner = self.inner.lock();
+        if let Some(off) = inner.free.get_mut(&size).and_then(Vec::pop) {
+            inner.allocated += size;
+            return Ok(off);
+        }
+        if inner.next + size > self.capacity {
+            return Err(PmemError::OutOfMemory {
+                requested: size,
+                available: self.capacity.saturating_sub(inner.next),
+            });
+        }
+        let off = inner.next;
+        inner.next += size;
+        inner.allocated += size;
+        Ok(off)
+    }
+
+    /// Returns `[off, off+len)` to the size-keyed free list.
+    ///
+    /// `len` must be the length passed to the matching [`alloc`](Self::alloc).
+    pub fn dealloc(&self, off: u64, len: u64) {
+        let size = Self::round(len);
+        let mut inner = self.inner.lock();
+        debug_assert!(
+            off.is_multiple_of(ALIGN),
+            "dealloc of unaligned offset {off}"
+        );
+        inner.allocated = inner.allocated.saturating_sub(size);
+        inner.free.entry(size).or_default().push(off);
+    }
+
+    /// Bytes currently handed out.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.inner.lock().allocated
+    }
+
+    /// Resets the allocator after crash recovery: the bump cursor resumes
+    /// past `high_water` (the end of the highest live region) and the free
+    /// lists are discarded.
+    ///
+    /// The allocator itself is volatile — like a real Pmem allocator's DRAM
+    /// runtime state, it must be reconstructed from the recovered metadata.
+    /// Regions freed before the crash whose offsets are below `high_water`
+    /// are leaked until the next fresh start (documented limitation,
+    /// DESIGN.md §5).
+    pub fn reset_after_recovery(&self, high_water: u64, live_bytes: u64) {
+        let mut inner = self.inner.lock();
+        inner.next = high_water.max(ALIGN).div_ceil(ALIGN) * ALIGN;
+        inner.free.clear();
+        inner.allocated = live_bytes;
+    }
+
+    #[inline]
+    fn round(len: u64) -> u64 {
+        len.max(1).div_ceil(ALIGN) * ALIGN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_media_blocks() {
+        let a = PmemAllocator::new(1 << 20);
+        let x = a.alloc(1).unwrap();
+        let y = a.alloc(1).unwrap();
+        assert_eq!(y - x, 256);
+    }
+
+    #[test]
+    fn reuses_freed_regions_of_same_size() {
+        let a = PmemAllocator::new(1 << 20);
+        let x = a.alloc(1000).unwrap();
+        a.dealloc(x, 1000);
+        assert_eq!(a.alloc(1000).unwrap(), x);
+    }
+
+    #[test]
+    fn different_sizes_do_not_alias() {
+        let a = PmemAllocator::new(1 << 20);
+        let x = a.alloc(512).unwrap();
+        a.dealloc(x, 512);
+        let y = a.alloc(1024).unwrap();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn accounts_outstanding_bytes() {
+        let a = PmemAllocator::new(1 << 20);
+        let x = a.alloc(300).unwrap(); // rounds to 512
+        assert_eq!(a.allocated_bytes(), 512);
+        a.dealloc(x, 300);
+        assert_eq!(a.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn never_returns_offset_zero() {
+        let a = PmemAllocator::new(1 << 20);
+        assert_ne!(a.alloc(1).unwrap(), 0);
+    }
+}

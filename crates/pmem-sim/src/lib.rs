@@ -1,0 +1,42 @@
+//! Simulated Intel Optane DC persistent memory.
+//!
+//! The ChameleonDB paper (EuroSys '21) evaluates on real Optane Pmem DIMMs.
+//! This crate substitutes that hardware with a DRAM-backed simulator that
+//! enforces the three device properties the paper's design exploits:
+//!
+//! 1. **256B media write unit.** Every store is eventually accounted in
+//!    distinct 256B media blocks ("XPLines"). A fenced write that covers a
+//!    block only partially is charged as a read-modify-write of the whole
+//!    block, reproducing the write amplification of Fig. 1 and the
+//!    `ipmwatch` media-traffic numbers of Fig. 17.
+//! 2. **Nanosecond-scale access cost.** Every operation advances a per-thread
+//!    [`SimClock`] by an explicit, documented [`CostModel`] amount, so
+//!    latency distributions and throughput are deterministic and
+//!    hardware-independent.
+//! 3. **Persistence domain.** Stores are buffered in a pending-line table
+//!    (the simulated CPU cache / write-pending queue) and only reach the
+//!    durable arena on `flush` + `fence`. [`PmemDevice::crash`] discards all
+//!    pending lines; recovery code must rebuild from the arena alone.
+//!
+//! The same device type also models the SATA and PCIe SSD profiles used by
+//! Fig. 2 of the paper (microsecond latency, 4KB blocks).
+//!
+//! Only *time* is virtual: every byte written through this crate actually
+//! exists in the arena and is read back verbatim, so correctness (including
+//! crash consistency) is testable for real.
+
+mod alloc;
+mod clock;
+mod cost;
+mod device;
+mod hist;
+mod profile;
+mod stats;
+
+pub use alloc::PmemAllocator;
+pub use clock::SimClock;
+pub use cost::CostModel;
+pub use device::{PRegion, PmemDevice, PmemError, ThreadCtx, CACHE_LINE};
+pub use hist::Histogram;
+pub use profile::DeviceProfile;
+pub use stats::{MediaStats, StatsSnapshot};

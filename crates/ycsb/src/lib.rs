@@ -1,0 +1,228 @@
+//! YCSB-style workload generation and a multi-threaded simulation driver.
+//!
+//! Implements the workload mixes of the paper's Table 5 (LOAD, A, B, C, D,
+//! F — E is excluded because the hash-keyed stores do not support scans)
+//! with the standard YCSB request distributions (scrambled Zipfian with the
+//! classic `theta = 0.99`, latest, uniform), plus the driver used by every
+//! throughput/latency harness: it runs real OS threads over a store,
+//! collects per-operation simulated latencies into histograms, and reports
+//! throughput in simulated time (`ops / max-thread-clock`).
+
+mod driver;
+mod zipf;
+
+pub use driver::{run, OpKind, RunConfig, RunResult};
+pub use zipf::ZipfianGenerator;
+
+use kvapi::mix64;
+
+/// A YCSB request distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform over the key space.
+    Uniform,
+    /// Scrambled Zipfian (theta = 0.99), YCSB's default hot-key skew.
+    Zipfian,
+    /// Skewed towards the most recently inserted keys (YCSB-D).
+    Latest,
+}
+
+/// The workload mixes of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// 100% put (unique keys).
+    Load,
+    /// 50% get / 50% update.
+    A,
+    /// 95% get / 5% update.
+    B,
+    /// 100% get.
+    C,
+    /// Get most recently inserted keys.
+    D,
+    /// 50% get / 50% read-modify-write.
+    F,
+}
+
+impl Workload {
+    /// Fraction of operations that are reads.
+    pub fn read_fraction(&self) -> f64 {
+        match self {
+            Workload::Load => 0.0,
+            Workload::A => 0.5,
+            Workload::B => 0.95,
+            Workload::C | Workload::D => 1.0,
+            Workload::F => 0.5,
+        }
+    }
+
+    /// Whether the write half is a read-modify-write (YCSB-F).
+    pub fn is_rmw(&self) -> bool {
+        matches!(self, Workload::F)
+    }
+
+    /// The request distribution this workload uses.
+    pub fn distribution(&self) -> Distribution {
+        match self {
+            Workload::D => Distribution::Latest,
+            Workload::Load => Distribution::Uniform,
+            _ => Distribution::Zipfian,
+        }
+    }
+
+    /// Parses a workload name (`load`, `a`, `b`, `c`, `d`, `f`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "load" | "ycsb_load" => Some(Workload::Load),
+            "a" | "ycsb_a" => Some(Workload::A),
+            "b" | "ycsb_b" => Some(Workload::B),
+            "c" | "ycsb_c" => Some(Workload::C),
+            "d" | "ycsb_d" => Some(Workload::D),
+            "f" | "ycsb_f" => Some(Workload::F),
+            _ => None,
+        }
+    }
+
+    /// All workloads in Table 5 order.
+    pub fn all() -> [Workload; 6] {
+        [
+            Workload::Load,
+            Workload::A,
+            Workload::B,
+            Workload::C,
+            Workload::D,
+            Workload::F,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Load => "YCSB_LOAD",
+            Workload::A => "YCSB_A",
+            Workload::B => "YCSB_B",
+            Workload::C => "YCSB_C",
+            Workload::D => "YCSB_D",
+            Workload::F => "YCSB_F",
+        }
+    }
+}
+
+/// Per-thread key chooser for a request distribution over `record_count`
+/// already-loaded records.
+#[derive(Debug)]
+pub struct KeyChooser {
+    dist: Distribution,
+    record_count: u64,
+    zipf: Option<ZipfianGenerator>,
+    state: u64,
+}
+
+impl KeyChooser {
+    /// Creates a chooser; `seed` decorrelates threads.
+    pub fn new(dist: Distribution, record_count: u64, seed: u64) -> Self {
+        let zipf = match dist {
+            Distribution::Zipfian | Distribution::Latest => {
+                Some(ZipfianGenerator::new(record_count.max(1), 0.99))
+            }
+            Distribution::Uniform => None,
+        };
+        Self {
+            dist,
+            record_count: record_count.max(1),
+            zipf,
+            state: seed | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = mix64(self.state.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        self.state
+    }
+
+    /// Draws the next key in `[0, record_count)`.
+    pub fn next_key(&mut self) -> u64 {
+        let u = self.next_u64();
+        match self.dist {
+            Distribution::Uniform => u % self.record_count,
+            Distribution::Zipfian => {
+                let rank = self.zipf.as_mut().expect("zipf set").next(u);
+                // Scramble so hot keys are spread over the key space
+                // (YCSB's ScrambledZipfian).
+                mix64(rank) % self.record_count
+            }
+            Distribution::Latest => {
+                // Rank 0 = most recent insert.
+                let rank = self.zipf.as_mut().expect("zipf set").next(u);
+                self.record_count - 1 - (rank % self.record_count)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_mixes_match_table5() {
+        assert_eq!(Workload::Load.read_fraction(), 0.0);
+        assert_eq!(Workload::A.read_fraction(), 0.5);
+        assert_eq!(Workload::B.read_fraction(), 0.95);
+        assert_eq!(Workload::C.read_fraction(), 1.0);
+        assert!(Workload::F.is_rmw());
+        assert_eq!(Workload::D.distribution(), Distribution::Latest);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Workload::parse("YCSB_A"), Some(Workload::A));
+        assert_eq!(Workload::parse("load"), Some(Workload::Load));
+        assert_eq!(Workload::parse("e"), None);
+    }
+
+    #[test]
+    fn uniform_covers_key_space() {
+        let mut kc = KeyChooser::new(Distribution::Uniform, 100, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let k = kc.next_key();
+            assert!(k < 100);
+            seen.insert(k);
+        }
+        assert!(seen.len() > 90);
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut kc = KeyChooser::new(Distribution::Zipfian, 10_000, 42);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(kc.next_key()).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // The hottest key should take a few percent of all requests.
+        assert!(freqs[0] > 2000, "hottest key got {}", freqs[0]);
+        // And far more keys than the hot set are touched overall.
+        assert!(counts.len() > 1000);
+    }
+
+    #[test]
+    fn latest_prefers_recent_keys() {
+        let mut kc = KeyChooser::new(Distribution::Latest, 10_000, 42);
+        let recent = (0..50_000).filter(|_| kc.next_key() >= 9_000).count() as f64 / 50_000.0;
+        assert!(
+            recent > 0.5,
+            "latest distribution should hit the newest 10% more than half the time, got {recent}"
+        );
+    }
+
+    #[test]
+    fn choosers_with_different_seeds_differ() {
+        let mut a = KeyChooser::new(Distribution::Uniform, 1 << 30, 1);
+        let mut b = KeyChooser::new(Distribution::Uniform, 1 << 30, 2);
+        let same = (0..100).filter(|_| a.next_key() == b.next_key()).count();
+        assert!(same < 5);
+    }
+}

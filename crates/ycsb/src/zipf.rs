@@ -1,0 +1,138 @@
+//! Zipfian rank generator (Gray et al., "Quickly Generating
+//! Billion-Record Synthetic Databases" — the algorithm YCSB uses).
+
+/// Generates Zipf-distributed ranks in `[0, n)` with skew `theta`.
+///
+/// Rank 0 is the most popular item. Deterministic given the caller-supplied
+/// uniform randomness, so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfianGenerator {
+    /// Creates a generator over `n` items with skew `theta` (YCSB: 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian over empty domain");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n; a standard integral approximation beyond
+        // (keeps construction O(1) for billion-key spaces).
+        const EXACT: u64 = 1 << 20;
+        if n <= EXACT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // integral of x^-theta from EXACT to n.
+            head + ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta)
+        }
+    }
+
+    /// Maps one uniform 64-bit random value to a Zipf rank in `[0, n)`.
+    pub fn next(&mut self, uniform: u64) -> u64 {
+        let u = (uniform >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The zeta(2, theta) constant (exposed for tests).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvapi::mix64;
+
+    fn draw(n: u64, samples: usize) -> Vec<u64> {
+        let mut g = ZipfianGenerator::new(n, 0.99);
+        (0..samples)
+            .map(|i| g.next(mix64(i as u64 ^ 0xABCD)))
+            .collect()
+    }
+
+    #[test]
+    fn ranks_stay_in_range() {
+        for rank in draw(1000, 50_000) {
+            assert!(rank < 1000);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let ranks = draw(100_000, 100_000);
+        let zero = ranks.iter().filter(|&&r| r == 0).count();
+        let tail = ranks.iter().filter(|&&r| r > 50_000).count();
+        assert!(zero > 1000, "rank 0 drawn only {zero} times");
+        assert!(zero > tail, "head must outweigh the deep tail");
+    }
+
+    #[test]
+    fn frequency_roughly_follows_power_law() {
+        let ranks = draw(10_000, 200_000);
+        let count = |r: u64| ranks.iter().filter(|&&x| x == r).count() as f64;
+        let c0 = count(0);
+        let c9 = count(9);
+        // f(0)/f(9) should be ~ 10^0.99 ≈ 9.8; allow generous slack.
+        let ratio = c0 / c9.max(1.0);
+        assert!(
+            ratio > 3.0 && ratio < 30.0,
+            "rank0/rank9 frequency ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn huge_domain_constructs_quickly() {
+        let g = ZipfianGenerator::new(1 << 40, 0.99);
+        assert_eq!(g.n(), 1 << 40);
+        assert!(g.zeta2() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_panics() {
+        let _ = ZipfianGenerator::new(0, 0.99);
+    }
+}

@@ -1,0 +1,50 @@
+//! Store shootout: drive all six §3.2 store designs through the same
+//! YCSB-A workload and compare throughput, footprint, and media traffic.
+//!
+//! Run with: `cargo run --release -p chameleon-bench --example store_shootout`
+
+use chameleon_bench::experiments::{load_store, run_workload};
+use chameleon_bench::stores::{self, Scale, StoreKind};
+use ycsb::Workload;
+
+fn main() {
+    let keys: u64 = 400_000;
+    let ops: u64 = 200_000;
+    let threads = 8;
+    let scale = Scale {
+        keys,
+        value_size: 8,
+        extra_ops: ops,
+    };
+
+    println!("YCSB-A (50% get / 50% update, Zipfian) over {keys} records, {threads} threads:\n");
+    println!(
+        "{:>16} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        "store", "load Mops", "A Mops", "DRAM", "write WA", "read amp"
+    );
+    for kind in StoreKind::all() {
+        let built = stores::build(kind, scale);
+        let load = load_store(built.store.as_ref(), &built.dev, keys, threads);
+        built.dev.stats().reset();
+        let a = run_workload(
+            built.store.as_ref(),
+            &built.dev,
+            Workload::A,
+            keys,
+            ops,
+            threads,
+        );
+        let stats = built.dev.stats().snapshot();
+        println!(
+            "{:>16} {:>10.2} {:>10.2} {:>12} {:>8.2} {:>8.2}",
+            kind.name(),
+            load.mops(),
+            a.mops(),
+            format!("{:.1}MB", built.store.dram_footprint() as f64 / 1e6),
+            stats.write_amplification(),
+            stats.read_amplification(),
+        );
+    }
+    println!("\nEach store runs on its own simulated Optane device; media");
+    println!("traffic is accounted at the 256B XPLine granularity.");
+}
