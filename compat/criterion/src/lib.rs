@@ -1,0 +1,208 @@
+//! Offline vendored shim for `criterion`.
+//!
+//! Implements the macro/builder surface the workspace's benches use, with
+//! criterion's CLI convention: the harness only benchmarks when invoked with
+//! `--bench` (which `cargo bench` passes). Under `cargo test`, bench targets
+//! are built and run without `--bench`, and this shim exits immediately —
+//! bench setup (store preloading) is far too slow for the test profile.
+//! Measurements are wall-clock means over `sample_size` samples with an
+//! adaptively chosen iteration count; there is no statistical analysis or
+//! HTML report. See `compat/README.md`.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a benchmark
+/// body.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Label for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Uses the parameter's `Display` form as the benchmark name.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        Self(p.to_string())
+    }
+
+    /// Function name + parameter, as in real criterion.
+    pub fn new<P: Display>(function: &str, p: P) -> Self {
+        Self(format!("{function}/{p}"))
+    }
+}
+
+/// Top-level harness handle passed to each bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(BenchmarkId(name.to_string()), |b| f(b));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs at least ~5ms, so Instant overhead is negligible.
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(5) || b.iters >= 1 << 20 {
+                break;
+            }
+            b.iters *= 2;
+        }
+        let samples = self.criterion.sample_size;
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..samples {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            total += b.elapsed;
+            best = best.min(b.elapsed);
+        }
+        let mean_ns = total.as_nanos() as f64 / (samples as u64 * b.iters) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(" ({:.2} Melem/s)", n as f64 / mean_ns * 1e9 / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => format!(
+                " ({:.2} MiB/s)",
+                n as f64 / mean_ns * 1e9 / (1024.0 * 1024.0)
+            ),
+            None => String::new(),
+        };
+        println!(
+            "  {:<28} {:>12.1} ns/iter{} [{} samples x {} iters]",
+            id.0, mean_ns, rate, samples, b.iters
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `fn main()` for a `harness = false` bench target. Benchmarks
+/// only run when `--bench` is passed (i.e. under `cargo bench`); `cargo
+/// test` builds and invokes the target without it, which is a no-op.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !::std::env::args().any(|a| a == "--bench") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,107 @@
+//! Offline vendored shim for the `crossbeam` crate.
+//!
+//! Only the `crossbeam::thread::scope` API surface used by this workspace is
+//! provided, implemented on top of `std::thread::scope` (stable since Rust
+//! 1.63). See `compat/README.md` for why external dependencies are vendored
+//! as shims.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape: the scope closure and each
+    //! spawned closure receive a `&Scope`, and `scope()` returns
+    //! `Result<R>` capturing whether any spawned thread panicked.
+
+    /// Result type of [`scope`]: `Err` carries the panic payload of the
+    /// first panicking child thread (crossbeam collects all payloads; one is
+    /// enough for every caller in this workspace, which only `.expect()`s).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle that can spawn threads borrowing from the enclosing
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives a
+        /// `&Scope` so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || {
+                let reentrant = Scope { inner };
+                f(&reentrant)
+            }))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing non-`'static` data can be
+    /// spawned. All spawned threads are joined before this returns.
+    ///
+    /// Unlike crossbeam (which catches child panics and reports them in the
+    /// `Err` variant while unjoined handles are silently reaped), the std
+    /// backend propagates a panic from an *unjoined* child after joining the
+    /// rest; explicitly joined handles behave identically. Every caller in
+    /// this workspace joins all handles, so the difference is unobservable.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let total = AtomicU64::new(0);
+            let n = super::scope(|s| {
+                let handles: Vec<_> = (0..4u64)
+                    .map(|i| {
+                        let total = &total;
+                        s.spawn(move |_| {
+                            total.fetch_add(i, Ordering::Relaxed);
+                            i
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("child"))
+                    .sum::<u64>()
+            })
+            .expect("scope");
+            assert_eq!(n, 6);
+            assert_eq!(total.load(Ordering::Relaxed), 6);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let r = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 21).join().expect("grandchild") * 2)
+                    .join()
+                    .expect("child")
+            })
+            .expect("scope");
+            assert_eq!(r, 42);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Offline vendored shim for `proptest`.
+//!
+//! Supports the macro surface this workspace's property tests use:
+//! `proptest! { #![proptest_config(...)] fn f(x in strategy, y: Type) {...} }`,
+//! `prop_assert!`/`prop_assert_eq!`, integer-range / tuple / `collection::vec`
+//! / `bool::ANY` strategies, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design (see `compat/README.md`):
+//! inputs are generated from a deterministic splitmix64 stream seeded by the
+//! test's module path (every run exercises the same cases, like a seeded
+//! fuzzer), and there is **no shrinking** — a failure reports the case
+//! number and assertion message only.
+
+/// Run-count configuration, honoring `ProptestConfig::with_cases(n)`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim halves twice since the
+        // stream is deterministic anyway (no coverage from re-running).
+        Self { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic input stream and the error type threaded out of
+    //! `prop_assert!`.
+
+    use std::fmt;
+
+    /// Failure raised by `prop_assert!`/`prop_assert_eq!`.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps an assertion message.
+        pub fn fail(msg: String) -> Self {
+            Self(msg)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// splitmix64 stream seeded from a test identifier: deterministic
+    /// across runs and machines so CI failures reproduce locally.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a stable string (the shim passes
+        /// `module_path!()::test_name`).
+        pub fn deterministic(id: &str) -> Self {
+            // FNV-1a over the id bytes.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in id.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        /// Next value of the stream.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, width)`.
+        pub fn below(&mut self, width: u128) -> u128 {
+            assert!(width > 0, "empty range");
+            (self.next_u64() as u128) % width
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value from `rng`'s deterministic stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let width = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    ((self.start as i128) + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of another strategy's values with a length drawn
+    /// from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let width = (self.size.end - self.size.start) as u128;
+            let len = self.size.start + rng.below(width) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    pub struct Any;
+
+    /// Generates `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! Type-driven generation for `name: Type` parameters.
+
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain generator.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each `fn name(param in strategy, other: Type)`
+/// becomes a `#[test]` that generates inputs for `config.cases` iterations.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($params:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $crate::proptest!(@bind __rng, $($params)*);
+                    (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })()
+                };
+                if let ::std::result::Result::Err(__e) = __result {
+                    ::std::panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), __case + 1, __config.cases, __e,
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@bind $rng:ident $(,)?) => {};
+    (@bind $rng:ident, $var:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng $(, $($rest)*)?);
+    };
+    (@bind $rng:ident, $var:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $var: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng $(, $($rest)*)?);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r,
+                );
+            }
+        }
+    };
+}
+
+/// `assert_ne!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0usize..3, z: u64) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 3);
+            let _ = z;
+        }
+
+        #[test]
+        fn vec_strategy_obeys_len(v in crate::collection::vec((0u8..4, crate::bool::ANY), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            for (n, _b) in v {
+                prop_assert!(n < 4);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(flag in crate::bool::ANY) {
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+
+    #[test]
+    fn failure_reports_case_and_message() {
+        let err = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[allow(unused)]
+                fn always_fails(x in 0u64..10) {
+                    prop_assert_eq!(x, 12345u64);
+                }
+            }
+            always_fails();
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("failed at case 1/4"), "got: {msg}");
+        assert!(msg.contains("12345"), "got: {msg}");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = crate::test_runner::TestRng::deterministic("id");
+        let mut b = crate::test_runner::TestRng::deterministic("id");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline vendored shim for `serde`.
+//!
+//! Real serde's visitor architecture is far more than this workspace needs;
+//! the shim reduces serialization to one question — "what JSON-shaped value
+//! tree does this type produce?" — which is all `serde_json::to_writer_pretty`
+//! and the bench artifact writer require. See `compat/README.md`.
+
+/// A JSON-shaped value tree, the target of [`Serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Unsigned integers keep full `u64` precision (simulated-clock
+    /// timestamps exceed 2^53, so routing them through `f64` would corrupt
+    /// them).
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs (declaration order of the struct).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Produces the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(42u64.to_value(), Value::UInt(42));
+        assert_eq!((-3i32).to_value(), Value::Int(-3));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(Option::<u64>::None.to_value(), Value::Null);
+        assert_eq!(
+            vec![(1u64, 2u64)].to_value(),
+            Value::Array(vec![Value::Array(vec![Value::UInt(1), Value::UInt(2)])])
+        );
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let big = u64::MAX - 1;
+        assert_eq!(big.to_value(), Value::UInt(big));
+    }
+}

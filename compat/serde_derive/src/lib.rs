@@ -1,0 +1,136 @@
+//! Offline vendored shim for `serde_derive`: `#[derive(Serialize)]` for
+//! structs with named fields, generating an impl of the shim `serde`
+//! crate's value-tree `Serialize` trait (see `compat/README.md`).
+//!
+//! Implemented directly on `proc_macro::TokenTree` — no `syn`/`quote`
+//! available offline. Token-tree iteration (rather than string parsing)
+//! keeps attribute payloads such as doc comments, which may contain
+//! arbitrary punctuation, safely encapsulated in their `Group`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` (a `to_value(&self) -> Value`
+/// method) for a struct with named fields.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(src) => src.parse().expect("generated impl must tokenize"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        other => {
+            return Err(format!(
+                "this Serialize shim only supports structs, found {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    // Generics would need propagation into the impl header; no serialized
+    // struct in this workspace is generic.
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("Serialize shim: generic struct {name} unsupported"));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "Serialize shim: {name} must be a struct with named fields"
+            ))
+        }
+    };
+
+    let fields = field_names(body)?;
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    ))
+}
+
+/// Collects the field names of a named-field struct body, skipping
+/// attributes, visibility, and types (tracking `<...>` depth so commas
+/// inside generic arguments do not split fields; commas inside tuple types
+/// are invisible here because parentheses form their own `Group`).
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+            }
+            other => return Err(format!("expected field name, found `{other}`")),
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("Serialize shim: tuple structs unsupported".into()),
+        }
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past any `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the attribute's [...] group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1; // optional restriction, e.g. pub(crate)
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline vendored shim for `serde_json`: renders the shim `serde` crate's
+//! [`Value`] tree as pretty-printed JSON (2-space indent, the same layout
+//! real `to_writer_pretty` produces). See `compat/README.md`.
+
+use std::io::{self, Write};
+
+use serde::{Serialize, Value};
+
+/// Serialization error (I/O only — the value tree cannot itself fail).
+pub type Error = io::Error;
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = io::Result<T>;
+
+/// Serializes `value` as pretty JSON into `writer`.
+pub fn to_writer_pretty<W: Write, T: ?Sized + Serialize>(mut writer: W, value: &T) -> Result<()> {
+    write_value(&mut writer, &value.to_value(), 0)
+}
+
+/// Serializes `value` as a pretty JSON string.
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String> {
+    let mut buf = Vec::new();
+    to_writer_pretty(&mut buf, value)?;
+    Ok(String::from_utf8(buf).expect("JSON output is UTF-8"))
+}
+
+fn write_value<W: Write>(w: &mut W, v: &Value, indent: usize) -> Result<()> {
+    match v {
+        Value::Null => write!(w, "null"),
+        Value::Bool(b) => write!(w, "{b}"),
+        Value::UInt(n) => write!(w, "{n}"),
+        Value::Int(n) => write!(w, "{n}"),
+        Value::Float(f) if f.is_finite() => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                // Keep a trailing ".0" so round floats stay visibly floats.
+                write!(w, "{f:.1}")
+            } else {
+                write!(w, "{f}")
+            }
+        }
+        // JSON has no NaN/Infinity; serde_json emits null as well.
+        Value::Float(_) => write!(w, "null"),
+        Value::Str(s) => write_string(w, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                return write!(w, "[]");
+            }
+            writeln!(w, "[")?;
+            for (i, item) in items.iter().enumerate() {
+                pad(w, indent + 1)?;
+                write_value(w, item, indent + 1)?;
+                writeln!(w, "{}", if i + 1 < items.len() { "," } else { "" })?;
+            }
+            pad(w, indent)?;
+            write!(w, "]")
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                return write!(w, "{{}}");
+            }
+            writeln!(w, "{{")?;
+            for (i, (k, item)) in entries.iter().enumerate() {
+                pad(w, indent + 1)?;
+                write_string(w, k)?;
+                write!(w, ": ")?;
+                write_value(w, item, indent + 1)?;
+                writeln!(w, "{}", if i + 1 < entries.len() { "," } else { "" })?;
+            }
+            pad(w, indent)?;
+            write!(w, "}}")
+        }
+    }
+}
+
+fn pad<W: Write>(w: &mut W, indent: usize) -> Result<()> {
+    for _ in 0..indent {
+        write!(w, "  ")?;
+    }
+    Ok(())
+}
+
+fn write_string<W: Write>(w: &mut W, s: &str) -> Result<()> {
+    write!(w, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(w, "\\\"")?,
+            '\\' => write!(w, "\\\\")?,
+            '\n' => write!(w, "\\n")?,
+            '\r' => write!(w, "\\r")?,
+            '\t' => write!(w, "\\t")?,
+            c if (c as u32) < 0x20 => write!(w, "\\u{:04x}", c as u32)?,
+            c => write!(w, "{c}")?,
+        }
+    }
+    write!(w, "\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_layout_matches_serde_json() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Str("x\"y".into()), Value::Float(2.5)]),
+            ),
+            ("c".into(), Value::Object(vec![])),
+        ]);
+        let mut out = Vec::new();
+        write_value(&mut out, &v, 0).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"a\": 1,\n  \"b\": [\n    \"x\\\"y\",\n    2.5\n  ],\n  \"c\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        struct F(f64);
+        impl Serialize for F {
+            fn to_value(&self) -> Value {
+                Value::Float(self.0)
+            }
+        }
+        assert_eq!(to_string_pretty(&F(3.0)).unwrap(), "3.0");
+        assert_eq!(to_string_pretty(&F(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn u64_timestamps_roundtrip_textually() {
+        let big = 9_223_372_036_854_775_999u64; // > 2^63, > 2^53
+        assert_eq!(to_string_pretty(&big).unwrap(), big.to_string());
+    }
+}

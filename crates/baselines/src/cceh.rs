@@ -305,14 +305,25 @@ impl PmemHash {
 
     /// Looks up `hash`, returning its slot if present.
     fn lookup(&self, ctx: &mut ThreadCtx, hash: u64) -> Option<Slot> {
-        let seg = {
-            let dir = self.dir.read();
-            ctx.charge(ctx.cost.dram_l2_ns);
-            Arc::clone(&dir.segs[Self::dir_index(dir.depth, hash)])
-        };
-        match self.probe(ctx, seg.region, hash) {
-            Some((_, Some(slot))) => Some(slot),
-            _ => None,
+        loop {
+            let seg = {
+                let dir = self.dir.read();
+                ctx.charge(ctx.cost.dram_l2_ns);
+                Arc::clone(&dir.segs[Self::dir_index(dir.depth, hash)])
+            };
+            let found = match self.probe(ctx, seg.region, hash) {
+                Some((_, Some(slot))) => Some(slot),
+                _ => None,
+            };
+            // A concurrent split retires the segment and then *deallocates*
+            // its region, so a stale handle may have probed recycled bytes.
+            // `retired` is flipped under the segment lock strictly before
+            // the dealloc; observing it still false here proves the region
+            // was live for the whole probe above.
+            if seg.lock.lock().retired {
+                continue;
+            }
+            return found;
         }
     }
 

@@ -125,9 +125,11 @@ pub fn ratio(opts: &Opts) -> Vec<RatioPoint> {
         cfg.ratio = r;
         let predicted = cfg.predicted_write_amplification();
         let (dev, store) = stores::build_chameleon_with(scale, cfg);
-        dev.stats().reset();
+        // Monotonic snapshot delta rather than reset(): the counters stay
+        // untouched for anyone else watching the same device.
+        let base = dev.stats().snapshot();
         let load = load_store(&store, &dev, opts.keys, opts.threads);
-        let stats = dev.stats().snapshot();
+        let stats = dev.stats().snapshot() - base;
         // Separate index traffic from log traffic: the log writes
         // ~(header+value) per op sequentially with negligible inflation.
         let log_bytes = opts.keys * (24 + 8);

@@ -91,18 +91,20 @@ fn measure<S: KvStore>(
     dev.set_active_threads(1);
     let mut ctx = ThreadCtx::with_default_cost();
     let value = vec![0xF0u8; value_size];
-    dev.stats().reset();
+    // Per-phase traffic via monotonic snapshot deltas — never reset() the
+    // live counters (see `MediaStats::reset`'s torn-snapshot warning).
+    let wbase = dev.stats().snapshot();
     let t0 = ctx.clock.now();
     for k in 0..ops {
         store.put(&mut ctx, k, &value).expect("put");
     }
     store.sync(&mut ctx).expect("sync");
     let put_elapsed = (ctx.clock.now() - t0).max(1);
-    let wstats = dev.stats().snapshot();
+    let wstats = dev.stats().snapshot() - wbase;
 
     // Random-key read phase.
     let read_ops = (read_total / (24 + value_size as u64)).clamp(1000, ops);
-    dev.stats().reset();
+    let rbase = dev.stats().snapshot();
     let mut rng = kvapi::mix64(0x9999);
     let mut out = Vec::new();
     let t1 = ctx.clock.now();
@@ -114,7 +116,7 @@ fn measure<S: KvStore>(
         );
     }
     let get_elapsed = (ctx.clock.now() - t1).max(1);
-    let rstats = dev.stats().snapshot();
+    let rstats = dev.stats().snapshot() - rbase;
 
     Fig17Row {
         store: name,

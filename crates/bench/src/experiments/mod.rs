@@ -7,6 +7,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod obs;
 pub mod overall;
 
 use kvapi::KvStore;

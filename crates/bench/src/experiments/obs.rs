@@ -1,0 +1,247 @@
+//! `obs` — end-to-end tour of the unified observability layer.
+//!
+//! Loads a ChameleonDB with the event journal, maintenance spans, and
+//! per-op histograms enabled, then drives it through its three modes:
+//! Normal (flushes + compactions), Write-Intensive (MemTable→ABI merges),
+//! and Get-Protect (hair-trigger tail-latency monitor forces entry; a full
+//! ABI is dumped unmerged). The unified snapshot is rendered as a
+//! per-stage write-amplification attribution table (Fig. 17(b)/(e) style,
+//! from one run), store-level put/get percentiles from the merged shard
+//! histograms, and JSON / Prometheus artifacts (`--obs-json PATH` writes
+//! the JSON there plus a sibling `.prom`).
+//!
+//! `--progress` adds a periodic stderr reporter sampling the live counters
+//! and journal while the phases run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use chameleon_obs::{Event, ObsConfig, ObsSnapshot};
+use chameleondb::{ChameleonConfig, GpmConfig, Mode};
+use kvapi::KvStore;
+use kvlog::LogConfig;
+use pmem_sim::ThreadCtx;
+
+use crate::stores::{self, Scale};
+use crate::util::{fmt_bytes, fmt_ns, header, Opts};
+
+/// Gets per GPM evaluation window (hair-trigger configuration below).
+const GPM_WINDOW: u64 = 256;
+
+pub fn run(opts: &Opts) -> ObsSnapshot {
+    header("Observability: journal + spans + histograms + exporters");
+    let keys = opts.keys;
+    let wim_puts = (opts.ops / 4).max(20_000);
+    let gpm_puts = (opts.ops / 4).max(50_000);
+    let gpm_gets = 4 * GPM_WINDOW;
+
+    // Small per-shard geometry so every maintenance stage (flush, both
+    // compaction kinds, WIM merge, ABI dump) fires within the op budget.
+    let scale = Scale {
+        keys: keys + wim_puts + gpm_puts,
+        value_size: 8,
+        extra_ops: opts.ops,
+    };
+    let cfg = ChameleonConfig {
+        shards: 8,
+        memtable_slots: 64,
+        max_abi_dumps: 4,
+        log: LogConfig {
+            capacity: scale.log_capacity(),
+            ..LogConfig::default()
+        },
+        manifest_bytes: 16 << 20,
+        // Hair-trigger Get-Protect: any complete get window enters GPM
+        // (p99 > 1ns) and no window can leave it (p99 < 0ns is impossible).
+        gpm: GpmConfig {
+            enabled: true,
+            enter_threshold_ns: 1,
+            exit_threshold_ns: 0,
+            window_ops: GPM_WINDOW,
+        },
+        obs: ObsConfig::with_capacity(512),
+        ..ChameleonConfig::with_shards(8)
+    };
+    let (dev, store) = stores::build_chameleon_with(scale, cfg);
+    dev.set_active_threads(1);
+    let mut ctx = ThreadCtx::with_default_cost();
+    let value = [0xABu8; 8];
+
+    // Mode transitions are collected right after each phase boundary: a
+    // bounded ring only retains the newest events, so rare events must be
+    // drained near when they happen.
+    let mut transitions: Vec<Event> = Vec::new();
+
+    let done = AtomicBool::new(false);
+    let snap = std::thread::scope(|s| {
+        if opts.progress {
+            let store = &store;
+            let done = &done;
+            s.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(250));
+                    let m = store.metrics();
+                    let j = store.obs().journal();
+                    eprintln!(
+                        "[obs] puts={} gets={} flushes={} events={} (dropped {})",
+                        m.puts,
+                        m.gets,
+                        m.flushes,
+                        j.total(),
+                        j.dropped()
+                    );
+                }
+            });
+        }
+
+        // Phase 1 — Normal: load drives flushes and both compaction kinds.
+        println!("  phase 1: load {keys} keys in Normal mode");
+        for k in 0..keys {
+            store.put(&mut ctx, k, &value).expect("load put");
+        }
+
+        // Phase 2 — Write-Intensive: MemTables merge straight into the ABI.
+        println!("  phase 2: {wim_puts} puts in Write-Intensive mode");
+        store.set_mode(Mode::WriteIntensive);
+        collect_transitions(store.obs().journal(), &mut transitions);
+        for k in keys..keys + wim_puts {
+            store.put(&mut ctx, k, &value).expect("wim put");
+        }
+
+        // Phase 3 — Get-Protect: back to Normal, then the hair-trigger
+        // monitor flips to GPM on the first complete get window; fresh keys
+        // fill the ABI until it dumps unmerged.
+        println!("  phase 3: {gpm_gets} gets trip Get-Protect, then {gpm_puts} puts dump the ABI");
+        store.set_mode(Mode::Normal);
+        collect_transitions(store.obs().journal(), &mut transitions);
+        let mut out = Vec::new();
+        let mut rng = kvapi::mix64(0x0B5);
+        for _ in 0..gpm_gets {
+            rng = kvapi::mix64(rng);
+            store.get(&mut ctx, rng % keys, &mut out).expect("get");
+        }
+        collect_transitions(store.obs().journal(), &mut transitions);
+        for k in keys + wim_puts..keys + wim_puts + gpm_puts {
+            store.put(&mut ctx, k, &value).expect("gpm put");
+        }
+
+        store.sync(&mut ctx).expect("final sync");
+        done.store(true, Ordering::Relaxed);
+        store.obs_snapshot(ctx.clock.now())
+    });
+
+    print_snapshot(&snap, &transitions);
+    write_artifacts(opts, &snap);
+    snap
+}
+
+/// Appends any `mode_transition` events in the journal tail that are newer
+/// than the ones already collected.
+fn collect_transitions(journal: &chameleon_obs::Journal, transitions: &mut Vec<Event>) {
+    let newest_seen = transitions.last().map(|e| e.seq);
+    for ev in journal.tail(32) {
+        if ev.kind.name() == "mode_transition" && Some(ev.seq) > newest_seen {
+            transitions.push(ev);
+        }
+    }
+}
+
+fn print_snapshot(snap: &ObsSnapshot, transitions: &[Event]) {
+    println!("\n  mode transitions (from journal):");
+    for ev in transitions {
+        let labels = ev.kind.labels();
+        let label = |k: &str| {
+            labels
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map_or("?", |(_, v)| *v)
+        };
+        let p99 = ev
+            .kind
+            .fields()
+            .iter()
+            .find(|(n, _)| *n == "p99_ns")
+            .map_or(0, |(_, v)| *v);
+        println!(
+            "    t={:>12} {} -> {} ({}, window p99 {})",
+            ev.ts,
+            label("from"),
+            label("to"),
+            label("trigger"),
+            fmt_ns(p99)
+        );
+    }
+
+    println!("\n  per-stage media write attribution:");
+    println!(
+        "    {:>16} {:>8} {:>10} {:>12} {:>8} {:>7}",
+        "stage", "count", "sim time", "media wr", "WA", "share"
+    );
+    for st in &snap.stages {
+        if st.count == 0 && st.media_bytes_written == 0 && st.stage != "foreground" {
+            continue;
+        }
+        println!(
+            "    {:>16} {:>8} {:>10} {:>12} {:>8.2} {:>6.1}%",
+            st.stage,
+            st.count,
+            fmt_ns(st.sim_ns),
+            fmt_bytes(st.media_bytes_written),
+            st.write_amplification,
+            st.media_write_share * 100.0
+        );
+    }
+
+    println!("\n  per-op latency (merged shard histograms):");
+    println!(
+        "    {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "op", "count", "p50", "p99", "p99.9", "max"
+    );
+    for op in &snap.ops {
+        if op.count == 0 {
+            continue;
+        }
+        println!(
+            "    {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            op.op,
+            op.count,
+            fmt_ns(op.p50_ns),
+            fmt_ns(op.p99_ns),
+            fmt_ns(op.p999_ns),
+            fmt_ns(op.max_ns)
+        );
+    }
+
+    println!(
+        "\n  journal: {} events recorded, {} retained, {} dropped (ring capacity)",
+        snap.events_total,
+        snap.events.len(),
+        snap.events_dropped
+    );
+    if let Some(tail) = snap.events.last() {
+        println!(
+            "  newest event: seq={} ts={} kind={}",
+            tail.seq,
+            tail.ts,
+            tail.kind.name()
+        );
+    }
+}
+
+fn write_artifacts(opts: &Opts, snap: &ObsSnapshot) {
+    let json_path = match &opts.obs_json {
+        Some(p) => Some(p.clone()),
+        None => opts.out_dir.as_ref().map(|d| d.join("obs.json")),
+    };
+    let Some(json_path) = json_path else { return };
+    if let Some(dir) = json_path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create obs artifact dir");
+        }
+    }
+    std::fs::write(&json_path, snap.to_pretty_json()).expect("write obs json");
+    println!("  [artifact] {}", json_path.display());
+    let prom_path = json_path.with_extension("prom");
+    std::fs::write(&prom_path, snap.to_prometheus()).expect("write obs prometheus");
+    println!("  [artifact] {}", prom_path.display());
+}

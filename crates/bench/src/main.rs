@@ -1,11 +1,13 @@
 //! `repro` — regenerates every table and figure of the ChameleonDB paper.
 //!
 //! Usage: `repro <experiment> [--keys N] [--ops N] [--threads N]
-//! [--out DIR | --no-out] [--quick]`
+//! [--out DIR | --no-out] [--quick] [--obs-json PATH] [--progress]`
 //!
 //! Experiments: `fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//! table4 ablate-abi ablate-loadfactor ablate-ratio all`. `table2`/`table3`
-//! are printed by `fig11`/`fig13`; `fig3` by `table4`.
+//! table4 ablate-abi ablate-loadfactor ablate-ratio obs all`.
+//! `table2`/`table3` are printed by `fig11`/`fig13`; `fig3` by `table4`.
+//! `obs` exercises the observability layer and honors `--obs-json` /
+//! `--progress`.
 
 use chameleon_bench::experiments as exp;
 use chameleon_bench::util::Opts;
@@ -69,6 +71,9 @@ fn main() {
         "ablate-ratio" => {
             exp::ablate::ratio(&opts);
         }
+        "obs" => {
+            exp::obs::run(&opts);
+        }
         "all" => {
             exp::fig01::run(&opts);
             exp::fig02::run(&opts);
@@ -101,7 +106,8 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: repro <experiment> [--keys N] [--ops N] [--threads N] [--out DIR | --no-out] [--quick]\n\
+         \x20                       [--obs-json PATH] [--progress]\n\
          experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
-                      table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio all"
+                      table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs all"
     );
 }

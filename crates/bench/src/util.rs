@@ -18,6 +18,11 @@ pub struct Opts {
     pub out_dir: Option<PathBuf>,
     /// Quick mode: shrink everything ~10x (CI smoke runs).
     pub quick: bool,
+    /// Write the unified observability snapshot (pretty JSON) here; a
+    /// sibling `.prom` file gets the Prometheus text rendering.
+    pub obs_json: Option<PathBuf>,
+    /// Opt-in periodic progress reporter on stderr.
+    pub progress: bool,
 }
 
 impl Default for Opts {
@@ -28,6 +33,8 @@ impl Default for Opts {
             threads: 16,
             out_dir: Some(PathBuf::from("results")),
             quick: false,
+            obs_json: None,
+            progress: false,
         }
     }
 }
@@ -65,6 +72,11 @@ impl Opts {
                 }
                 "--no-out" => opts.out_dir = None,
                 "--quick" => opts.quick = true,
+                "--obs-json" => {
+                    opts.obs_json =
+                        Some(PathBuf::from(it.next().ok_or("--obs-json needs a value")?));
+                }
+                "--progress" => opts.progress = true,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -141,6 +153,23 @@ mod tests {
         assert_eq!(o.keys, 100);
         assert_eq!(o.threads, 4);
         assert!(o.out_dir.is_none());
+        assert!(o.obs_json.is_none());
+        assert!(!o.progress);
+    }
+
+    #[test]
+    fn parse_obs_flags() {
+        let args: Vec<String> = ["--obs-json", "/tmp/obs.json", "--progress"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Opts::parse(&args).unwrap();
+        assert_eq!(
+            o.obs_json.as_deref(),
+            Some(std::path::Path::new("/tmp/obs.json"))
+        );
+        assert!(o.progress);
+        assert!(Opts::parse(&["--obs-json".to_string()]).is_err());
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Serializers: pretty JSON and Prometheus text exposition.
+//!
+//! Hand-rolled on purpose: the snapshot's shape is fixed, event payloads
+//! are heterogeneous (an enum), and keeping the writers here means the
+//! obs crate needs no serialization dependency.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::ObsSnapshot;
+
+/// Formats a float so it parses back (`3.25`, `0.0`); non-finite values
+/// (possible only from degenerate inputs) become `0.0`.
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0.0".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Prometheus sample value: plain shortest float, `0` for non-finite.
+fn prom_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl ObsSnapshot {
+    /// Serializes the snapshot as pretty-printed JSON (2-space indent).
+    pub fn to_pretty_json(&self) -> String {
+        let mut w = String::with_capacity(4096);
+        w.push_str("{\n");
+        let _ = writeln!(w, "  \"captured_ts\": {},", self.captured_ts);
+        let _ = writeln!(w, "  \"enabled\": {},", self.enabled);
+
+        w.push_str("  \"counters\": {\n");
+        for (si, sec) in self.counters.iter().enumerate() {
+            let _ = writeln!(w, "    {}: {{", json_str(sec.name));
+            for (ci, (name, val)) in sec.counters.iter().enumerate() {
+                let comma = if ci + 1 < sec.counters.len() { "," } else { "" };
+                let _ = writeln!(w, "      {}: {val}{comma}", json_str(name));
+            }
+            let comma = if si + 1 < self.counters.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(w, "    }}{comma}");
+        }
+        w.push_str("  },\n");
+
+        w.push_str("  \"media\": {\n");
+        let m = &self.media;
+        let media_fields: [(&str, u64); 8] = [
+            ("logical_bytes_written", m.logical_bytes_written),
+            ("media_bytes_written", m.media_bytes_written),
+            ("rmw_blocks", m.rmw_blocks),
+            ("logical_bytes_read", m.logical_bytes_read),
+            ("media_bytes_read", m.media_bytes_read),
+            ("fences", m.fences),
+            ("line_persists", m.line_persists),
+            ("crashes", m.crashes),
+        ];
+        for (name, val) in media_fields {
+            let _ = writeln!(w, "    {}: {val},", json_str(name));
+        }
+        let _ = writeln!(
+            w,
+            "    \"write_amplification\": {},",
+            json_f64(self.media_write_amplification)
+        );
+        let _ = writeln!(
+            w,
+            "    \"read_amplification\": {}",
+            json_f64(self.media_read_amplification)
+        );
+        w.push_str("  },\n");
+
+        w.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            w.push_str("    {\n");
+            let _ = writeln!(w, "      \"stage\": {},", json_str(s.stage));
+            let _ = writeln!(w, "      \"count\": {},", s.count);
+            let _ = writeln!(w, "      \"sim_ns\": {},", s.sim_ns);
+            let _ = writeln!(
+                w,
+                "      \"logical_bytes_written\": {},",
+                s.logical_bytes_written
+            );
+            let _ = writeln!(
+                w,
+                "      \"media_bytes_written\": {},",
+                s.media_bytes_written
+            );
+            let _ = writeln!(w, "      \"media_bytes_read\": {},", s.media_bytes_read);
+            let _ = writeln!(
+                w,
+                "      \"write_amplification\": {},",
+                json_f64(s.write_amplification)
+            );
+            let _ = writeln!(
+                w,
+                "      \"media_write_share\": {}",
+                json_f64(s.media_write_share)
+            );
+            let comma = if i + 1 < self.stages.len() { "," } else { "" };
+            let _ = writeln!(w, "    }}{comma}");
+        }
+        w.push_str("  ],\n");
+
+        w.push_str("  \"ops\": [\n");
+        for (i, o) in self.ops.iter().enumerate() {
+            w.push_str("    {\n");
+            let _ = writeln!(w, "      \"op\": {},", json_str(o.op));
+            let _ = writeln!(w, "      \"count\": {},", o.count);
+            let _ = writeln!(w, "      \"mean_ns\": {},", json_f64(o.mean_ns));
+            let _ = writeln!(w, "      \"p50_ns\": {},", o.p50_ns);
+            let _ = writeln!(w, "      \"p99_ns\": {},", o.p99_ns);
+            let _ = writeln!(w, "      \"p999_ns\": {},", o.p999_ns);
+            let _ = writeln!(w, "      \"max_ns\": {}", o.max_ns);
+            let comma = if i + 1 < self.ops.len() { "," } else { "" };
+            let _ = writeln!(w, "    }}{comma}");
+        }
+        w.push_str("  ],\n");
+
+        w.push_str("  \"events\": {\n");
+        let _ = writeln!(w, "    \"total\": {},", self.events_total);
+        let _ = writeln!(w, "    \"dropped\": {},", self.events_dropped);
+        w.push_str("    \"tail\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            let mut parts = vec![
+                format!("\"seq\": {}", e.seq),
+                format!("\"ts\": {}", e.ts),
+                format!("\"kind\": {}", json_str(e.kind.name())),
+            ];
+            for (name, val) in e.kind.labels() {
+                parts.push(format!("{}: {}", json_str(name), json_str(val)));
+            }
+            for (name, val) in e.kind.fields() {
+                parts.push(format!("{}: {val}", json_str(name)));
+            }
+            let comma = if i + 1 < self.events.len() { "," } else { "" };
+            let _ = writeln!(w, "      {{ {} }}{comma}", parts.join(", "));
+        }
+        w.push_str("    ]\n");
+        w.push_str("  }\n");
+        w.push('}');
+        w
+    }
+
+    /// Serializes the snapshot in Prometheus text exposition format:
+    /// `name{label="value",...} value` lines, with `# TYPE` headers.
+    pub fn to_prometheus(&self) -> String {
+        let mut w = String::with_capacity(4096);
+        let gauge = |w: &mut String, name: &str| {
+            let _ = writeln!(w, "# TYPE {name} gauge");
+        };
+
+        for sec in &self.counters {
+            for (name, val) in &sec.counters {
+                let metric = format!("chameleon_{}_{}", sec.name, name);
+                gauge(&mut w, &metric);
+                let _ = writeln!(w, "{metric} {val}");
+            }
+        }
+
+        let m = &self.media;
+        let media_fields: [(&str, u64); 8] = [
+            ("logical_bytes_written", m.logical_bytes_written),
+            ("media_bytes_written", m.media_bytes_written),
+            ("rmw_blocks", m.rmw_blocks),
+            ("logical_bytes_read", m.logical_bytes_read),
+            ("media_bytes_read", m.media_bytes_read),
+            ("fences", m.fences),
+            ("line_persists", m.line_persists),
+            ("crashes", m.crashes),
+        ];
+        for (name, val) in media_fields {
+            let metric = format!("chameleon_media_{name}");
+            gauge(&mut w, &metric);
+            let _ = writeln!(w, "{metric} {val}");
+        }
+        gauge(&mut w, "chameleon_media_write_amplification");
+        let _ = writeln!(
+            w,
+            "chameleon_media_write_amplification {}",
+            prom_f64(self.media_write_amplification)
+        );
+        gauge(&mut w, "chameleon_media_read_amplification");
+        let _ = writeln!(
+            w,
+            "chameleon_media_read_amplification {}",
+            prom_f64(self.media_read_amplification)
+        );
+
+        let stage_metrics = [
+            "chameleon_stage_count",
+            "chameleon_stage_sim_ns",
+            "chameleon_stage_logical_bytes_written",
+            "chameleon_stage_media_bytes_written",
+            "chameleon_stage_media_bytes_read",
+            "chameleon_stage_write_amplification",
+            "chameleon_stage_media_write_share",
+        ];
+        for metric in stage_metrics {
+            gauge(&mut w, metric);
+            for s in &self.stages {
+                let v = match metric {
+                    "chameleon_stage_count" => s.count.to_string(),
+                    "chameleon_stage_sim_ns" => s.sim_ns.to_string(),
+                    "chameleon_stage_logical_bytes_written" => s.logical_bytes_written.to_string(),
+                    "chameleon_stage_media_bytes_written" => s.media_bytes_written.to_string(),
+                    "chameleon_stage_media_bytes_read" => s.media_bytes_read.to_string(),
+                    "chameleon_stage_write_amplification" => prom_f64(s.write_amplification),
+                    _ => prom_f64(s.media_write_share),
+                };
+                let _ = writeln!(w, "{metric}{{stage=\"{}\"}} {v}", s.stage);
+            }
+        }
+
+        gauge(&mut w, "chameleon_op_count");
+        for o in &self.ops {
+            let _ = writeln!(w, "chameleon_op_count{{op=\"{}\"}} {}", o.op, o.count);
+        }
+        gauge(&mut w, "chameleon_op_latency_ns");
+        for o in &self.ops {
+            for (q, v) in [("0.5", o.p50_ns), ("0.99", o.p99_ns), ("0.999", o.p999_ns)] {
+                let _ = writeln!(
+                    w,
+                    "chameleon_op_latency_ns{{op=\"{}\",quantile=\"{q}\"}} {v}",
+                    o.op
+                );
+            }
+        }
+        gauge(&mut w, "chameleon_op_latency_ns_max");
+        for o in &self.ops {
+            let _ = writeln!(
+                w,
+                "chameleon_op_latency_ns_max{{op=\"{}\"}} {}",
+                o.op, o.max_ns
+            );
+        }
+
+        gauge(&mut w, "chameleon_events_total");
+        let _ = writeln!(w, "chameleon_events_total {}", self.events_total);
+        gauge(&mut w, "chameleon_events_dropped");
+        let _ = writeln!(w, "chameleon_events_dropped {}", self.events_dropped);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::Ordering;
+
+    use pmem_sim::MediaStats;
+
+    use super::*;
+    use crate::span::Stage;
+    use crate::{CounterSection, EventKind, Obs, ObsConfig, OpKind};
+
+    fn sample_snapshot() -> ObsSnapshot {
+        let obs = Obs::new(ObsConfig::on(), 1);
+        let dev = MediaStats::default();
+        dev.logical_bytes_written.fetch_add(100, Ordering::Relaxed);
+        dev.media_bytes_written.fetch_add(300, Ordering::Relaxed);
+        let span = obs.span_start(Stage::AbiDump, 10, &dev);
+        dev.media_bytes_written.fetch_add(700, Ordering::Relaxed);
+        obs.span_end(span, 60, &dev);
+        obs.record_event(
+            70,
+            EventKind::ModeTransition {
+                from: "normal",
+                to: "get_protect",
+                trigger: "p99_above_enter_threshold",
+                p99_ns: 2500,
+            },
+        );
+        obs.record_event(
+            80,
+            EventKind::AbiDump {
+                shard: 1,
+                slots: 64,
+                media_bytes: 700,
+            },
+        );
+        obs.record_op(0, OpKind::Get, 150);
+        obs.snapshot(
+            100,
+            vec![CounterSection {
+                name: "store",
+                counters: vec![("puts", 5), ("gets", 9)],
+            }],
+            dev.snapshot(),
+        )
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let json = sample_snapshot().to_pretty_json();
+        // Structural sanity: balanced braces/brackets outside strings
+        // (no string values here contain braces).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for needle in [
+            "\"captured_ts\": 100",
+            "\"store\": {",
+            "\"puts\": 5",
+            "\"media_bytes_written\": 1000",
+            "\"stage\": \"abi_dump\"",
+            "\"stage\": \"foreground\"",
+            "\"op\": \"get\"",
+            "\"kind\": \"mode_transition\"",
+            "\"trigger\": \"p99_above_enter_threshold\"",
+            "\"kind\": \"abi_dump\"",
+            "\"total\": 2",
+        ] {
+            assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+        }
+        // No trailing commas before closers (the classic hand-rolled bug).
+        assert!(!json.contains(",\n  }") && !json.contains(",\n  ]"));
+        assert!(!json.contains(",\n    }") && !json.contains(",\n    ]"));
+        assert!(!json.contains(",\n      }") && !json.contains(",\n      ]"));
+    }
+
+    #[test]
+    fn json_floats_round_trip() {
+        assert_eq!(json_f64(3.25), "3.25");
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(0.0), "0.0");
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+    }
+
+    #[test]
+    fn prometheus_lines_parse() {
+        let text = sample_snapshot().to_prometheus();
+        let mut samples = 0;
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            samples += 1;
+            let (name_part, value) = line.rsplit_once(' ').expect("space-separated sample");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            let name = match name_part.split_once('{') {
+                Some((n, rest)) => {
+                    assert!(rest.ends_with('}'), "unclosed labels in {line:?}");
+                    for pair in rest.trim_end_matches('}').split(',') {
+                        let (k, v) = pair.split_once('=').expect("label k=v");
+                        assert!(!k.is_empty());
+                        assert!(v.starts_with('"') && v.ends_with('"'), "{line:?}");
+                    }
+                    n
+                }
+                None => name_part,
+            };
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+            assert!(name.starts_with("chameleon_"), "unprefixed {line:?}");
+        }
+        assert!(samples > 30, "only {samples} samples");
+        assert!(text.contains("chameleon_stage_media_bytes_written{stage=\"abi_dump\"} 700"));
+        assert!(text.contains("chameleon_op_latency_ns{op=\"get\",quantile=\"0.99\"}"));
+        assert!(text.contains("chameleon_store_puts 5"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Unified observability layer for the ChameleonDB reproduction.
+//!
+//! Three ingestion surfaces, one export surface:
+//!
+//! * an **event journal** ([`Journal`]): a bounded, lock-cheap ring buffer
+//!   of structured [`Event`]s (mode transitions, MemTable flushes, WIM
+//!   merges, compactions, ABI dumps/rebuilds, simulated crashes), each
+//!   stamped with the simulated clock and carrying payload fields;
+//! * **maintenance spans** ([`Stage`] / [`SpanStart`]): scoped measurements
+//!   around the flush/compaction/dump paths capturing simulated duration
+//!   and a [`StatsSnapshot`] delta, so device write amplification is
+//!   attributed per maintenance stage (Fig. 17(b)/(e) style) from one run;
+//! * **per-op latency histograms** ([`OpHists`]): put/get/delete
+//!   [`Histogram`]s per shard, merged on demand into store-level
+//!   p50/p99/p999.
+//!
+//! [`Obs::snapshot`] unifies all three with caller-provided counter
+//! sections into an [`ObsSnapshot`], serializable as pretty JSON or
+//! Prometheus text exposition (see [`snapshot`] and [`export`]).
+//!
+//! The layer is strictly below the store: it depends only on `pmem-sim`
+//! types, and the store assembles its own counters into sections. With
+//! [`ObsConfig::off`] every recording entry point returns after one branch
+//! and the constructor allocates nothing per shard.
+
+pub mod event;
+pub mod export;
+pub mod snapshot;
+pub mod span;
+
+use parking_lot::Mutex;
+use pmem_sim::{Histogram, MediaStats, StatsSnapshot};
+
+pub use event::{Event, EventKind, Journal};
+pub use snapshot::{CounterSection, ObsSnapshot, OpSummary, StageSummary};
+pub use span::{SpanStart, Stage, StageAgg};
+
+/// Observability configuration, carried inside the store config.
+///
+/// Deliberately *not* part of any persisted configuration blob: turning
+/// observability on or off never changes on-media geometry, so a store
+/// created with one setting can be recovered with another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch. When false, every recording call is a single branch
+    /// and no per-shard state is allocated.
+    pub enabled: bool,
+    /// Ring-buffer capacity of the event journal, in events. Older events
+    /// are overwritten (and counted as dropped) once full.
+    pub journal_capacity: usize,
+}
+
+impl ObsConfig {
+    /// Everything off; the zero-overhead default.
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            journal_capacity: 0,
+        }
+    }
+
+    /// Everything on with the default journal capacity (256 events).
+    pub fn on() -> Self {
+        Self {
+            enabled: true,
+            journal_capacity: 256,
+        }
+    }
+
+    /// On, with an explicit journal capacity.
+    pub fn with_capacity(journal_capacity: usize) -> Self {
+        Self {
+            enabled: true,
+            journal_capacity,
+        }
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+/// Which front-door operation a latency sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Put,
+    Get,
+    Delete,
+}
+
+impl OpKind {
+    /// Stable lowercase name used in exports ("put"/"get"/"delete").
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Put => "put",
+            OpKind::Get => "get",
+            OpKind::Delete => "delete",
+        }
+    }
+}
+
+/// Put/get/delete latency histograms for one shard (or a rollup).
+#[derive(Debug, Clone, Default)]
+pub struct OpHists {
+    pub put: Histogram,
+    pub get: Histogram,
+    pub delete: Histogram,
+}
+
+impl OpHists {
+    /// Folds `other` into `self` (used for the store-level rollup).
+    pub fn merge(&mut self, other: &OpHists) {
+        self.put.merge(&other.put);
+        self.get.merge(&other.get);
+        self.delete.merge(&other.delete);
+    }
+
+    fn hist_mut(&mut self, op: OpKind) -> &mut Histogram {
+        match op {
+            OpKind::Put => &mut self.put,
+            OpKind::Get => &mut self.get,
+            OpKind::Delete => &mut self.delete,
+        }
+    }
+}
+
+/// The observability hub owned by a store instance.
+///
+/// All entry points are `&self` and internally synchronized; shards and
+/// front-door operations record concurrently.
+pub struct Obs {
+    cfg: ObsConfig,
+    journal: Journal,
+    stages: span::StageTable,
+    op_hists: Vec<Mutex<OpHists>>,
+}
+
+impl Obs {
+    /// Builds the hub for a store with `shards` shards.
+    pub fn new(cfg: ObsConfig, shards: usize) -> Self {
+        let (cap, lanes) = if cfg.enabled {
+            (cfg.journal_capacity, shards)
+        } else {
+            (0, 0)
+        };
+        Self {
+            cfg,
+            journal: Journal::new(cap),
+            stages: span::StageTable::new(),
+            op_hists: (0..lanes).map(|_| Mutex::new(OpHists::default())).collect(),
+        }
+    }
+
+    /// A hub that records nothing (equivalent to `new(ObsConfig::off(), _)`).
+    pub fn disabled() -> Self {
+        Self::new(ObsConfig::off(), 0)
+    }
+
+    /// Whether recording is on. All recording calls are no-ops when false.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ObsConfig {
+        self.cfg
+    }
+
+    /// The event journal (always present; zero-capacity when disabled).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Appends an event stamped `ts` (simulated ns). Timestamps are
+    /// clamped monotonically non-decreasing by the journal; callers
+    /// without a clock may pass 0 and inherit the previous stamp.
+    #[inline]
+    pub fn record_event(&self, ts: u64, kind: EventKind) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.journal.record(ts, kind);
+    }
+
+    /// Opens a maintenance span: captures the start timestamp and a
+    /// monotonic [`StatsSnapshot`] of the device. Returns `None` (and
+    /// reads nothing) when disabled — pass the result straight to
+    /// [`Obs::span_end`].
+    ///
+    /// Spans deliberately snapshot-and-subtract rather than calling
+    /// [`MediaStats::reset`]: reset racing concurrent traffic tears the
+    /// counters (see the warning on `MediaStats::reset`), while deltas of
+    /// monotonic snapshots are safe under concurrency.
+    #[inline]
+    pub fn span_start(&self, stage: Stage, ts: u64, media: &MediaStats) -> Option<SpanStart> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        Some(SpanStart {
+            stage,
+            ts,
+            media: media.snapshot(),
+        })
+    }
+
+    /// Closes a span opened by [`Obs::span_start`], folding its duration
+    /// and media-counter delta into the per-stage aggregates. Returns the
+    /// media delta so callers can embed byte counts in journal events.
+    /// No-op (returns `None`) if the span was never opened.
+    pub fn span_end(
+        &self,
+        span: Option<SpanStart>,
+        end_ts: u64,
+        media: &MediaStats,
+    ) -> Option<StatsSnapshot> {
+        let span = span?;
+        let delta = media.snapshot().delta(&span.media);
+        self.stages
+            .add(span.stage, end_ts.saturating_sub(span.ts), &delta);
+        Some(delta)
+    }
+
+    /// Records one operation latency sample against `shard`'s histograms.
+    #[inline]
+    pub fn record_op(&self, shard: usize, op: OpKind, latency_ns: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let Some(lane) = self.op_hists.get(shard) else {
+            return;
+        };
+        lane.lock().hist_mut(op).record(latency_ns);
+    }
+
+    /// Merges every shard's histograms into one store-level [`OpHists`].
+    pub fn op_rollup(&self) -> OpHists {
+        let mut out = OpHists::default();
+        for lane in &self.op_hists {
+            out.merge(&lane.lock());
+        }
+        out
+    }
+
+    /// Per-stage aggregates accumulated so far, in [`Stage::ALL`] order.
+    pub fn stage_aggregates(&self) -> Vec<(Stage, StageAgg)> {
+        Stage::ALL
+            .iter()
+            .map(|&s| (s, self.stages.get(s)))
+            .collect()
+    }
+
+    /// Builds the unified snapshot: caller-provided counter sections plus
+    /// the device-level media snapshot, joined with the stage aggregates,
+    /// merged op histograms, and the retained journal tail.
+    pub fn snapshot(
+        &self,
+        captured_ts: u64,
+        counters: Vec<CounterSection>,
+        media: StatsSnapshot,
+    ) -> ObsSnapshot {
+        snapshot::build(self, captured_ts, counters, media)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_config_allocates_no_lanes_and_records_nothing() {
+        let obs = Obs::new(ObsConfig::off(), 64);
+        assert!(!obs.enabled());
+        assert_eq!(obs.op_hists.len(), 0);
+        obs.record_op(3, OpKind::Put, 100);
+        obs.record_event(5, EventKind::Crash { crashes: 1 });
+        let dev = MediaStats::default();
+        let span = obs.span_start(Stage::Flush, 0, &dev);
+        assert!(span.is_none());
+        assert!(obs.span_end(span, 10, &dev).is_none());
+        assert_eq!(obs.journal().total(), 0);
+        assert_eq!(obs.op_rollup().put.count(), 0);
+        assert!(obs.stage_aggregates().iter().all(|(_, a)| a.count == 0));
+    }
+
+    #[test]
+    fn op_rollup_merges_across_shards() {
+        let obs = Obs::new(ObsConfig::on(), 4);
+        obs.record_op(0, OpKind::Put, 100);
+        obs.record_op(1, OpKind::Put, 300);
+        obs.record_op(2, OpKind::Get, 50);
+        obs.record_op(3, OpKind::Delete, 7);
+        // Out-of-range shard indices are ignored, not a panic.
+        obs.record_op(99, OpKind::Put, 1);
+        let roll = obs.op_rollup();
+        assert_eq!(roll.put.count(), 2);
+        assert_eq!(roll.get.count(), 1);
+        assert_eq!(roll.delete.count(), 1);
+        assert!(roll.put.max() >= 300);
+    }
+
+    #[test]
+    fn spans_attribute_media_deltas_per_stage() {
+        let obs = Obs::new(ObsConfig::on(), 1);
+        let dev = MediaStats::default();
+        let span = obs.span_start(Stage::Flush, 1000, &dev);
+        dev.logical_bytes_written
+            .fetch_add(256, std::sync::atomic::Ordering::Relaxed);
+        dev.media_bytes_written
+            .fetch_add(512, std::sync::atomic::Ordering::Relaxed);
+        let delta = obs.span_end(span, 1500, &dev).expect("span closed");
+        assert_eq!(delta.logical_bytes_written, 256);
+        assert_eq!(delta.media_bytes_written, 512);
+        let aggs = obs.stage_aggregates();
+        let flush = &aggs
+            .iter()
+            .find(|(s, _)| *s == Stage::Flush)
+            .expect("flush stage")
+            .1;
+        assert_eq!(flush.count, 1);
+        assert_eq!(flush.sim_ns, 500);
+        assert_eq!(flush.media_bytes_written, 512);
+        // Other stages untouched.
+        let dump = &aggs
+            .iter()
+            .find(|(s, _)| *s == Stage::AbiDump)
+            .expect("dump stage")
+            .1;
+        assert_eq!(dump.count, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Maintenance-stage spans and their lock-free aggregates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pmem_sim::StatsSnapshot;
+
+/// The maintenance stages whose device traffic we attribute separately.
+///
+/// Together with the foreground remainder these partition all media
+/// writes, which is what lets one run reproduce a Fig. 17(b)/(e)-style
+/// write-amplification breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// MemTable → L0 table build.
+    Flush,
+    /// MemTable → ABI merge (Write-Intensive Mode; DRAM only).
+    WimMerge,
+    /// Upper-level (size-tiered or Direct) compaction.
+    MidCompaction,
+    /// Merge into the last, leveled level.
+    LastCompaction,
+    /// ABI dumped to Pmem as an unmerged table (Get-Protect Mode).
+    AbiDump,
+    /// ABI rebuilt from the upper levels (DRAM writes, Pmem reads).
+    AbiRebuild,
+}
+
+impl Stage {
+    /// All stages, export order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Flush,
+        Stage::WimMerge,
+        Stage::MidCompaction,
+        Stage::LastCompaction,
+        Stage::AbiDump,
+        Stage::AbiRebuild,
+    ];
+
+    /// Stable snake_case name used in exports and labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Flush => "flush",
+            Stage::WimMerge => "wim_merge",
+            Stage::MidCompaction => "mid_compaction",
+            Stage::LastCompaction => "last_compaction",
+            Stage::AbiDump => "abi_dump",
+            Stage::AbiRebuild => "abi_rebuild",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            Stage::Flush => 0,
+            Stage::WimMerge => 1,
+            Stage::MidCompaction => 2,
+            Stage::LastCompaction => 3,
+            Stage::AbiDump => 4,
+            Stage::AbiRebuild => 5,
+        }
+    }
+}
+
+/// An open span: the stage plus the starting timestamp and media
+/// snapshot. Closed by [`crate::Obs::span_end`]; simply dropping it
+/// records nothing (error paths discard their span).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanStart {
+    pub(crate) stage: Stage,
+    pub(crate) ts: u64,
+    pub(crate) media: StatsSnapshot,
+}
+
+impl SpanStart {
+    /// The stage this span measures.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+}
+
+/// Accumulated totals for one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageAgg {
+    /// Closed spans.
+    pub count: u64,
+    /// Total simulated time inside the stage, ns.
+    pub sim_ns: u64,
+    /// Logical bytes the stage asked the device to write.
+    pub logical_bytes_written: u64,
+    /// Media bytes the device actually wrote (256B-block granularity).
+    pub media_bytes_written: u64,
+    /// Media bytes read.
+    pub media_bytes_read: u64,
+    /// Read-modify-write blocks charged.
+    pub rmw_blocks: u64,
+    /// Persist fences issued.
+    pub fences: u64,
+}
+
+impl StageAgg {
+    /// Media-over-logical write amplification inside this stage.
+    pub fn write_amplification(&self) -> f64 {
+        if self.logical_bytes_written == 0 {
+            0.0
+        } else {
+            self.media_bytes_written as f64 / self.logical_bytes_written as f64
+        }
+    }
+}
+
+/// Per-stage aggregate counters. Plain relaxed atomics: spans close under
+/// the owning shard's lock, so this only needs to be data-race-free, not
+/// ordered.
+pub(crate) struct StageTable {
+    slots: [StageSlot; 6],
+}
+
+#[derive(Default)]
+struct StageSlot {
+    count: AtomicU64,
+    sim_ns: AtomicU64,
+    logical_bytes_written: AtomicU64,
+    media_bytes_written: AtomicU64,
+    media_bytes_read: AtomicU64,
+    rmw_blocks: AtomicU64,
+    fences: AtomicU64,
+}
+
+impl StageTable {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: Default::default(),
+        }
+    }
+
+    pub(crate) fn add(&self, stage: Stage, sim_ns: u64, delta: &StatsSnapshot) {
+        let s = &self.slots[stage.index()];
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.sim_ns.fetch_add(sim_ns, Ordering::Relaxed);
+        s.logical_bytes_written
+            .fetch_add(delta.logical_bytes_written, Ordering::Relaxed);
+        s.media_bytes_written
+            .fetch_add(delta.media_bytes_written, Ordering::Relaxed);
+        s.media_bytes_read
+            .fetch_add(delta.media_bytes_read, Ordering::Relaxed);
+        s.rmw_blocks.fetch_add(delta.rmw_blocks, Ordering::Relaxed);
+        s.fences.fetch_add(delta.fences, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self, stage: Stage) -> StageAgg {
+        let s = &self.slots[stage.index()];
+        StageAgg {
+            count: s.count.load(Ordering::Relaxed),
+            sim_ns: s.sim_ns.load(Ordering::Relaxed),
+            logical_bytes_written: s.logical_bytes_written.load(Ordering::Relaxed),
+            media_bytes_written: s.media_bytes_written.load(Ordering::Relaxed),
+            media_bytes_read: s.media_bytes_read.load(Ordering::Relaxed),
+            rmw_blocks: s.rmw_blocks.load(Ordering::Relaxed),
+            fences: s.fences.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_unique_and_stable() {
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert_eq!(Stage::Flush.name(), "flush");
+        assert_eq!(Stage::AbiDump.name(), "abi_dump");
+    }
+
+    #[test]
+    fn aggregates_accumulate_and_compute_wa() {
+        let t = StageTable::new();
+        let delta = StatsSnapshot {
+            logical_bytes_written: 100,
+            media_bytes_written: 300,
+            media_bytes_read: 50,
+            rmw_blocks: 2,
+            fences: 1,
+            ..Default::default()
+        };
+        t.add(Stage::MidCompaction, 10, &delta);
+        t.add(Stage::MidCompaction, 15, &delta);
+        let agg = t.get(Stage::MidCompaction);
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.sim_ns, 25);
+        assert_eq!(agg.logical_bytes_written, 200);
+        assert_eq!(agg.media_bytes_written, 600);
+        assert_eq!(agg.rmw_blocks, 4);
+        assert!((agg.write_amplification() - 3.0).abs() < 1e-12);
+        assert_eq!(t.get(Stage::Flush), StageAgg::default());
+        assert_eq!(StageAgg::default().write_amplification(), 0.0);
+    }
+}

@@ -1,5 +1,6 @@
 //! Store configuration (Table 1 of the paper).
 
+use chameleon_obs::ObsConfig;
 use kvlog::LogConfig;
 
 use crate::mode::GpmConfig;
@@ -64,6 +65,12 @@ pub struct ChameleonConfig {
     /// levels in Pmem (isolating the ABI's contribution; the ABI is still
     /// maintained for compactions and recovery).
     pub use_abi_for_get: bool,
+    /// Observability configuration (event journal, maintenance spans,
+    /// per-op latency histograms). Off by default — when off, the hot
+    /// paths pay one branch and nothing is allocated. Deliberately *not*
+    /// part of the persisted config blob: a store can be recovered with a
+    /// different observability setting than it was created with.
+    pub obs: ObsConfig,
 }
 
 impl ChameleonConfig {
@@ -93,6 +100,7 @@ impl ChameleonConfig {
             manifest_bytes: 4 << 20,
             gpm: GpmConfig::default(),
             use_abi_for_get: true,
+            obs: ObsConfig::off(),
         }
     }
 

@@ -49,5 +49,5 @@ mod store;
 pub use config::{ChameleonConfig, CompactionScheme};
 pub use manifest::{Manifest, ManifestRecord, Superblock, LEVEL_DUMPED};
 pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
-pub use mode::{GpmConfig, Mode};
+pub use mode::{GpmConfig, Mode, ModeChange};
 pub use store::ChameleonDb;

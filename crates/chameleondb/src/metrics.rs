@@ -99,17 +99,79 @@ pub struct StoreMetricsSnapshot {
 }
 
 impl StoreMetricsSnapshot {
+    /// Total gets that found a live entry, summed over every serving tier.
+    pub fn hits(&self) -> u64 {
+        self.memtable_hits + self.abi_hits + self.dumped_hits + self.last_hits + self.upper_hits
+    }
+
+    /// Fraction of gets that found a live entry (hits over hits+misses).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
     /// Fraction of gets served by the ABI among all hits.
     pub fn abi_hit_rate(&self) -> f64 {
-        let hits = self.memtable_hits
-            + self.abi_hits
-            + self.dumped_hits
-            + self.last_hits
-            + self.upper_hits;
+        let hits = self.hits();
         if hits == 0 {
             0.0
         } else {
             self.abi_hits as f64 / hits as f64
+        }
+    }
+
+    /// Flattens the snapshot into `(name, value)` pairs, declaration
+    /// order — the shape the observability exporter consumes.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("puts", self.puts),
+            ("gets", self.gets),
+            ("deletes", self.deletes),
+            ("memtable_hits", self.memtable_hits),
+            ("abi_hits", self.abi_hits),
+            ("dumped_hits", self.dumped_hits),
+            ("last_hits", self.last_hits),
+            ("upper_hits", self.upper_hits),
+            ("misses", self.misses),
+            ("flushes", self.flushes),
+            ("wim_merges", self.wim_merges),
+            ("mid_compactions", self.mid_compactions),
+            ("last_compactions", self.last_compactions),
+            ("abi_dumps", self.abi_dumps),
+            ("gpm_entries", self.gpm_entries),
+            ("abi_rebuilds", self.abi_rebuilds),
+        ]
+    }
+}
+
+/// `later - earlier` phase delta, counter-wise. Replaces hand-rolled
+/// per-field subtraction in the experiment harnesses.
+impl std::ops::Sub for StoreMetricsSnapshot {
+    type Output = StoreMetricsSnapshot;
+
+    fn sub(self, earlier: StoreMetricsSnapshot) -> StoreMetricsSnapshot {
+        StoreMetricsSnapshot {
+            puts: self.puts - earlier.puts,
+            gets: self.gets - earlier.gets,
+            deletes: self.deletes - earlier.deletes,
+            memtable_hits: self.memtable_hits - earlier.memtable_hits,
+            abi_hits: self.abi_hits - earlier.abi_hits,
+            dumped_hits: self.dumped_hits - earlier.dumped_hits,
+            last_hits: self.last_hits - earlier.last_hits,
+            upper_hits: self.upper_hits - earlier.upper_hits,
+            misses: self.misses - earlier.misses,
+            flushes: self.flushes - earlier.flushes,
+            wim_merges: self.wim_merges - earlier.wim_merges,
+            mid_compactions: self.mid_compactions - earlier.mid_compactions,
+            last_compactions: self.last_compactions - earlier.last_compactions,
+            abi_dumps: self.abi_dumps - earlier.abi_dumps,
+            gpm_entries: self.gpm_entries - earlier.gpm_entries,
+            abi_rebuilds: self.abi_rebuilds - earlier.abi_rebuilds,
         }
     }
 }
@@ -133,5 +195,52 @@ mod tests {
     #[test]
     fn empty_hit_rate_is_zero() {
         assert_eq!(StoreMetricsSnapshot::default().abi_hit_rate(), 0.0);
+        assert_eq!(StoreMetricsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_hits_over_hits_plus_misses() {
+        let s = StoreMetricsSnapshot {
+            memtable_hits: 2,
+            abi_hits: 3,
+            last_hits: 1,
+            misses: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.hits(), 6);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_gives_phase_deltas() {
+        let before = StoreMetricsSnapshot {
+            puts: 10,
+            flushes: 2,
+            misses: 1,
+            ..Default::default()
+        };
+        let mut after = before;
+        after.puts = 25;
+        after.flushes = 5;
+        after.misses = 1;
+        after.abi_dumps = 3;
+        let d = after - before;
+        assert_eq!(d.puts, 15);
+        assert_eq!(d.flushes, 3);
+        assert_eq!(d.misses, 0);
+        assert_eq!(d.abi_dumps, 3);
+    }
+
+    #[test]
+    fn counters_flatten_every_field() {
+        let s = StoreMetricsSnapshot {
+            puts: 7,
+            abi_rebuilds: 9,
+            ..Default::default()
+        };
+        let c = s.counters();
+        assert_eq!(c.len(), 16);
+        assert_eq!(c[0], ("puts", 7));
+        assert_eq!(*c.last().unwrap(), ("abi_rebuilds", 9));
     }
 }

@@ -22,6 +22,15 @@ pub enum Mode {
 }
 
 impl Mode {
+    /// Stable snake_case name used in observability exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Normal => "normal",
+            Mode::WriteIntensive => "write_intensive",
+            Mode::GetProtect => "get_protect",
+        }
+    }
+
     fn as_u8(self) -> u8 {
         match self {
             Mode::Normal => 0,
@@ -125,8 +134,9 @@ impl ModeController {
     }
 
     /// Records one get latency sample; at each window boundary evaluates
-    /// the GPM thresholds. Returns `Some(new_mode)` when the mode changed.
-    pub fn record_get_latency(&self, ns: u64) -> Option<Mode> {
+    /// the GPM thresholds. Returns the transition (with the windowed p99
+    /// that drove it) when the mode changed.
+    pub fn record_get_latency(&self, ns: u64) -> Option<ModeChange> {
         if !self.gpm.enabled {
             return None;
         }
@@ -146,16 +156,34 @@ impl ModeController {
             Mode::GetProtect if p99 < self.gpm.exit_threshold_ns => {
                 let base = Mode::from_u8(self.base.load(Ordering::Relaxed));
                 self.current.store(base.as_u8(), Ordering::Relaxed);
-                Some(base)
+                Some(ModeChange {
+                    from: Mode::GetProtect,
+                    to: base,
+                    p99_ns: p99,
+                })
             }
             m if m != Mode::GetProtect && p99 > self.gpm.enter_threshold_ns => {
                 self.current
                     .store(Mode::GetProtect.as_u8(), Ordering::Relaxed);
-                Some(Mode::GetProtect)
+                Some(ModeChange {
+                    from: m,
+                    to: Mode::GetProtect,
+                    p99_ns: p99,
+                })
             }
             _ => None,
         }
     }
+}
+
+/// A Get-Protect Mode transition reported by
+/// [`ModeController::record_get_latency`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeChange {
+    pub from: Mode,
+    pub to: Mode,
+    /// The windowed p99 get latency that drove the transition.
+    pub p99_ns: u64,
 }
 
 #[cfg(test)]
@@ -195,7 +223,10 @@ mod tests {
                 changed = Some(m);
             }
         }
-        assert_eq!(changed, Some(Mode::GetProtect));
+        let enter = changed.expect("entered GPM");
+        assert_eq!(enter.from, Mode::Normal);
+        assert_eq!(enter.to, Mode::GetProtect);
+        assert!(enter.p99_ns > 2000);
         assert!(c.suspend_upper_maintenance());
         assert!(c.prefer_abi_dump());
         // Latency subsides: exits back to Normal.
@@ -205,7 +236,10 @@ mod tests {
                 changed = Some(m);
             }
         }
-        assert_eq!(changed, Some(Mode::Normal));
+        let exit = changed.expect("exited GPM");
+        assert_eq!(exit.from, Mode::GetProtect);
+        assert_eq!(exit.to, Mode::Normal);
+        assert!(exit.p99_ns < 1800);
         assert!(!c.suspend_upper_maintenance());
     }
 

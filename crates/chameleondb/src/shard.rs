@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use chameleon_obs::{EventKind, Obs, Stage};
 use kvapi::{KvError, Result};
 use kvtables::{DramTable, FixedHashTable, Slot, TableBuilder};
 use pmem_sim::{PmemDevice, ThreadCtx};
@@ -27,6 +28,8 @@ pub(crate) struct ShardEnv<'a> {
     pub cfg: &'a ChameleonConfig,
     pub metrics: &'a StoreMetrics,
     pub mode: &'a ModeController,
+    /// Observability sink (event journal, maintenance spans).
+    pub obs: &'a Obs,
     /// Commits manifest adds/deletes atomically (store-level MetaLog).
     pub commit: &'a dyn Fn(&mut ThreadCtx, &[ManifestRecord]) -> Result<()>,
 }
@@ -170,6 +173,9 @@ impl Shard {
         if self.abi_valid {
             return Ok(());
         }
+        let span = env
+            .obs
+            .span_start(Stage::AbiRebuild, ctx.clock.now(), env.dev.stats());
         let mut tables: Vec<FixedHashTable> = self.uppers.iter().flatten().cloned().collect();
         tables.sort_by_key(|t| std::cmp::Reverse(t.header().table_seq));
         for t in &tables {
@@ -181,6 +187,14 @@ impl Shard {
         }
         self.abi_valid = true;
         StoreMetrics::bump(&env.metrics.abi_rebuilds);
+        env.obs.span_end(span, ctx.clock.now(), env.dev.stats());
+        env.obs.record_event(
+            ctx.clock.now(),
+            EventKind::AbiRebuild {
+                shard: self.id,
+                slots: self.abi.len() as u64,
+            },
+        );
         Ok(())
     }
 
@@ -204,14 +218,28 @@ impl Shard {
     /// already durable in the storage log.
     fn merge_memtable_into_abi(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
         self.make_abi_room(env, ctx, self.memtable.len())?;
+        // Span starts *after* make_abi_room so any dump/last-compaction it
+        // triggered is attributed to its own stage, not to the merge.
+        let span = env
+            .obs
+            .span_start(Stage::WimMerge, ctx.clock.now(), env.dev.stats());
         let max_seq = self.memtable.max_seq();
         let slots: Vec<Slot> = self.memtable.iter().collect();
+        let merged = slots.len() as u64;
         for slot in slots {
             self.abi.insert_bulk(ctx, slot)?;
         }
         self.abi.note_seq(max_seq);
         self.memtable.clear();
         StoreMetrics::bump(&env.metrics.wim_merges);
+        env.obs.span_end(span, ctx.clock.now(), env.dev.stats());
+        env.obs.record_event(
+            ctx.clock.now(),
+            EventKind::WimMerge {
+                shard: self.id,
+                slots: merged,
+            },
+        );
         Ok(())
     }
 
@@ -241,6 +269,10 @@ impl Shard {
         if self.abi.is_empty() {
             return Ok(());
         }
+        let span = env
+            .obs
+            .span_start(Stage::AbiDump, ctx.clock.now(), env.dev.stats());
+        let dumped_slots = self.abi.len() as u64;
         let threshold = self.load_threshold;
         let mut b = TableBuilder::sized_for(self.abi.len(), threshold);
         b.note_seq(self.abi.max_seq());
@@ -262,6 +294,18 @@ impl Shard {
         self.dumped.push(table);
         self.abi.clear();
         StoreMetrics::bump(&env.metrics.abi_dumps);
+        let delta = env
+            .obs
+            .span_end(span, ctx.clock.now(), env.dev.stats())
+            .unwrap_or_default();
+        env.obs.record_event(
+            ctx.clock.now(),
+            EventKind::AbiDump {
+                shard: self.id,
+                slots: dumped_slots,
+                media_bytes: delta.media_bytes_written,
+            },
+        );
         Ok(())
     }
 
@@ -272,9 +316,15 @@ impl Shard {
             return Ok(());
         }
         self.make_abi_room(env, ctx, self.memtable.len())?;
+        // Span starts *after* make_abi_room: an ABI dump or last-level
+        // compaction it triggered is billed to its own stage.
+        let span = env
+            .obs
+            .span_start(Stage::Flush, ctx.clock.now(), env.dev.stats());
         let mut b = TableBuilder::new(env.cfg.memtable_slots);
         b.note_seq(self.memtable.max_seq());
         let slots: Vec<Slot> = self.memtable.iter().collect();
+        let flushed = slots.len() as u64;
         for &slot in &slots {
             b.insert(ctx, slot, false)?;
         }
@@ -298,6 +348,18 @@ impl Shard {
         self.abi.note_seq(max_seq);
         self.memtable.clear();
         StoreMetrics::bump(&env.metrics.flushes);
+        let delta = env
+            .obs
+            .span_end(span, ctx.clock.now(), env.dev.stats())
+            .unwrap_or_default();
+        env.obs.record_event(
+            ctx.clock.now(),
+            EventKind::MemtableFlush {
+                shard: self.id,
+                slots: flushed,
+                media_bytes: delta.media_bytes_written,
+            },
+        );
         Ok(())
     }
 
@@ -387,6 +449,10 @@ impl Shard {
         target_level: usize,
     ) -> Result<()> {
         debug_assert!(!inputs.is_empty());
+        let span = env
+            .obs
+            .span_start(Stage::MidCompaction, ctx.clock.now(), env.dev.stats());
+        let tables_in = inputs.len() as u64;
         inputs.sort_by_key(|t| std::cmp::Reverse(t.header().table_seq));
         let total: u64 = inputs.iter().map(|t| t.num_entries()).sum();
         let mut b = TableBuilder::sized_for(total as usize, self.load_threshold);
@@ -411,7 +477,22 @@ impl Shard {
         for t in inputs {
             t.free(env.dev);
         }
+        let slots_out = table.num_entries();
         self.uppers[target_level].push(table);
+        let delta = env
+            .obs
+            .span_end(span, ctx.clock.now(), env.dev.stats())
+            .unwrap_or_default();
+        env.obs.record_event(
+            ctx.clock.now(),
+            EventKind::MidCompaction {
+                shard: self.id,
+                tables_in,
+                slots_out,
+                target_level: target_level as u32,
+                media_bytes: delta.media_bytes_written,
+            },
+        );
         Ok(())
     }
 
@@ -427,6 +508,11 @@ impl Shard {
         if total == 0 {
             return Ok(());
         }
+        // Span starts *after* ensure_abi so a post-restart rebuild is billed
+        // to the abi_rebuild stage rather than to this compaction.
+        let span = env
+            .obs
+            .span_start(Stage::LastCompaction, ctx.clock.now(), env.dev.stats());
         let mut b = TableBuilder::sized_for(total as usize, self.load_threshold);
         // Newest first: ABI (DRAM reads — the Fig. 8 optimisation), then
         // dumped tables newest-first, then the old last level.
@@ -474,6 +560,18 @@ impl Shard {
         self.last = Some(table);
         self.abi.clear();
         StoreMetrics::bump(&env.metrics.last_compactions);
+        let delta = env
+            .obs
+            .span_end(span, ctx.clock.now(), env.dev.stats())
+            .unwrap_or_default();
+        env.obs.record_event(
+            ctx.clock.now(),
+            EventKind::LastCompaction {
+                shard: self.id,
+                slots_in: total,
+                media_bytes: delta.media_bytes_written,
+            },
+        );
         Ok(())
     }
 

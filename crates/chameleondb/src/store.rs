@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use chameleon_obs::{CounterSection, EventKind, Obs, ObsSnapshot, OpKind};
 use kvapi::{hash64, CrashRecover, KvError, KvStore, Result};
 use kvlog::{EntryMeta, LogWriter, StorageLog, ENTRY_HEADER};
 use kvtables::{FixedHashTable, Slot};
@@ -56,6 +57,7 @@ pub struct ChameleonDb {
     meta: MetaLog,
     metrics: StoreMetrics,
     mode: ModeController,
+    obs: Obs,
     shard_shift: u32,
 }
 
@@ -108,6 +110,7 @@ impl ChameleonDb {
             Mode::Normal
         };
         let mode = ModeController::new(base_mode, cfg.gpm.clone());
+        let obs = Obs::new(cfg.obs, cfg.shards);
         Ok(Self {
             shard_shift: 64 - cfg.shards.trailing_zeros(),
             dev,
@@ -121,6 +124,7 @@ impl ChameleonDb {
             },
             metrics: StoreMetrics::default(),
             mode,
+            obs,
         })
     }
 
@@ -202,6 +206,7 @@ impl ChameleonDb {
         // newest version of every entry above its shard's checkpoint.
         let shard_shift = 64 - cfg.shards.trailing_zeros();
         let nshards = cfg.shards;
+        let cfg_obs = cfg.obs;
         let shard_of = move |hash: u64| {
             if nshards == 1 {
                 0usize
@@ -240,6 +245,7 @@ impl ChameleonDb {
             },
             metrics: StoreMetrics::default(),
             mode: ModeController::new(Mode::Normal, Default::default()),
+            obs: Obs::new(cfg_obs, nshards),
         };
         // Re-admit un-checkpointed entries through the normal insert path
         // (without re-logging them). This may trigger flushes/compactions,
@@ -252,6 +258,7 @@ impl ChameleonDb {
                 cfg: &store.cfg,
                 metrics: &store.metrics,
                 mode: &store.mode,
+                obs: &store.obs,
                 commit: &commit,
             };
             // Re-admit in ascending sequence order. This preserves the
@@ -324,7 +331,54 @@ impl ChameleonDb {
     /// Switches between Normal and Write-Intensive Mode (§2.3 calls this a
     /// user option).
     pub fn set_mode(&self, mode: Mode) {
+        let from = self.mode.mode();
         self.mode.set_base(mode);
+        let to = self.mode.mode();
+        if from != to {
+            // No ThreadCtx here, so no clock: ts=0 inherits the journal's
+            // previous stamp (monotonic clamping).
+            self.obs.record_event(
+                0,
+                EventKind::ModeTransition {
+                    from: from.name(),
+                    to: to.name(),
+                    trigger: "set_mode",
+                    p99_ns: 0,
+                },
+            );
+        }
+    }
+
+    /// The observability hub (journal, spans, op histograms).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Unified observability snapshot at simulated time `now` (callers
+    /// pass `ctx.clock.now()`): store counters, mode state, device media
+    /// stats, per-stage write-amplification attribution, merged per-shard
+    /// op latency histograms, and the journal tail.
+    pub fn obs_snapshot(&self, now: u64) -> ObsSnapshot {
+        let mode_num = match self.mode.mode() {
+            Mode::Normal => 0u64,
+            Mode::WriteIntensive => 1,
+            Mode::GetProtect => 2,
+        };
+        let sections = vec![
+            CounterSection {
+                name: "store",
+                counters: self.metrics.snapshot().counters(),
+            },
+            CounterSection {
+                name: "mode",
+                counters: vec![
+                    ("current", mode_num),
+                    ("observed_p99_ns", self.mode.last_p99()),
+                ],
+            },
+        ];
+        self.obs
+            .snapshot(now, sections, self.dev.stats().snapshot())
     }
 
     /// Most recent windowed p99 get latency observed by the Get-Protect
@@ -363,6 +417,7 @@ impl ChameleonDb {
             cfg: &self.cfg,
             metrics: &self.metrics,
             mode: &self.mode,
+            obs: &self.obs,
             commit,
         }
     }
@@ -379,13 +434,15 @@ impl ChameleonDb {
         w.append(ctx, key, value, tombstone)
     }
 
+    /// Routes one put/delete to its shard; returns the shard index so
+    /// callers can attribute the op's latency sample.
     fn write_slot(
         &self,
         ctx: &mut ThreadCtx,
         key: u64,
         value: &[u8],
         tombstone: bool,
-    ) -> Result<()> {
+    ) -> Result<usize> {
         ctx.charge(ctx.cost.op_overhead_ns + ctx.cost.hash_ns);
         let hash = hash64(key);
         let shard_idx = self.shard_of(hash);
@@ -402,7 +459,7 @@ impl ChameleonDb {
             let (_, hint) = kvlog::unpack_loc(old);
             self.log.note_dead((ENTRY_HEADER + hint) as u64);
         }
-        Ok(())
+        Ok(shard_idx)
     }
 }
 
@@ -429,7 +486,14 @@ impl KvStore for ChameleonDb {
 
     fn put(&self, ctx: &mut ThreadCtx, key: u64, value: &[u8]) -> Result<()> {
         StoreMetrics::bump(&self.metrics.puts);
-        self.write_slot(ctx, key, value, false)
+        let start = ctx.clock.now();
+        let shard_idx = self.write_slot(ctx, key, value, false)?;
+        self.obs.record_op(
+            shard_idx,
+            OpKind::Put,
+            ctx.clock.now().saturating_sub(start),
+        );
+        Ok(())
     }
 
     fn get(&self, ctx: &mut ThreadCtx, key: u64, out: &mut Vec<u8>) -> Result<bool> {
@@ -470,14 +534,31 @@ impl KvStore for ChameleonDb {
                 }
             }
         };
-        if self.mode.record_get_latency(ctx.clock.now() - start) == Some(Mode::GetProtect) {
-            StoreMetrics::bump(&self.metrics.gpm_entries);
+        let elapsed = ctx.clock.now() - start;
+        self.obs.record_op(shard_idx, OpKind::Get, elapsed);
+        if let Some(change) = self.mode.record_get_latency(elapsed) {
+            let trigger = if change.to == Mode::GetProtect {
+                StoreMetrics::bump(&self.metrics.gpm_entries);
+                "p99_above_enter_threshold"
+            } else {
+                "p99_below_exit_threshold"
+            };
+            self.obs.record_event(
+                ctx.clock.now(),
+                EventKind::ModeTransition {
+                    from: change.from.name(),
+                    to: change.to.name(),
+                    trigger,
+                    p99_ns: change.p99_ns,
+                },
+            );
         }
         result
     }
 
     fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Result<bool> {
         StoreMetrics::bump(&self.metrics.deletes);
+        let start = ctx.clock.now();
         ctx.charge(ctx.cost.op_overhead_ns + ctx.cost.hash_ns);
         let hash = hash64(key);
         let shard_idx = self.shard_of(hash);
@@ -487,6 +568,12 @@ impl KvStore for ChameleonDb {
         let existed = matches!(shard.get(&env, ctx, hash)?, Some((s, _)) if !s.is_tombstone());
         let meta = self.append_log(ctx, key, &[], true)?;
         shard.insert(&env, ctx, Slot::tombstone(hash, meta.loc()), meta.seq)?;
+        drop(shard);
+        self.obs.record_op(
+            shard_idx,
+            OpKind::Delete,
+            ctx.clock.now().saturating_sub(start),
+        );
         Ok(existed)
     }
 
@@ -510,6 +597,14 @@ impl CrashRecover for ChameleonDb {
     fn crash_and_recover(&mut self, ctx: &mut ThreadCtx) -> Result<()> {
         self.dev.crash();
         let recovered = ChameleonDb::recover(Arc::clone(&self.dev), self.cfg.clone(), ctx)?;
+        // The old journal dies with the old store; mark the epoch boundary
+        // in the recovered store's journal.
+        recovered.obs.record_event(
+            ctx.clock.now(),
+            EventKind::Crash {
+                crashes: recovered.dev.stats().snapshot().crashes,
+            },
+        );
         *self = recovered;
         Ok(())
     }

@@ -136,13 +136,17 @@ impl Histogram {
         self.quantile(0.5)
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Count, sum, min, max, and
+    /// every bucket accumulate, so quantiles of the merged histogram
+    /// equal quantiles of the concatenated sample streams (used for
+    /// per-shard → store-level latency rollups). `sum` saturates, same
+    /// as [`Histogram::record`].
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
         self.total += other.total;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
         if other.total > 0 {
             self.min = self.min.min(other.min);
@@ -277,5 +281,83 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_preserves_min_max_sum_and_quantiles() {
+        // The merged histogram must be indistinguishable from one that
+        // recorded both sample streams directly — this is what makes the
+        // per-shard → store-level latency rollup sound.
+        let mut merged = Histogram::new();
+        let mut direct = Histogram::new();
+        let mut parts = Vec::new();
+        for shard in 0..4u64 {
+            let mut h = Histogram::new();
+            for i in 0..1000u64 {
+                // Different latency regimes per shard.
+                let v = (shard + 1) * 100 + i * (shard + 1);
+                h.record(v);
+                direct.record(v);
+            }
+            parts.push(h);
+        }
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.min(), direct.min());
+        assert_eq!(merged.max(), direct.max());
+        assert!((merged.mean() - direct.mean()).abs() < 1e-9);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                merged.quantile(q),
+                direct.quantile(q),
+                "quantile {q} diverged after merge"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_histograms_is_identity() {
+        let mut a = Histogram::new();
+        a.record(7);
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), 7);
+        assert_eq!(a.max(), 7);
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.min(), 7);
+        assert_eq!(empty.count(), 1);
+    }
+
+    #[test]
+    fn merge_saturates_sum_like_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(u64::MAX);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.mean() > 0.0); // saturated, not wrapped to ~0
+    }
+
+    #[test]
+    fn reset_then_reuse_matches_fresh() {
+        let mut reused = Histogram::new();
+        for v in 0..5000u64 {
+            reused.record(v * 3);
+        }
+        reused.reset();
+        let mut fresh = Histogram::new();
+        for v in [10u64, 200, 3000] {
+            reused.record(v);
+            fresh.record(v);
+        }
+        assert_eq!(reused.count(), fresh.count());
+        assert_eq!(reused.min(), fresh.min());
+        assert_eq!(reused.max(), fresh.max());
+        assert_eq!(reused.quantile(0.5), fresh.quantile(0.5));
+        assert_eq!(reused.quantile(0.99), fresh.quantile(0.99));
     }
 }

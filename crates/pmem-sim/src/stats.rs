@@ -49,7 +49,24 @@ impl MediaStats {
         }
     }
 
-    /// Resets every counter to zero (used between experiment phases).
+    /// Resets every counter to zero.
+    ///
+    /// # Warning: racing traffic tears snapshots
+    ///
+    /// The counters are independent atomics, so `reset()` is **not**
+    /// atomic as a whole. If any thread is generating traffic while this
+    /// runs, a concurrent or subsequent [`MediaStats::snapshot`] can
+    /// observe a *torn* state — e.g. a write's `logical_bytes_written`
+    /// increment zeroed but its `media_bytes_written` increment kept,
+    /// yielding impossible amplification ratios — and any increments that
+    /// land between the per-counter stores are silently attributed to the
+    /// wrong phase (see `reset_racing_traffic_tears_snapshots`).
+    ///
+    /// Only call this while all traffic-generating threads are quiesced.
+    /// Phase measurements should instead subtract monotonic snapshots
+    /// ([`StatsSnapshot::delta`] or the `Sub` impl), which are safe under
+    /// concurrency; the maintenance spans in `chameleon-obs` do exactly
+    /// that.
     pub fn reset(&self) {
         self.logical_bytes_written.store(0, Ordering::Relaxed);
         self.media_bytes_written.store(0, Ordering::Relaxed);
@@ -109,6 +126,15 @@ impl StatsSnapshot {
     }
 }
 
+/// `later - earlier` phase delta; operator form of [`StatsSnapshot::delta`].
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn sub(self, earlier: StatsSnapshot) -> StatsSnapshot {
+        self.delta(&earlier)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +187,60 @@ mod tests {
         m.reset();
         let s = m.snapshot();
         assert_eq!(s, StatsSnapshot::default());
+    }
+
+    #[test]
+    fn sub_operator_matches_delta() {
+        let a = StatsSnapshot {
+            logical_bytes_written: 10,
+            media_bytes_written: 100,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            logical_bytes_written: 25,
+            media_bytes_written: 180,
+            ..Default::default()
+        };
+        assert_eq!(b - a, b.delta(&a));
+        assert_eq!((b - a).media_bytes_written, 80);
+    }
+
+    /// Deterministic replay of the race documented on [`MediaStats::reset`]:
+    /// a device write bumps `logical_bytes_written` and `media_bytes_written`
+    /// as two separate atomic ops, and a `reset()` interleaved between them
+    /// leaves a torn state — media traffic with no logical traffic, an
+    /// accounting identity no real phase can produce. Snapshot deltas over
+    /// the same interleaving stay self-consistent for everything recorded
+    /// after the phase boundary.
+    #[test]
+    fn reset_racing_traffic_tears_snapshots() {
+        let m = MediaStats::default();
+        // First half of a concurrent 16B write (256B media block):
+        m.logical_bytes_written.fetch_add(16, Ordering::Relaxed);
+        // ... `reset()` runs here, racing the writer ...
+        m.reset();
+        // ... second half of the same write lands after the reset.
+        m.media_bytes_written.fetch_add(256, Ordering::Relaxed);
+
+        let torn = m.snapshot();
+        assert_eq!(torn.logical_bytes_written, 0);
+        assert_eq!(torn.media_bytes_written, 256);
+        // The torn state breaks the invariant that media writes imply
+        // logical writes, so per-phase amplification is garbage (the
+        // division guard hides it as 0.0 here).
+        assert!(torn.media_bytes_written > 0 && torn.logical_bytes_written == 0);
+        assert_eq!(torn.write_amplification(), 0.0);
+
+        // The monotonic-delta discipline over the same boundary: take a
+        // snapshot instead of resetting, subtract later. Traffic recorded
+        // entirely after the boundary is attributed consistently.
+        let m2 = MediaStats::default();
+        m2.logical_bytes_written.fetch_add(16, Ordering::Relaxed);
+        let boundary = m2.snapshot();
+        m2.logical_bytes_written.fetch_add(32, Ordering::Relaxed);
+        m2.media_bytes_written.fetch_add(512, Ordering::Relaxed);
+        let phase = m2.snapshot() - boundary;
+        assert_eq!(phase.logical_bytes_written, 32);
+        assert_eq!(phase.media_bytes_written, 512);
     }
 }
