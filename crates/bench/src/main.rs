@@ -4,10 +4,12 @@
 //! [--out DIR | --no-out] [--quick] [--obs-json PATH] [--progress]`
 //!
 //! Experiments: `fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//! table4 ablate-abi ablate-loadfactor ablate-ratio obs all`.
+//! table4 ablate-abi ablate-loadfactor ablate-ratio obs crash all`.
 //! `table2`/`table3` are printed by `fig11`/`fig13`; `fig3` by `table4`.
 //! `obs` exercises the observability layer and honors `--obs-json` /
-//! `--progress`.
+//! `--progress`. `crash` runs the crash-matrix fault-injection campaign
+//! (`--quick` for the bounded CI slice) and exits nonzero on any
+//! acknowledged-write violation.
 
 use chameleon_bench::experiments as exp;
 use chameleon_bench::util::Opts;
@@ -74,6 +76,9 @@ fn main() {
         "obs" => {
             exp::obs::run(&opts);
         }
+        "crash" => {
+            exp::crash::run(&opts);
+        }
         "all" => {
             exp::fig01::run(&opts);
             exp::fig02::run(&opts);
@@ -108,6 +113,6 @@ fn usage() {
         "usage: repro <experiment> [--keys N] [--ops N] [--threads N] [--out DIR | --no-out] [--quick]\n\
          \x20                       [--obs-json PATH] [--progress]\n\
          experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
-                      table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs all"
+                      table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs crash all"
     );
 }

@@ -62,6 +62,11 @@ pub enum EventKind {
     /// The simulated device crashed; `crashes` is the device's lifetime
     /// crash count. Recorded into the *recovered* store's journal.
     Crash { crashes: u64 },
+    /// A fault-injection harness crashed the store at fence ordinal
+    /// `fence`; `stage` is the maintenance stage whose span was open at
+    /// the crash ("foreground" if none). Recorded into the *recovered*
+    /// store's journal.
+    CrashInjected { fence: u64, stage: &'static str },
 }
 
 impl EventKind {
@@ -76,6 +81,7 @@ impl EventKind {
             EventKind::AbiDump { .. } => "abi_dump",
             EventKind::AbiRebuild { .. } => "abi_rebuild",
             EventKind::Crash { .. } => "crash",
+            EventKind::CrashInjected { .. } => "crash_injected",
         }
     }
 
@@ -130,6 +136,7 @@ impl EventKind {
                 vec![("shard", shard as u64), ("slots", slots)]
             }
             EventKind::Crash { crashes } => vec![("crashes", crashes)],
+            EventKind::CrashInjected { fence, .. } => vec![("fence", fence)],
         }
     }
 
@@ -139,6 +146,7 @@ impl EventKind {
             EventKind::ModeTransition {
                 from, to, trigger, ..
             } => vec![("from", from), ("to", to), ("trigger", trigger)],
+            EventKind::CrashInjected { stage, .. } => vec![("stage", stage)],
             _ => Vec::new(),
         }
     }

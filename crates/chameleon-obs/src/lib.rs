@@ -135,6 +135,11 @@ pub struct Obs {
     journal: Journal,
     stages: span::StageTable,
     op_hists: Vec<Mutex<OpHists>>,
+    /// Stage currently inside an open span (0 = none, else index + 1).
+    /// Spans never nest (flush/compaction entry points start theirs after
+    /// any nested maintenance), so one slot suffices; fault-injection
+    /// harnesses read it after an unwind to attribute the crash point.
+    active_stage: std::sync::atomic::AtomicU8,
 }
 
 impl Obs {
@@ -150,6 +155,7 @@ impl Obs {
             journal: Journal::new(cap),
             stages: span::StageTable::new(),
             op_hists: (0..lanes).map(|_| Mutex::new(OpHists::default())).collect(),
+            active_stage: std::sync::atomic::AtomicU8::new(0),
         }
     }
 
@@ -199,6 +205,10 @@ impl Obs {
         if !self.cfg.enabled {
             return None;
         }
+        self.active_stage.store(
+            stage.index() as u8 + 1,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         Some(SpanStart {
             stage,
             ts,
@@ -217,10 +227,23 @@ impl Obs {
         media: &MediaStats,
     ) -> Option<StatsSnapshot> {
         let span = span?;
+        self.active_stage
+            .store(0, std::sync::atomic::Ordering::Relaxed);
         let delta = media.snapshot().delta(&span.media);
         self.stages
             .add(span.stage, end_ts.saturating_sub(span.ts), &delta);
         Some(delta)
+    }
+
+    /// The stage whose span is currently open, if any. A span abandoned by
+    /// an unwind (fault injection) stays visible here until the next span
+    /// opens, which is what lets a crash-matrix driver attribute the crash
+    /// point to a maintenance stage.
+    pub fn current_stage(&self) -> Option<Stage> {
+        match self.active_stage.load(std::sync::atomic::Ordering::Relaxed) {
+            0 => None,
+            v => Stage::ALL.get(v as usize - 1).copied(),
+        }
     }
 
     /// Records one operation latency sample against `shard`'s histograms.

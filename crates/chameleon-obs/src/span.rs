@@ -48,7 +48,7 @@ impl Stage {
         }
     }
 
-    fn index(&self) -> usize {
+    pub(crate) fn index(&self) -> usize {
         match self {
             Stage::Flush => 0,
             Stage::WimMerge => 1,

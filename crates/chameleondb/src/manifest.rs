@@ -283,6 +283,16 @@ impl Manifest {
             self.dev.write_nt(ctx, pos, &rec.encode());
             pos += RECORD_BYTES;
         }
+        // Terminator after the appended records (same fence). Without it,
+        // replay after a crash would run into whatever the region held in
+        // an *older epoch*: once both regions have been flipped through,
+        // appends overwrite a previous snapshot record by record, and the
+        // stale tail beyond the cursor decodes as valid records. The
+        // cursor does not advance over the terminator, so the next append
+        // overwrites it.
+        if inner.cursor + need + RECORD_BYTES <= region.len {
+            self.dev.write_nt(ctx, pos, &[0u8; RECORD_BYTES as usize]);
+        }
         self.dev.fence(ctx);
         inner.cursor += need;
         Ok(())
@@ -295,6 +305,16 @@ impl Manifest {
         self.rewrite_locked(ctx, &mut inner, live)
     }
 
+    /// Crash window: a crash after the snapshot fence but before
+    /// [`Superblock::commit_flip`] persists leaves the superblock pointing
+    /// at the *old* region, whose contents are untouched (the snapshot
+    /// went to the inactive region). Recovery then sees the state as of
+    /// the last completed append — only the records of the in-flight
+    /// append that triggered the rewrite are lost, and its caller never
+    /// returned, so no *acknowledged* commit is lost. The snapshot region
+    /// and any table the lost records referenced are reclaimed by the
+    /// allocator's gap rebuild on recovery. Verified fence-by-fence in
+    /// `crash_between_snapshot_and_flip_loses_only_the_unacked_append`.
     fn rewrite_locked(
         &self,
         ctx: &mut ThreadCtx,
@@ -440,6 +460,108 @@ mod tests {
         assert_eq!(sb.active, 1);
         let (_m2, replayed) = Manifest::open(Arc::clone(&dev), &mut ctx, sb_off, &sb).unwrap();
         assert_eq!(replayed, live);
+    }
+
+    #[test]
+    fn crashed_append_does_not_resurrect_stale_records() {
+        let (dev, sb_off, _big, mut ctx) = setup();
+        // Tiny manifest regions: 4 records each. Cycle through both
+        // regions so region A holds a stale epoch-0 tail, then crash after
+        // an epoch-2 append into A.
+        let a = dev.alloc_region(128).unwrap();
+        let b = dev.alloc_region(128).unwrap();
+        let sb = sb_for(PRegion { off: 0, len: 0 }, [a, b]);
+        sb.write(&dev, &mut ctx, sb_off);
+        let m = Manifest::create(Arc::clone(&dev), sb_off, [a, b]);
+        // Epoch 0: fill region A with 4 records.
+        for i in 0..4u64 {
+            m.append(&mut ctx, &[add(0, 0, i, 4096 + i * 1024)], Vec::new)
+                .unwrap();
+        }
+        // Overflow -> snapshot [r5] into B (epoch 1), then fill B.
+        let r5 = add(0, 0, 5, 50 * 1024);
+        m.append(&mut ctx, &[r5], move || vec![r5]).unwrap();
+        for i in 6..9u64 {
+            m.append(&mut ctx, &[add(0, 0, i, i * 10 * 1024)], Vec::new)
+                .unwrap();
+        }
+        // Overflow -> snapshot [r9] into A (epoch 2), then one append into
+        // A, overwriting only the first stale record.
+        let r9 = add(0, 0, 9, 90 * 1024);
+        m.append(&mut ctx, &[r9], move || vec![r9]).unwrap();
+        assert_eq!(m.epoch(), 2);
+        let r10 = add(0, 0, 10, 100 * 1024);
+        m.append(&mut ctx, &[r10], Vec::new).unwrap();
+        dev.crash();
+        let sb = Superblock::read(&dev, &mut ctx, sb_off).unwrap();
+        let (_m2, live) = Manifest::open(Arc::clone(&dev), &mut ctx, sb_off, &sb).unwrap();
+        // Without the append-side terminator, replay would continue into
+        // the stale epoch-0 records still sitting at A[64..128).
+        assert_eq!(live, vec![r9, r10]);
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_flip_loses_only_the_unacked_append() {
+        let (dev, sb_off, _big, mut ctx) = setup();
+        let a = dev.alloc_region(128).unwrap();
+        let b = dev.alloc_region(128).unwrap();
+        let sb = sb_for(PRegion { off: 0, len: 0 }, [a, b]);
+        sb.write(&dev, &mut ctx, sb_off);
+        let m = Manifest::create(Arc::clone(&dev), sb_off, [a, b]);
+        let acked: Vec<ManifestRecord> = (0..4u64).map(|i| add(0, 0, i, 4096 + i * 1024)).collect();
+        for rec in &acked {
+            m.append(&mut ctx, &[*rec], Vec::new).unwrap();
+        }
+        // The overflowing append runs two fences: the snapshot fence into
+        // the inactive region, then the superblock commit-flip persist.
+        // Crash exactly between them.
+        // Snapshot as a compaction would leave it: the old tables merged
+        // into r5 (it must fit the 128B region alongside a terminator).
+        let r5 = add(0, 0, 5, 50 * 1024);
+        dev.arm_crash_at_fence(dev.fence_count() + 1);
+        let snap = vec![r5];
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c2 = ThreadCtx::with_default_cost();
+            m.append(&mut c2, &[r5], move || snap)
+        }));
+        let payload = hit.expect_err("crash point must fire inside the rewrite");
+        assert!(payload.downcast_ref::<pmem_sim::CrashPoint>().is_some());
+        dev.crash();
+        // The superblock still points at the old region: every acked
+        // append is present, only the un-acked r5 is gone.
+        let sb = Superblock::read(&dev, &mut ctx, sb_off).unwrap();
+        assert_eq!(sb.active, 0);
+        assert_eq!(sb.epoch, 0);
+        let (_m2, live) = Manifest::open(Arc::clone(&dev), &mut ctx, sb_off, &sb).unwrap();
+        assert_eq!(live, acked);
+    }
+
+    #[test]
+    fn crash_after_flip_commits_the_rewrite() {
+        let (dev, sb_off, _big, mut ctx) = setup();
+        let a = dev.alloc_region(128).unwrap();
+        let b = dev.alloc_region(128).unwrap();
+        let sb = sb_for(PRegion { off: 0, len: 0 }, [a, b]);
+        sb.write(&dev, &mut ctx, sb_off);
+        let m = Manifest::create(Arc::clone(&dev), sb_off, [a, b]);
+        for i in 0..4u64 {
+            m.append(&mut ctx, &[add(0, 0, i, 4096 + i * 1024)], Vec::new)
+                .unwrap();
+        }
+        let r5 = add(0, 0, 5, 50 * 1024);
+        let snapshot = vec![r5];
+        dev.arm_crash_at_fence(dev.fence_count() + 2); // the flip persist
+        let snap = snapshot.clone();
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c2 = ThreadCtx::with_default_cost();
+            m.append(&mut c2, &[r5], move || snap)
+        }));
+        assert!(hit.is_err());
+        dev.crash();
+        let sb = Superblock::read(&dev, &mut ctx, sb_off).unwrap();
+        assert_eq!((sb.active, sb.epoch), (1, 1), "flip reached media");
+        let (_m2, live) = Manifest::open(Arc::clone(&dev), &mut ctx, sb_off, &sb).unwrap();
+        assert_eq!(live, snapshot);
     }
 
     #[test]

@@ -32,6 +32,13 @@ pub(crate) struct ShardEnv<'a> {
     pub obs: &'a Obs,
     /// Commits manifest adds/deletes atomically (store-level MetaLog).
     pub commit: &'a dyn Fn(&mut ThreadCtx, &[ManifestRecord]) -> Result<()>,
+    /// Makes every acknowledged log append durable (flushes all log
+    /// writers). Must run before a table whose slots may reference
+    /// MemTable/ABI entries is committed: those entries can still sit in an
+    /// unfenced writer batch, and committing the table advances
+    /// `checkpoint_seq` past them — after a crash the slots would point at
+    /// zeroed log bytes and replay would skip the lost entries.
+    pub sync_log: &'a dyn Fn(&mut ThreadCtx) -> Result<()>,
 }
 
 /// One shard of the index: an in-DRAM MemTable, the in-DRAM Auxiliary
@@ -59,6 +66,14 @@ pub(crate) struct Shard {
     /// Highest log sequence number persisted in this shard's tables; log
     /// entries above it belong to the (volatile) MemTable/ABI.
     pub checkpoint_seq: u64,
+    /// Lowest log sequence the ABI may hold that is in *no* durable table
+    /// (entries folded in by WIM/GPM MemTable merges). While set, a flushed
+    /// L0 table must not claim a `max_log_seq` at or above it: recovery
+    /// derives `checkpoint_seq` from table headers, and a claim covering
+    /// these DRAM-only entries would skip their log replay — losing them.
+    /// Cleared whenever the whole ABI is persisted (dump or last-level
+    /// compaction).
+    pub abi_unpersisted_floor: Option<u64>,
 }
 
 impl Shard {
@@ -75,6 +90,7 @@ impl Shard {
             load_threshold,
             table_seq: 0,
             checkpoint_seq: 0,
+            abi_unpersisted_floor: None,
         }
     }
 
@@ -230,6 +246,10 @@ impl Shard {
             self.abi.insert_bulk(ctx, slot)?;
         }
         self.abi.note_seq(max_seq);
+        // Every merged entry has seq > checkpoint_seq (older ones were
+        // flushed), so this bounds the oldest table-less ABI resident.
+        self.abi_unpersisted_floor
+            .get_or_insert(self.checkpoint_seq + 1);
         self.memtable.clear();
         StoreMetrics::bump(&env.metrics.wim_merges);
         env.obs.span_end(span, ctx.clock.now(), env.dev.stats());
@@ -269,6 +289,9 @@ impl Shard {
         if self.abi.is_empty() {
             return Ok(());
         }
+        // The ABI holds WIM-merged MemTable entries whose log appends may
+        // still be unfenced; the dumped table will cover their seqs.
+        (env.sync_log)(ctx)?;
         let span = env
             .obs
             .span_start(Stage::AbiDump, ctx.clock.now(), env.dev.stats());
@@ -293,6 +316,7 @@ impl Shard {
         self.checkpoint_seq = self.checkpoint_seq.max(table.header().max_log_seq);
         self.dumped.push(table);
         self.abi.clear();
+        self.abi_unpersisted_floor = None;
         StoreMetrics::bump(&env.metrics.abi_dumps);
         let delta = env
             .obs
@@ -315,6 +339,9 @@ impl Shard {
         if self.memtable.is_empty() {
             return Ok(());
         }
+        // MemTable entries' log appends may still be unfenced; the L0
+        // table commit below advances checkpoint_seq over them.
+        (env.sync_log)(ctx)?;
         self.make_abi_room(env, ctx, self.memtable.len())?;
         // Span starts *after* make_abi_room: an ABI dump or last-level
         // compaction it triggered is billed to its own stage.
@@ -322,7 +349,17 @@ impl Shard {
             .obs
             .span_start(Stage::Flush, ctx.clock.now(), env.dev.stats());
         let mut b = TableBuilder::new(env.cfg.memtable_slots);
-        b.note_seq(self.memtable.max_seq());
+        // The table covers exactly the MemTable. If the ABI still holds
+        // older WIM/GPM-merged entries that live in no table, claiming the
+        // MemTable's max seq would cover them too, and a crash before the
+        // next dump/last-compaction would skip their replay. Cap the claim
+        // below the oldest such entry; the flushed entries then simply stay
+        // above checkpoint_seq and replay from the (synced) log.
+        let claim = match self.abi_unpersisted_floor {
+            Some(floor) => self.memtable.max_seq().min(floor.saturating_sub(1)),
+            None => self.memtable.max_seq(),
+        };
+        b.note_seq(claim);
         let slots: Vec<Slot> = self.memtable.iter().collect();
         let flushed = slots.len() as u64;
         for &slot in &slots {
@@ -508,6 +545,10 @@ impl Shard {
         if total == 0 {
             return Ok(());
         }
+        // In WIM the ABI holds merged MemTable entries that may still be
+        // unfenced in a log writer batch (mid-level inputs are already
+        // durable tables, so only this last-level path needs the sync).
+        (env.sync_log)(ctx)?;
         // Span starts *after* ensure_abi so a post-restart rebuild is billed
         // to the abi_rebuild stage rather than to this compaction.
         let span = env
@@ -559,6 +600,7 @@ impl Shard {
         self.checkpoint_seq = self.checkpoint_seq.max(table.header().max_log_seq);
         self.last = Some(table);
         self.abi.clear();
+        self.abi_unpersisted_floor = None;
         StoreMetrics::bump(&env.metrics.last_compactions);
         let delta = env
             .obs

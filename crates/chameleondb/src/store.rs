@@ -8,7 +8,7 @@ use kvapi::{hash64, CrashRecover, KvError, KvStore, Result};
 use kvlog::{EntryMeta, LogWriter, StorageLog, ENTRY_HEADER};
 use kvtables::{FixedHashTable, Slot};
 use parking_lot::Mutex;
-use pmem_sim::{PmemDevice, ThreadCtx};
+use pmem_sim::{PRegion, PmemDevice, ThreadCtx};
 
 use crate::config::ChameleonConfig;
 use crate::manifest::{Manifest, ManifestRecord, Superblock, LEVEL_DUMPED};
@@ -150,13 +150,18 @@ impl ChameleonDb {
             .map(|i| Shard::new(i, &cfg, shard_load_threshold(&cfg, i)))
             .collect();
         let mut registry = HashMap::new();
-        let mut high_water = sb
-            .log_region
-            .end()
-            .max(sb.manifest[0].end())
-            .max(sb.manifest[1].end())
-            .max(SUPERBLOCK_OFF + 256);
-        let mut live_bytes = sb.log_region.len + sb.manifest[0].len + sb.manifest[1].len + 256;
+        // Everything reachable from the superblock; the allocator's free
+        // list is rebuilt as the gaps between these, so regions freed by
+        // pre-crash compactions (or abandoned mid-build) are reclaimed.
+        let mut live_regions: Vec<PRegion> = vec![
+            PRegion {
+                off: SUPERBLOCK_OFF,
+                len: 256,
+            },
+            sb.log_region,
+            sb.manifest[0],
+            sb.manifest[1],
+        ];
         let last_level = (cfg.levels - 1) as u8;
         for rec in live {
             let ManifestRecord::Add {
@@ -172,8 +177,7 @@ impl ChameleonDb {
                 return Err(KvError::Corrupt("manifest shard out of range"));
             }
             let table = FixedHashTable::open(&dev, ctx, region)?;
-            high_water = high_water.max(region.end());
-            live_bytes += region.len;
+            live_regions.push(region);
             registry.insert(region.off, rec);
             let s = &mut shards[shard as usize];
             s.table_seq = s.table_seq.max(table_seq);
@@ -200,7 +204,7 @@ impl ChameleonDb {
             // mark it stale until rebuilt.
             s.abi_valid = s.uppers.iter().all(|l| l.is_empty());
         }
-        dev.reset_allocator(high_water, live_bytes);
+        dev.reset_allocator_from_live(&live_regions);
 
         // Single log scan: recovers the append cursor and collects the
         // newest version of every entry above its shard's checkpoint.
@@ -253,6 +257,9 @@ impl ChameleonDb {
         {
             let commit =
                 |ctx: &mut ThreadCtx, recs: &[ManifestRecord]| store.meta.commit(ctx, recs);
+            // No writers are installed yet, so the log sync is a no-op:
+            // every replayed entry is already durable in the log.
+            let sync_log = |ctx: &mut ThreadCtx| store.sync(ctx);
             let env = ShardEnv {
                 dev: &store.dev,
                 cfg: &store.cfg,
@@ -260,6 +267,7 @@ impl ChameleonDb {
                 mode: &store.mode,
                 obs: &store.obs,
                 commit: &commit,
+                sync_log: &sync_log,
             };
             // Re-admit in ascending sequence order. This preserves the
             // invariant that a flushed table's max_log_seq dominates every
@@ -392,7 +400,8 @@ impl ChameleonDb {
     pub fn checkpoint(&self, ctx: &mut ThreadCtx) -> Result<()> {
         self.sync(ctx)?;
         let commit = |ctx: &mut ThreadCtx, recs: &[ManifestRecord]| self.meta.commit(ctx, recs);
-        let env = self.env(&commit);
+        let sync_log = |ctx: &mut ThreadCtx| self.sync(ctx);
+        let env = self.env(&commit, &sync_log);
         for shard in &self.shards {
             shard.lock().force_checkpoint(&env, ctx)?;
         }
@@ -411,6 +420,7 @@ impl ChameleonDb {
     fn env<'a>(
         &'a self,
         commit: &'a dyn Fn(&mut ThreadCtx, &[ManifestRecord]) -> Result<()>,
+        sync_log: &'a dyn Fn(&mut ThreadCtx) -> Result<()>,
     ) -> ShardEnv<'a> {
         ShardEnv {
             dev: &self.dev,
@@ -419,6 +429,7 @@ impl ChameleonDb {
             mode: &self.mode,
             obs: &self.obs,
             commit,
+            sync_log,
         }
     }
 
@@ -447,7 +458,8 @@ impl ChameleonDb {
         let hash = hash64(key);
         let shard_idx = self.shard_of(hash);
         let commit = |ctx: &mut ThreadCtx, recs: &[ManifestRecord]| self.meta.commit(ctx, recs);
-        let env = self.env(&commit);
+        let sync_log = |ctx: &mut ThreadCtx| self.sync(ctx);
+        let env = self.env(&commit, &sync_log);
         let mut shard = self.shards[shard_idx].lock();
         let meta = self.append_log(ctx, key, value, tombstone)?;
         let slot = if tombstone {
@@ -503,7 +515,8 @@ impl KvStore for ChameleonDb {
         let hash = hash64(key);
         let shard_idx = self.shard_of(hash);
         let commit = |ctx: &mut ThreadCtx, recs: &[ManifestRecord]| self.meta.commit(ctx, recs);
-        let env = self.env(&commit);
+        let sync_log = |ctx: &mut ThreadCtx| self.sync(ctx);
+        let env = self.env(&commit, &sync_log);
         let found = {
             let mut shard = self.shards[shard_idx].lock();
             shard.get(&env, ctx, hash)?
@@ -563,7 +576,8 @@ impl KvStore for ChameleonDb {
         let hash = hash64(key);
         let shard_idx = self.shard_of(hash);
         let commit = |ctx: &mut ThreadCtx, recs: &[ManifestRecord]| self.meta.commit(ctx, recs);
-        let env = self.env(&commit);
+        let sync_log = |ctx: &mut ThreadCtx| self.sync(ctx);
+        let env = self.env(&commit, &sync_log);
         let mut shard = self.shards[shard_idx].lock();
         let existed = matches!(shard.get(&env, ctx, hash)?, Some((s, _)) if !s.is_tombstone());
         let meta = self.append_log(ctx, key, &[], true)?;

@@ -1,0 +1,669 @@
+//! Crash-matrix fault-injection harness.
+//!
+//! Exhaustively enumerates power-failure points of a ChameleonDB instance:
+//! every durable-state transition happens at a persist fence, so crashing
+//! at fence ordinal `k` for every `k` in `1..=total_fences` covers every
+//! distinct durable state a real power cut could leave behind. For each
+//! point the harness
+//!
+//! 1. runs a deterministic mixed workload (puts, overwrites, deletes,
+//!    syncs, a checkpoint, a Write-Intensive phase, and a Get-Protect
+//!    phase that forces ABI dumps) against a fresh simulated device, armed
+//!    to panic-unwind out of fence `k`;
+//! 2. simulates the power cut ([`pmem_sim::PmemDevice::crash`] drops all
+//!    unfenced lines), optionally arms a *second* crash a few fences into
+//!    recovery itself (the double-crash case), and recovers;
+//! 3. audits the recovered store against a shadow model under the
+//!    acknowledged-write invariant below.
+//!
+//! # The invariant: a single log-prefix cut
+//!
+//! The store has one log writer per thread and this harness drives one
+//! thread, so every mutation is assigned a position in one totally-ordered
+//! op sequence. A crash may lose an *un-acknowledged* suffix of that
+//! sequence — never more. Concretely, for the recovered store there must
+//! exist a single cut `C` (number of leading ops whose effects survived)
+//! such that
+//!
+//! * `C >= synced`: every op acknowledged by the last successful
+//!   `sync`/`checkpoint` survived (acknowledged writes present with their
+//!   latest value, acknowledged deletes still deleted);
+//! * `C <= completed + 1`: nothing from the future, where op `completed`
+//!   is the op in flight when the crash fired (its log append may or may
+//!   not have landed);
+//! * every key reads as the newest version with op index `< C` — stale
+//!   resurrection (manifest replay of a dead epoch, index ahead of log)
+//!   shows up as a key whose observed state admits no cut consistent with
+//!   the other keys, and is reported as a violation.
+//!
+//! Stage attribution comes from the observability layer: the maintenance
+//! span open at the moment of the crash ([`chameleon_obs::Obs::
+//! current_stage`]) labels the point (flush, mid/last compaction, ABI
+//! dump, ...), `"foreground"` labels fences outside any span (log batch
+//! fences, manifest appends from the front door), `"create"` labels
+//! crashes before the store finished initializing, and nested crashes are
+//! labelled `"recovery"`. Each recovered store gets a
+//! [`EventKind::CrashInjected`] event in its journal so the crash point is
+//! visible through the normal observability exports.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use chameleon_obs::{EventKind, ObsConfig};
+use chameleondb::{ChameleonConfig, ChameleonDb, CompactionScheme, GpmConfig, Mode};
+use kvapi::KvStore;
+use kvlog::LogConfig;
+use pmem_sim::{CrashPoint, PmemDevice, ThreadCtx};
+use serde::Serialize;
+
+/// Gets per Get-Protect evaluation window in the matrix store config; the
+/// workload's get burst issues twice this many to guarantee entry.
+const GPM_WINDOW: u64 = 64;
+
+/// One workload step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WlOp {
+    /// Insert/overwrite `key` with a value encoding `(key, op_index)`.
+    Put(u64),
+    /// Delete `key` (appends a tombstone).
+    Del(u64),
+    /// Read `key`; checked against the shadow model while pre-crash.
+    Get(u64),
+    /// `KvStore::sync` — acknowledges everything before it.
+    Sync,
+    /// Full checkpoint: flush + manifest rewrite; also acknowledges.
+    Checkpoint,
+    /// Switch the store's base mode (Normal / WriteIntensive).
+    SetMode(Mode),
+}
+
+/// Matrix parameters.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Unique keys in the initial load phase; scales the whole workload
+    /// (and with it the number of fences to enumerate).
+    pub keys: u64,
+    /// Test every `stride`-th fence ordinal (1 = exhaustive).
+    pub stride: u64,
+    /// Inject a second crash during recovery on every `nested_every`-th
+    /// tested point (0 = never). The nested point is varied
+    /// deterministically a few fences into the replay.
+    pub nested_every: u64,
+    /// Upper-level compaction scheme of the store under test.
+    pub scheme: CompactionScheme,
+    /// Simulated device capacity.
+    pub device_bytes: usize,
+}
+
+impl MatrixConfig {
+    /// Exhaustive matrix (stride 1) — the `repro crash` default.
+    pub fn full(scheme: CompactionScheme) -> Self {
+        Self {
+            keys: 512,
+            stride: 1,
+            nested_every: 4,
+            scheme,
+            device_bytes: 64 << 20,
+        }
+    }
+
+    /// Bounded matrix for CI: same workload, sparse stride.
+    pub fn quick(scheme: CompactionScheme) -> Self {
+        Self {
+            stride: 9,
+            nested_every: 3,
+            ..Self::full(scheme)
+        }
+    }
+}
+
+/// The store geometry under test: tiny shards so the workload crosses
+/// every maintenance path (flush, mid- and last-level compaction, manifest
+/// overflow rewrites, WIM merges, GPM ABI dumps) within a few hundred ops.
+pub fn store_config(scheme: CompactionScheme) -> ChameleonConfig {
+    ChameleonConfig {
+        shards: 2,
+        memtable_slots: 32,
+        levels: 3,
+        ratio: 2,
+        max_threads: 1,
+        max_abi_dumps: 2,
+        compaction: scheme,
+        // Tiny manifest regions force overflow rewrites (epoch flips).
+        manifest_bytes: 2048,
+        // Small batches so log fences interleave finely with maintenance.
+        log: LogConfig {
+            capacity: 16 << 20,
+            batch_bytes: 512,
+            ..LogConfig::default()
+        },
+        // Pin Get-Protect on once entered: enter on any get burst, never
+        // exit (p99 < 0 is unsatisfiable), so the dump paths stay hot.
+        gpm: GpmConfig {
+            enabled: true,
+            enter_threshold_ns: 1,
+            exit_threshold_ns: 0,
+            window_ops: GPM_WINDOW,
+        },
+        obs: ObsConfig::on(),
+        ..ChameleonConfig::with_shards(2)
+    }
+}
+
+/// Builds the deterministic mixed workload for `keys` unique keys.
+pub fn build_script(keys: u64) -> Vec<WlOp> {
+    let n = keys.max(64);
+    let mut s = Vec::new();
+    // Phase 1: unique load — crosses flushes and upper/last compactions.
+    for k in 0..n {
+        s.push(WlOp::Put(k));
+    }
+    s.push(WlOp::Sync);
+    // Phase 2: overwrites and deletes — tombstones and version shadowing.
+    for k in 0..n / 2 {
+        s.push(WlOp::Put(k));
+    }
+    for k in n / 4..n / 2 {
+        s.push(WlOp::Del(k));
+    }
+    s.push(WlOp::Sync);
+    // Phase 3: Write-Intensive Mode — MemTables merge into the ABI.
+    s.push(WlOp::SetMode(Mode::WriteIntensive));
+    for k in n..n + n / 2 {
+        s.push(WlOp::Put(k));
+    }
+    s.push(WlOp::Sync);
+    s.push(WlOp::SetMode(Mode::Normal));
+    // Phase 4: get burst trips Get-Protect, then puts force ABI dumps
+    // (and, past max_abi_dumps, last-level compactions of dumped tables).
+    for i in 0..2 * GPM_WINDOW {
+        s.push(WlOp::Get(i % (n / 4).max(1)));
+    }
+    for k in n + n / 2..2 * n {
+        s.push(WlOp::Put(k));
+    }
+    // Phase 5: checkpoint (manifest rewrite + flip) and traffic past it.
+    s.push(WlOp::Checkpoint);
+    for k in 0..n / 8 {
+        s.push(WlOp::Put(k));
+    }
+    for k in 0..n / 16 {
+        s.push(WlOp::Del(k));
+    }
+    s.push(WlOp::Sync);
+    // Un-acknowledged tail: may be lost, bounded by the log batch.
+    for k in 0..8 {
+        s.push(WlOp::Put(k));
+    }
+    s
+}
+
+/// One recorded mutation of a key in the shadow model.
+#[derive(Debug, Clone, Copy)]
+pub struct Version {
+    /// Op index in the script.
+    pub op: u64,
+    /// Tombstone?
+    pub del: bool,
+}
+
+/// The value a [`WlOp::Put`] at op index `op` writes for `key`.
+fn value_of(key: u64, op: u64) -> [u8; 16] {
+    let mut v = [0u8; 16];
+    v[..8].copy_from_slice(&key.to_le_bytes());
+    v[8..].copy_from_slice(&op.to_le_bytes());
+    v
+}
+
+/// Per-key version histories, derived statically from the script.
+pub fn build_model(script: &[WlOp]) -> BTreeMap<u64, Vec<Version>> {
+    let mut model: BTreeMap<u64, Vec<Version>> = BTreeMap::new();
+    for (i, op) in script.iter().enumerate() {
+        match *op {
+            WlOp::Put(k) => model.entry(k).or_default().push(Version {
+                op: i as u64,
+                del: false,
+            }),
+            WlOp::Del(k) => model.entry(k).or_default().push(Version {
+                op: i as u64,
+                del: true,
+            }),
+            _ => {}
+        }
+    }
+    model
+}
+
+/// Runs the script against `db`, tracking progress through the `Cell`s so
+/// the caller can read how far it got after an unwind. Live gets are
+/// checked against the exact pre-crash model; a mismatch panics (a
+/// non-`CrashPoint` payload, re-raised by the harness).
+fn exec(
+    db: &ChameleonDb,
+    ctx: &mut ThreadCtx,
+    script: &[WlOp],
+    completed: &Cell<u64>,
+    synced: &Cell<u64>,
+) -> kvapi::Result<()> {
+    // key -> Some(op of live put) | None = deleted.
+    let mut live: HashMap<u64, Option<u64>> = HashMap::new();
+    let mut out = Vec::new();
+    for (i, op) in script.iter().enumerate() {
+        let idx = i as u64;
+        match *op {
+            WlOp::Put(k) => {
+                db.put(ctx, k, &value_of(k, idx))?;
+                live.insert(k, Some(idx));
+            }
+            WlOp::Del(k) => {
+                db.delete(ctx, k)?;
+                live.insert(k, None);
+            }
+            WlOp::Get(k) => {
+                let found = db.get(ctx, k, &mut out)?;
+                match live.get(&k).copied().flatten() {
+                    Some(put_op) => assert!(
+                        found && out == value_of(k, put_op),
+                        "live get of key {k} at op {idx} diverged from model"
+                    ),
+                    None => assert!(!found, "live get of key {k} at op {idx}: ghost value"),
+                }
+            }
+            WlOp::Sync => db.sync(ctx)?,
+            WlOp::Checkpoint => db.checkpoint(ctx)?,
+            WlOp::SetMode(m) => db.set_mode(m),
+        }
+        completed.set(idx + 1);
+        if matches!(op, WlOp::Sync | WlOp::Checkpoint) {
+            synced.set(idx + 1);
+        }
+    }
+    Ok(())
+}
+
+/// Result of one crash point.
+#[derive(Debug, Serialize)]
+pub struct PointOutcome {
+    /// Fence ordinal the primary crash fired at.
+    pub fence: u64,
+    /// Maintenance stage attributed to the crash point.
+    pub stage: String,
+    /// Fence ordinal of the nested recovery crash, if one fired.
+    pub nested_fence: Option<u64>,
+    /// Invariant violations found after recovery (empty = pass).
+    pub violations: Vec<String>,
+}
+
+/// Aggregated crash-matrix report (serialized by `repro crash`).
+#[derive(Debug, Serialize)]
+pub struct CrashMatrixReport {
+    /// Compaction scheme of the store under test.
+    pub scheme: String,
+    /// Ops in the workload script.
+    pub workload_ops: u64,
+    /// Fences in a crash-free run = size of the full matrix.
+    pub total_fences: u64,
+    /// Points actually crashed and audited.
+    pub points_tested: u64,
+    /// Points where a nested crash fired during recovery.
+    pub nested_crashes: u64,
+    /// Tested points per attributed stage, descending.
+    pub stages: Vec<StagePoints>,
+    /// All failing points (empty = the matrix passed).
+    pub violations: Vec<PointOutcome>,
+}
+
+/// Points attributed to one maintenance stage.
+#[derive(Debug, Serialize)]
+pub struct StagePoints {
+    pub stage: String,
+    pub points: u64,
+}
+
+impl CrashMatrixReport {
+    /// Distinct crash points exercised, counting nested recovery crashes.
+    pub fn distinct_points(&self) -> u64 {
+        self.points_tested + self.nested_crashes
+    }
+}
+
+/// Crash-free run of the full script; returns the total fence count
+/// (the matrix size) and validates the workload itself end to end.
+pub fn dry_run(cfg: &MatrixConfig, script: &[WlOp]) -> u64 {
+    let dev = PmemDevice::optane(cfg.device_bytes);
+    let db = ChameleonDb::create(Arc::clone(&dev), store_config(cfg.scheme))
+        .expect("crash matrix: create failed in dry run");
+    let mut ctx = ThreadCtx::with_default_cost();
+    let completed = Cell::new(0);
+    let synced = Cell::new(0);
+    exec(&db, &mut ctx, script, &completed, &synced)
+        .expect("crash matrix: workload failed in dry run");
+    dev.fence_count()
+}
+
+/// Runs one crash point: arm at fence `k`, crash, (maybe) crash again
+/// inside recovery at `k2 = fence_count + nested_offset`, recover, audit.
+pub fn run_point(
+    cfg: &MatrixConfig,
+    script: &[WlOp],
+    model: &BTreeMap<u64, Vec<Version>>,
+    k: u64,
+    nested_offset: Option<u64>,
+) -> PointOutcome {
+    let dev = PmemDevice::optane(cfg.device_bytes);
+    let store_cfg = store_config(cfg.scheme);
+    dev.arm_crash_at_fence(k);
+
+    let completed = Cell::new(0u64);
+    let synced = Cell::new(0u64);
+    let mut ctx = ThreadCtx::with_default_cost();
+    // The store outlives the unwind so the open maintenance span is still
+    // readable for stage attribution.
+    let db_slot: RefCell<Option<ChameleonDb>> = RefCell::new(None);
+    let res = catch_unwind(AssertUnwindSafe(|| -> kvapi::Result<()> {
+        let db = ChameleonDb::create(Arc::clone(&dev), store_cfg.clone())?;
+        *db_slot.borrow_mut() = Some(db);
+        let slot = db_slot.borrow();
+        exec(
+            slot.as_ref().unwrap(),
+            &mut ctx,
+            script,
+            &completed,
+            &synced,
+        )
+    }));
+
+    match res {
+        Ok(Ok(())) => {
+            // k was beyond the last fence; nothing to audit.
+            return PointOutcome {
+                fence: k,
+                stage: "none".into(),
+                nested_fence: None,
+                violations: vec![format!(
+                    "fence {k} never fired (workload ran to completion)"
+                )],
+            };
+        }
+        Ok(Err(e)) => {
+            return PointOutcome {
+                fence: k,
+                stage: "none".into(),
+                nested_fence: None,
+                violations: vec![format!("workload errored before fence {k}: {e}")],
+            };
+        }
+        Err(payload) => match payload.downcast::<CrashPoint>() {
+            Ok(cp) => debug_assert_eq!(cp.fence, k),
+            // Model divergence or a store bug pre-crash: surface loudly.
+            Err(other) => resume_unwind(other),
+        },
+    }
+
+    let stage: &'static str = match db_slot.borrow().as_ref() {
+        None => "create",
+        Some(db) => db
+            .obs()
+            .current_stage()
+            .map(|s| s.name())
+            .unwrap_or("foreground"),
+    };
+    *db_slot.borrow_mut() = None;
+
+    // Power cut: every unfenced line is gone.
+    dev.crash();
+
+    if let Some(off) = nested_offset {
+        dev.arm_crash_at_fence(dev.fence_count() + off);
+    }
+    let mut nested_fence = None;
+    let db2 = loop {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            ChameleonDb::recover(Arc::clone(&dev), store_cfg.clone(), &mut ctx)
+        }));
+        match r {
+            Ok(Ok(db)) => break db,
+            Ok(Err(e)) => {
+                return PointOutcome {
+                    fence: k,
+                    stage: stage.into(),
+                    nested_fence,
+                    violations: vec![format!("recovery failed: {e}")],
+                }
+            }
+            Err(payload) => match payload.downcast::<CrashPoint>() {
+                Ok(cp) => {
+                    // Double crash: power fails during replay. The arm
+                    // auto-disarmed, so the retry recovers cleanly.
+                    nested_fence = Some(cp.fence);
+                    dev.crash();
+                }
+                Err(other) => resume_unwind(other),
+            },
+        }
+    };
+    // The nested arm may not have fired if recovery used fewer fences.
+    dev.disarm_crash();
+
+    db2.obs().record_event(
+        ctx.clock.now(),
+        EventKind::CrashInjected { fence: k, stage },
+    );
+    if let Some(nf) = nested_fence {
+        db2.obs().record_event(
+            ctx.clock.now(),
+            EventKind::CrashInjected {
+                fence: nf,
+                stage: "recovery",
+            },
+        );
+    }
+
+    let violations = audit(&db2, &mut ctx, model, synced.get(), completed.get());
+    PointOutcome {
+        fence: k,
+        stage: stage.into(),
+        nested_fence,
+        violations,
+    }
+}
+
+/// Audits a recovered store against the shadow model: a single log-prefix
+/// cut `C` in `[synced, completed + 1]` must explain every key's state.
+fn audit(
+    db: &ChameleonDb,
+    ctx: &mut ThreadCtx,
+    model: &BTreeMap<u64, Vec<Version>>,
+    synced: u64,
+    completed: u64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    // Inclusive intervals of feasible cuts, intersected key by key.
+    let mut feasible: Vec<(u64, u64)> = vec![(synced, completed + 1)];
+    let mut out = Vec::new();
+    for (&key, versions) in model {
+        let found = match db.get(ctx, key, &mut out) {
+            Ok(f) => f,
+            Err(e) => {
+                violations.push(format!("get({key}) failed after recovery: {e}"));
+                continue;
+            }
+        };
+        let allowed: Vec<(u64, u64)> = if found {
+            if out.len() != 16 || out[..8] != key.to_le_bytes() {
+                violations.push(format!("key {key}: garbled value {out:?}"));
+                continue;
+            }
+            let op = u64::from_le_bytes(out[8..16].try_into().unwrap());
+            match versions.iter().find(|v| v.op == op && !v.del) {
+                None => {
+                    violations.push(format!("key {key}: value from op {op} was never written"));
+                    continue;
+                }
+                Some(v) => {
+                    // Observed iff v landed and nothing newer did:
+                    // v.op < C <= next version's op.
+                    let next = versions
+                        .iter()
+                        .find(|w| w.op > v.op)
+                        .map(|w| w.op)
+                        .unwrap_or(u64::MAX);
+                    vec![(v.op + 1, next)]
+                }
+            }
+        } else {
+            // Absent iff the cut predates the key's first version, or the
+            // newest landed version is a tombstone.
+            let mut iv = Vec::new();
+            if let Some(first) = versions.first() {
+                iv.push((0, first.op));
+            }
+            for (i, v) in versions.iter().enumerate() {
+                if v.del {
+                    let next = versions.get(i + 1).map(|w| w.op).unwrap_or(u64::MAX);
+                    iv.push((v.op + 1, next));
+                }
+            }
+            iv
+        };
+        let narrowed = intersect(&feasible, &allowed);
+        if narrowed.is_empty() {
+            let state = if found {
+                format!(
+                    "value from op {}",
+                    u64::from_le_bytes(out[8..16].try_into().unwrap())
+                )
+            } else {
+                "absent".into()
+            };
+            violations.push(format!(
+                "key {key}: {state} admits no log-prefix cut in [{synced}, {}] \
+                 consistent with the other keys (acked write lost, stale \
+                 resurrection, or torn ordering)",
+                completed + 1
+            ));
+            // Keep the previous feasible set so later keys still get
+            // audited against the acknowledged window.
+        } else {
+            feasible = narrowed;
+        }
+    }
+    violations
+}
+
+/// Intersection of two inclusive-interval unions.
+fn intersect(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for &(alo, ahi) in a {
+        for &(blo, bhi) in b {
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the whole matrix. `progress(done, total)` is called after each
+/// tested point (pass `|_, _| {}` to ignore).
+pub fn run_matrix(cfg: &MatrixConfig, mut progress: impl FnMut(u64, u64)) -> CrashMatrixReport {
+    let script = build_script(cfg.keys);
+    let model = build_model(&script);
+    let total_fences = dry_run(cfg, &script);
+    let stride = cfg.stride.max(1);
+    let planned = total_fences.div_ceil(stride);
+
+    let mut stage_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut violations = Vec::new();
+    let mut points_tested = 0;
+    let mut nested_crashes = 0;
+    let mut idx = 0u64;
+    let mut k = 1;
+    while k <= total_fences {
+        // Vary the nested offset so the replay is cut at different depths.
+        let nested_offset = if cfg.nested_every > 0 && idx.is_multiple_of(cfg.nested_every) {
+            Some(1 + (idx / cfg.nested_every) % 17)
+        } else {
+            None
+        };
+        let outcome = run_point(cfg, &script, &model, k, nested_offset);
+        points_tested += 1;
+        if outcome.nested_fence.is_some() {
+            nested_crashes += 1;
+        }
+        *stage_counts.entry(outcome.stage.clone()).or_insert(0) += 1;
+        if !outcome.violations.is_empty() {
+            violations.push(outcome);
+        }
+        progress(points_tested, planned);
+        idx += 1;
+        k += stride;
+    }
+
+    let mut stages: Vec<StagePoints> = stage_counts
+        .into_iter()
+        .map(|(stage, points)| StagePoints { stage, points })
+        .collect();
+    stages.sort_by_key(|s| std::cmp::Reverse(s.points));
+    CrashMatrixReport {
+        scheme: match cfg.scheme {
+            CompactionScheme::Direct => "direct".into(),
+            CompactionScheme::LevelByLevel => "level_by_level".into(),
+        },
+        workload_ops: script.len() as u64,
+        total_fences,
+        points_tested,
+        nested_crashes,
+        stages,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_covers_all_op_kinds() {
+        let s = build_script(128);
+        assert!(s.iter().any(|o| matches!(o, WlOp::Put(_))));
+        assert!(s.iter().any(|o| matches!(o, WlOp::Del(_))));
+        assert!(s.iter().any(|o| matches!(o, WlOp::Get(_))));
+        assert!(s.iter().any(|o| matches!(o, WlOp::Checkpoint)));
+        assert!(s
+            .iter()
+            .any(|o| matches!(o, WlOp::SetMode(Mode::WriteIntensive))));
+        assert!(s.iter().filter(|o| matches!(o, WlOp::Sync)).count() >= 3);
+    }
+
+    #[test]
+    fn model_versions_are_ordered() {
+        let s = build_script(128);
+        let m = build_model(&s);
+        for versions in m.values() {
+            assert!(versions.windows(2).all(|w| w[0].op < w[1].op));
+        }
+    }
+
+    #[test]
+    fn interval_intersection() {
+        assert_eq!(intersect(&[(0, 10)], &[(5, 20)]), vec![(5, 10)]);
+        assert!(intersect(&[(0, 4)], &[(5, 20)]).is_empty());
+        assert_eq!(
+            intersect(&[(0, 10)], &[(2, 3), (8, 12)]),
+            vec![(2, 3), (8, 10)]
+        );
+    }
+
+    #[test]
+    fn dry_run_reports_a_nontrivial_matrix() {
+        let cfg = MatrixConfig::quick(CompactionScheme::Direct);
+        let script = build_script(cfg.keys);
+        let fences = dry_run(&cfg, &script);
+        assert!(fences >= 100, "matrix unexpectedly small: {fences} fences");
+    }
+}

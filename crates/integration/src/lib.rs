@@ -1,1 +1,7 @@
-//! Integration-test host crate; tests live in tests/.
+//! Integration-test host crate.
+//!
+//! Unit/integration tests live in `tests/`. The library part hosts the
+//! [`crashmat`] crash-matrix fault-injection harness, shared between the
+//! integration tests and the `repro crash` bench command.
+
+pub mod crashmat;

@@ -1,0 +1,245 @@
+//! kvlog recovery properties under enumerated fence-point crashes:
+//! torn-batch boundaries, extent-boundary entries, and tombstone replay
+//! ordering. Each test enumerates *every* fence of a deterministic append
+//! sequence, crashes there, reopens, and checks the recovered entry set.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use kvlog::{LogConfig, StorageLog, ENTRY_HEADER, EXTENT};
+use pmem_sim::{CrashPoint, PmemDevice, ThreadCtx};
+
+fn small_cfg() -> LogConfig {
+    LogConfig {
+        capacity: 8 << 20,
+        batch_bytes: 128,
+        max_value: 1 << 20,
+    }
+}
+
+/// Runs `appends` against a fresh log armed to crash at fence `k`.
+/// Returns `(completed_appends, survivor_seqs)` where survivors come from
+/// a post-crash `reopen_with` scan. Panics (re-raises) on non-crash
+/// panics; asserts the crash actually fired.
+fn crash_at(
+    cfg: &LogConfig,
+    k: u64,
+    appends: &[(u64, usize, bool)], // (key, value_len, tombstone)
+) -> (u64, Vec<u64>) {
+    let dev = PmemDevice::optane(64 << 20);
+    let log = StorageLog::create(Arc::clone(&dev), cfg.clone()).unwrap();
+    let region = log.region();
+    let completed = Cell::new(0u64);
+    dev.arm_crash_at_fence(k);
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        let mut ctx = ThreadCtx::with_default_cost();
+        let mut w = log.writer();
+        for &(key, vlen, tomb) in appends {
+            let value = vec![key as u8; vlen];
+            w.append(&mut ctx, key, &value, tomb).unwrap();
+            completed.set(completed.get() + 1);
+        }
+        w.flush(&mut ctx).unwrap();
+    }));
+    match res {
+        Ok(()) => panic!("fence {k} never fired"),
+        Err(payload) => {
+            if payload.downcast::<CrashPoint>().is_err() {
+                panic!("append sequence panicked before fence {k}");
+            }
+        }
+    }
+    dev.crash();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let mut seqs = Vec::new();
+    drop(log);
+    let _reopened = StorageLog::reopen_with(dev, region, cfg.clone(), &mut ctx, |meta| {
+        seqs.push(meta.seq)
+    })
+    .expect("reopen after crash at fence {k} must succeed");
+    seqs.sort_unstable();
+    (completed.get(), seqs)
+}
+
+/// Total fences of the crash-free append sequence.
+fn total_fences(cfg: &LogConfig, appends: &[(u64, usize, bool)]) -> u64 {
+    let dev = PmemDevice::optane(64 << 20);
+    let log = StorageLog::create(Arc::clone(&dev), cfg.clone()).unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let mut w = log.writer();
+    for &(key, vlen, tomb) in appends {
+        let value = vec![key as u8; vlen];
+        w.append(&mut ctx, key, &value, tomb).unwrap();
+    }
+    w.flush(&mut ctx).unwrap();
+    dev.fence_count()
+}
+
+/// Crashing at every fence of a batched append stream must leave an exact
+/// contiguous seq prefix — no holes, no reordering — whose lost tail is
+/// bounded by one log batch.
+#[test]
+fn torn_batches_leave_an_exact_bounded_prefix() {
+    let cfg = small_cfg();
+    // 40-byte values -> 64-byte entries -> a fence every 2 entries
+    // (batch_bytes 128), plus extent-claim fences.
+    let appends: Vec<(u64, usize, bool)> = (0..120u64).map(|k| (k, 40, false)).collect();
+    let batch_entries = (cfg.batch_bytes / (ENTRY_HEADER + 40)) as u64 + 1;
+    let fences = total_fences(&cfg, &appends);
+    assert!(fences >= 40, "expected a fence-dense stream, got {fences}");
+
+    let mut prev_m = 0u64;
+    for k in 1..=fences {
+        let (completed, seqs) = crash_at(&cfg, k, &appends);
+        let m = seqs.len() as u64;
+        // Exact contiguous prefix 1..=m.
+        assert_eq!(
+            seqs,
+            (1..=m).collect::<Vec<u64>>(),
+            "fence {k}: survivors are not a contiguous seq prefix"
+        );
+        // Monotone in the crash point.
+        assert!(
+            m >= prev_m,
+            "fence {k}: durable prefix shrank ({prev_m} -> {m})"
+        );
+        prev_m = m;
+        // The fence fires mid-append, so the triggering entry may be
+        // durable before its append returns.
+        assert!(m <= completed + 1, "fence {k}: entries from the future");
+        // Acknowledged-tail bound: at most one un-fenced batch is lost.
+        assert!(
+            completed - m.min(completed) <= batch_entries,
+            "fence {k}: lost {} entries, more than one batch ({batch_entries})",
+            completed - m.min(completed)
+        );
+    }
+}
+
+/// Entries sized so four fill an extent exactly: crash points around
+/// extent claims must recover cleanly, and a reopened log resumes at the
+/// next extent boundary rather than reusing a torn extent tail.
+#[test]
+fn extent_boundary_entries_recover_and_resume_on_boundaries() {
+    let cfg = LogConfig {
+        capacity: 32 << 20,
+        batch_bytes: 128,
+        max_value: EXTENT as usize,
+    };
+    let vlen = (EXTENT / 4) as usize - ENTRY_HEADER;
+    let appends: Vec<(u64, usize, bool)> = (0..10u64).map(|k| (k, vlen, false)).collect();
+    let fences = total_fences(&cfg, &appends);
+    // Every entry overflows the batch, and every fourth claims an extent.
+    assert!(fences >= 10, "expected >= 10 fences, got {fences}");
+    for k in 1..=fences {
+        let (completed, seqs) = crash_at(&cfg, k, &appends);
+        let m = seqs.len() as u64;
+        assert_eq!(seqs, (1..=m).collect::<Vec<u64>>());
+        assert!(m <= completed + 1);
+    }
+
+    // Crash-free reopen: the cursor resumes at an extent boundary and new
+    // appends are visible to a subsequent scan alongside the old ones.
+    let dev = PmemDevice::optane(64 << 20);
+    let log = StorageLog::create(Arc::clone(&dev), cfg.clone()).unwrap();
+    let region = log.region();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let mut w = log.writer();
+    for &(key, vlen, tomb) in &appends[..5] {
+        w.append(&mut ctx, key, &vec![key as u8; vlen], tomb)
+            .unwrap();
+    }
+    w.flush(&mut ctx).unwrap();
+    drop(w);
+    drop(log);
+    dev.crash();
+    let log = StorageLog::reopen(Arc::clone(&dev), region, cfg.clone(), &mut ctx).unwrap();
+    assert_eq!(
+        log.bytes_used() % EXTENT,
+        0,
+        "reopen must resume on an extent boundary"
+    );
+    assert_eq!(log.last_seq(), 5);
+    let mut w = log.writer();
+    w.append(&mut ctx, 99, b"tail", false).unwrap();
+    w.flush(&mut ctx).unwrap();
+    let mut seen = Vec::new();
+    log.scan(&mut ctx, |meta| seen.push((meta.seq, meta.key)))
+        .unwrap();
+    seen.sort_unstable();
+    assert_eq!(seen.len(), 6);
+    assert_eq!(seen[5], (6, 99));
+}
+
+/// Interleaved put/delete/put streams: after a crash at any fence, a
+/// latest-wins replay must equal the model folded over the surviving seq
+/// prefix — tombstones must neither outlive a newer put nor resurrect an
+/// older one.
+#[test]
+fn tombstone_replay_matches_the_truncated_model() {
+    let cfg = small_cfg();
+    // 8 keys, 96 ops: put k, delete (k+1)%8 every third op, re-put later.
+    let mut appends: Vec<(u64, usize, bool)> = Vec::new();
+    for r in 0..96u64 {
+        let key = r % 8;
+        if r % 3 == 2 {
+            appends.push((key, 0, true));
+        } else {
+            appends.push((key, 24, false));
+        }
+    }
+    let fences = total_fences(&cfg, &appends);
+    for k in 1..=fences {
+        let dev = PmemDevice::optane(64 << 20);
+        let log = StorageLog::create(Arc::clone(&dev), cfg.clone()).unwrap();
+        let region = log.region();
+        dev.arm_crash_at_fence(k);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = ThreadCtx::with_default_cost();
+            let mut w = log.writer();
+            for &(key, vlen, tomb) in &appends {
+                w.append(&mut ctx, key, &vec![key as u8; vlen], tomb)
+                    .unwrap();
+            }
+            w.flush(&mut ctx).unwrap();
+        }));
+        match res {
+            Ok(()) => panic!("fence {k} never fired"),
+            Err(payload) => match payload.downcast::<CrashPoint>() {
+                Ok(_) => dev.crash(),
+                Err(other) => resume_unwind(other),
+            },
+        }
+        drop(log);
+        let mut ctx = ThreadCtx::with_default_cost();
+        // Latest-wins replay of the survivors.
+        let mut state: HashMap<u64, (u64, bool)> = HashMap::new(); // key -> (seq, tombstone)
+        let mut max_seq = 0u64;
+        let log = StorageLog::reopen_with(dev, region, cfg.clone(), &mut ctx, |meta| {
+            max_seq = max_seq.max(meta.seq);
+            let e = state.entry(meta.key).or_insert((meta.seq, meta.tombstone));
+            if meta.seq >= e.0 {
+                *e = (meta.seq, meta.tombstone);
+            }
+        })
+        .unwrap();
+        drop(log);
+        // The model folded over the surviving prefix (seq i+1 = op i).
+        let mut model: HashMap<u64, bool> = HashMap::new(); // key -> deleted?
+        for (i, &(key, _, tomb)) in appends.iter().take(max_seq as usize).enumerate() {
+            let _ = i;
+            model.insert(key, tomb);
+        }
+        for (key, deleted) in model {
+            match state.get(&key) {
+                Some(&(_, tomb)) => assert_eq!(
+                    tomb, deleted,
+                    "fence {k}: key {key} replayed to the wrong liveness"
+                ),
+                None => panic!("fence {k}: key {key} missing from replay"),
+            }
+        }
+    }
+}

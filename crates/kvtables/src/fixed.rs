@@ -205,6 +205,9 @@ pub struct TableBuilder {
     num_slots: u64,
     entries: u64,
     max_log_seq: u64,
+    /// Set when a tombstone was staged with `drop_tombstone`: the final
+    /// image is re-hashed without tombstones at [`TableBuilder::build`].
+    prune_tombstones: bool,
 }
 
 impl TableBuilder {
@@ -216,6 +219,7 @@ impl TableBuilder {
             num_slots: num_slots.max(1) as u64,
             entries: 0,
             max_log_seq: 0,
+            prune_tombstones: false,
         }
     }
 
@@ -251,8 +255,13 @@ impl TableBuilder {
     /// (the staged, newer version wins) or `Err` if the table is full.
     ///
     /// `drop_tombstone` should be true only when building the *last* level:
-    /// there is nothing older for the tombstone to shadow, so it can be
-    /// discarded (returns `Ok(false)`).
+    /// once the merge is complete nothing below the output can hold the
+    /// key, so the tombstone need not be persisted. The tombstone is still
+    /// *staged* — callers stream sources newest-first and a merge's older
+    /// sources (dumped tables, the previous last level) may carry versions
+    /// the tombstone must shadow — and is pruned from the image by
+    /// [`TableBuilder::build`]. (Dropping it immediately here instead used
+    /// to let the old last level resurrect deleted keys.)
     pub fn insert(
         &mut self,
         ctx: &mut ThreadCtx,
@@ -270,7 +279,7 @@ impl TableBuilder {
             let cur = self.slots[idx];
             if cur.is_empty() {
                 if slot.is_tombstone() && drop_tombstone {
-                    return Ok(false);
+                    self.prune_tombstones = true;
                 }
                 self.slots[idx] = slot;
                 self.entries += 1;
@@ -288,13 +297,35 @@ impl TableBuilder {
     /// Persists the staged table: header + slots, written sequentially with
     /// non-temporal stores and a single trailing fence.
     pub fn build(
-        self,
+        mut self,
         dev: &Arc<PmemDevice>,
         ctx: &mut ThreadCtx,
         shard: u32,
         level: u32,
         table_seq: u64,
     ) -> Result<FixedHashTable> {
+        if self.prune_tombstones {
+            // Tombstones were staged only to shadow older sources during
+            // the merge; re-hash the survivors so the persisted image holds
+            // no tombstones and no broken probe chains.
+            let live: Vec<Slot> = self
+                .slots
+                .iter()
+                .copied()
+                .filter(|s| !s.is_empty() && !s.is_tombstone())
+                .collect();
+            self.slots.fill(Slot::EMPTY);
+            self.entries = 0;
+            for slot in live {
+                let mut idx = (slot.hash % self.num_slots) as usize;
+                ctx.charge(ctx.cost.dram_l2_ns);
+                while !self.slots[idx].is_empty() {
+                    idx = (idx + 1) % self.slots.len();
+                }
+                self.slots[idx] = slot;
+                self.entries += 1;
+            }
+        }
         let header = TableHeader {
             num_slots: self.num_slots,
             num_entries: self.entries,
@@ -373,16 +404,45 @@ mod tests {
 
     #[test]
     fn tombstones_dropped_only_when_requested() {
-        let (_dev, mut ctx) = setup();
+        let (dev, mut ctx) = setup();
         let h = hash64(3);
         let mut keep = TableBuilder::new(16);
         assert!(keep.insert(&mut ctx, Slot::tombstone(h, 5), false).unwrap());
-        assert_eq!(keep.len(), 1);
+        let t = keep.build(&dev, &mut ctx, 0, 0, 1).unwrap();
+        assert_eq!(t.num_entries(), 1);
+        assert!(t.get(&dev, &mut ctx, h).unwrap().is_tombstone());
         let mut drop_b = TableBuilder::new(16);
-        assert!(!drop_b
+        assert!(drop_b
             .insert(&mut ctx, Slot::tombstone(h, 5), true)
             .unwrap());
-        assert_eq!(drop_b.len(), 0);
+        let t = drop_b.build(&dev, &mut ctx, 0, 0, 2).unwrap();
+        assert_eq!(t.num_entries(), 0);
+        assert!(t.get(&dev, &mut ctx, h).is_none());
+    }
+
+    /// Regression: a last-level merge streams sources newest-first, so a
+    /// tombstone staged with `drop_tombstone` must still shadow an older
+    /// source's version of the same key — dropping it immediately let the
+    /// previous last level resurrect deleted keys. The tombstone shadows
+    /// during staging and is pruned from the built image.
+    #[test]
+    fn dropped_tombstone_still_shadows_older_sources() {
+        let (dev, mut ctx) = setup();
+        let ha = hash64(7);
+        let hb = hash64(8);
+        let mut b = TableBuilder::new(32);
+        // Newest source: key A was deleted, key B is live.
+        assert!(b.insert(&mut ctx, Slot::tombstone(ha, 0), true).unwrap());
+        assert!(b.insert(&mut ctx, Slot::new(hb, 200), true).unwrap());
+        // Older source (the previous last level) still holds key A.
+        assert!(!b.insert(&mut ctx, Slot::new(ha, 100), true).unwrap());
+        assert!(!b.insert(&mut ctx, Slot::new(hb, 150), true).unwrap());
+        let t = b.build(&dev, &mut ctx, 0, 3, 9).unwrap();
+        // Key A stays deleted, key B keeps the newest location, and the
+        // probe chains survive the prune.
+        assert!(t.get(&dev, &mut ctx, ha).is_none());
+        assert_eq!(t.get(&dev, &mut ctx, hb).unwrap().loc, 200);
+        assert_eq!(t.num_entries(), 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! A simple region allocator over the device arena.
+//! A coalescing first-fit region allocator over the device arena.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
@@ -9,12 +9,19 @@ use crate::device::PmemError;
 /// Media-block alignment of every allocation (Optane XPLine).
 const ALIGN: u64 = 256;
 
-/// Bump allocator with size-keyed free lists.
+/// First-fit allocator with an address-ordered, coalescing free list plus a
+/// bump cursor for untouched space.
 ///
-/// The stores allocate persistent tables in a small number of fixed sizes
-/// (per-level table sizes, log segments, manifest pages), so exact-size
-/// reuse eliminates fragmentation in practice. Allocation never returns
-/// offset 0 — the first block is reserved so 0 can act as a null sentinel.
+/// Freed spans merge with adjacent free neighbours, so arbitrary
+/// alloc/dealloc sequences (table churn from compactions) do not fragment
+/// the arena into size-keyed islands. Allocation never returns offset 0 —
+/// the first block is reserved so 0 can act as a null sentinel.
+///
+/// The allocator itself is volatile — like a real Pmem allocator's DRAM
+/// runtime state, it must be reconstructed from recovered metadata after a
+/// crash. [`reset_from_live`](Self::reset_from_live) rebuilds the free list
+/// from the gaps between live regions, so space freed before the crash is
+/// reclaimed rather than leaked.
 #[derive(Debug)]
 pub struct PmemAllocator {
     inner: Mutex<Inner>,
@@ -23,9 +30,41 @@ pub struct PmemAllocator {
 
 #[derive(Debug)]
 struct Inner {
+    /// Bump cursor: everything in `[next, capacity)` is untouched free
+    /// space.
     next: u64,
-    free: HashMap<u64, Vec<u64>>,
+    /// Free spans below the cursor, keyed by offset, value = length.
+    /// Invariant: spans are disjoint and never adjacent (always coalesced).
+    free: BTreeMap<u64, u64>,
+    /// Bytes currently handed out.
     allocated: u64,
+    /// Highest value `next` has ever reached (footprint metric; survives
+    /// recovery resets so crash/recover cycles show up as growth here).
+    high_water: u64,
+}
+
+impl Inner {
+    fn bump_to(&mut self, next: u64) {
+        self.next = next;
+        self.high_water = self.high_water.max(next);
+    }
+
+    /// Inserts a free span, coalescing with the predecessor and successor.
+    fn insert_free(&mut self, mut off: u64, mut len: u64) {
+        if let Some((&p_off, &p_len)) = self.free.range(..off).next_back() {
+            debug_assert!(p_off + p_len <= off, "free-span overlap on dealloc");
+            if p_off + p_len == off {
+                self.free.remove(&p_off);
+                off = p_off;
+                len += p_len;
+            }
+        }
+        if let Some(&s_len) = self.free.get(&(off + len)) {
+            self.free.remove(&(off + len));
+            len += s_len;
+        }
+        self.free.insert(off, len);
+    }
 }
 
 impl PmemAllocator {
@@ -34,8 +73,9 @@ impl PmemAllocator {
         Self {
             inner: Mutex::new(Inner {
                 next: ALIGN,
-                free: HashMap::new(),
+                free: BTreeMap::new(),
                 allocated: 0,
+                high_water: ALIGN,
             }),
             capacity,
         }
@@ -45,9 +85,20 @@ impl PmemAllocator {
     pub fn alloc(&self, len: u64) -> Result<u64, PmemError> {
         let size = Self::round(len);
         let mut inner = self.inner.lock();
-        if let Some(off) = inner.free.get_mut(&size).and_then(Vec::pop) {
+        // First fit in address order: keeps allocations packed low, which
+        // is what lets `high_water` act as a footprint metric.
+        let hit = inner
+            .free
+            .iter()
+            .find(|(_, &flen)| flen >= size)
+            .map(|(&foff, &flen)| (foff, flen));
+        if let Some((foff, flen)) = hit {
+            inner.free.remove(&foff);
+            if flen > size {
+                inner.free.insert(foff + size, flen - size);
+            }
             inner.allocated += size;
-            return Ok(off);
+            return Ok(foff);
         }
         if inner.next + size > self.capacity {
             return Err(PmemError::OutOfMemory {
@@ -56,12 +107,13 @@ impl PmemAllocator {
             });
         }
         let off = inner.next;
-        inner.next += size;
+        inner.bump_to(off + size);
         inner.allocated += size;
         Ok(off)
     }
 
-    /// Returns `[off, off+len)` to the size-keyed free list.
+    /// Returns `[off, off+len)` to the free list, merging with adjacent
+    /// free spans.
     ///
     /// `len` must be the length passed to the matching [`alloc`](Self::alloc).
     pub fn dealloc(&self, off: u64, len: u64) {
@@ -72,7 +124,19 @@ impl PmemAllocator {
             "dealloc of unaligned offset {off}"
         );
         inner.allocated = inner.allocated.saturating_sub(size);
-        inner.free.entry(size).or_default().push(off);
+        if off + size == inner.next {
+            // Top-of-arena free: retract the bump cursor (and absorb a
+            // free span that now touches the top).
+            inner.next = off;
+            if let Some((&p_off, &p_len)) = inner.free.range(..off).next_back() {
+                if p_off + p_len == off {
+                    inner.free.remove(&p_off);
+                    inner.next = p_off;
+                }
+            }
+        } else {
+            inner.insert_free(off, size);
+        }
     }
 
     /// Bytes currently handed out.
@@ -80,18 +144,51 @@ impl PmemAllocator {
         self.inner.lock().allocated
     }
 
-    /// Resets the allocator after crash recovery: the bump cursor resumes
-    /// past `high_water` (the end of the highest live region) and the free
-    /// lists are discarded.
-    ///
-    /// The allocator itself is volatile — like a real Pmem allocator's DRAM
-    /// runtime state, it must be reconstructed from the recovered metadata.
-    /// Regions freed before the crash whose offsets are below `high_water`
-    /// are leaked until the next fresh start (documented limitation,
-    /// DESIGN.md §5).
+    /// Highest offset the bump cursor has ever reached (footprint metric;
+    /// not reset by recovery).
+    pub fn high_water(&self) -> u64 {
+        self.inner.lock().high_water
+    }
+
+    /// Rebuilds the allocator after crash recovery from the set of *live*
+    /// regions (`(offset, len)` pairs: superblock, log, manifests, live
+    /// tables). Everything between and below them becomes free again, and
+    /// the bump cursor resumes at the end of the highest live region — so
+    /// regions freed (or half-allocated) before the crash are reclaimed
+    /// instead of leaking.
+    pub fn reset_from_live(&self, live: &[(u64, u64)]) {
+        let mut spans: Vec<(u64, u64)> = live
+            .iter()
+            .filter(|&&(_, len)| len > 0)
+            .map(|&(off, len)| (off, Self::round(len)))
+            .collect();
+        spans.sort_unstable();
+        let mut inner = self.inner.lock();
+        inner.free.clear();
+        inner.allocated = 0;
+        let mut cursor = ALIGN;
+        for &(off, len) in &spans {
+            assert!(
+                off >= cursor,
+                "live regions overlap: span at {off} starts below cursor {cursor}"
+            );
+            if off > cursor {
+                inner.insert_free(cursor, off - cursor);
+            }
+            inner.allocated += len;
+            cursor = off + len;
+        }
+        inner.bump_to(cursor);
+    }
+
+    /// Legacy recovery reset kept for stores that only track a high-water
+    /// mark: the bump cursor resumes past `high_water` and the free list is
+    /// discarded, leaking any holes below it until the next fresh start.
+    /// Prefer [`reset_from_live`](Self::reset_from_live).
     pub fn reset_after_recovery(&self, high_water: u64, live_bytes: u64) {
         let mut inner = self.inner.lock();
-        inner.next = high_water.max(ALIGN).div_ceil(ALIGN) * ALIGN;
+        let next = high_water.max(ALIGN).div_ceil(ALIGN) * ALIGN;
+        inner.bump_to(next);
         inner.free.clear();
         inner.allocated = live_bytes;
     }
@@ -126,6 +223,7 @@ mod tests {
     fn different_sizes_do_not_alias() {
         let a = PmemAllocator::new(1 << 20);
         let x = a.alloc(512).unwrap();
+        let _guard = a.alloc(256).unwrap(); // keep the hole from touching the top
         a.dealloc(x, 512);
         let y = a.alloc(1024).unwrap();
         assert_ne!(x, y);
@@ -144,5 +242,77 @@ mod tests {
     fn never_returns_offset_zero() {
         let a = PmemAllocator::new(1 << 20);
         assert_ne!(a.alloc(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn adjacent_frees_coalesce_into_one_span() {
+        let a = PmemAllocator::new(1 << 20);
+        let x = a.alloc(256).unwrap();
+        let y = a.alloc(256).unwrap();
+        let z = a.alloc(256).unwrap();
+        let _guard = a.alloc(256).unwrap();
+        a.dealloc(x, 256);
+        a.dealloc(z, 256);
+        a.dealloc(y, 256); // merges with both neighbours
+        assert_eq!(a.alloc(768).unwrap(), x);
+    }
+
+    #[test]
+    fn large_free_span_is_split_by_smaller_allocs() {
+        let a = PmemAllocator::new(1 << 20);
+        let x = a.alloc(1024).unwrap();
+        let _guard = a.alloc(256).unwrap();
+        a.dealloc(x, 1024);
+        assert_eq!(a.alloc(256).unwrap(), x);
+        assert_eq!(a.alloc(512).unwrap(), x + 256);
+    }
+
+    #[test]
+    fn top_of_arena_free_retracts_the_cursor() {
+        let a = PmemAllocator::new(1 << 20);
+        let x = a.alloc(512).unwrap();
+        a.dealloc(x, 512);
+        // A differently sized alloc still lands at the same offset because
+        // the cursor retracted (no size-keyed islands).
+        assert_eq!(a.alloc(1024).unwrap(), x);
+    }
+
+    #[test]
+    fn reset_from_live_rebuilds_the_gaps() {
+        let a = PmemAllocator::new(1 << 20);
+        // Live layout: [512,768) and [1280,1792); everything else below
+        // 1792 was freed or lost mid-allocation by the crash.
+        a.reset_from_live(&[(1280, 512), (512, 256)]);
+        assert_eq!(a.allocated_bytes(), 768);
+        assert_eq!(a.alloc(256).unwrap(), 256); // gap below the first span
+        assert_eq!(a.alloc(512).unwrap(), 768); // gap between the spans
+        assert_eq!(a.alloc(256).unwrap(), 1792); // bump past the top span
+    }
+
+    #[test]
+    fn reset_from_live_bounds_high_water_across_cycles() {
+        let a = PmemAllocator::new(1 << 20);
+        let live = [(256u64, 1024u64)];
+        for _ in 0..50 {
+            // Each "run" allocates scratch regions that die in the crash.
+            let s1 = a.alloc(4096).unwrap();
+            let _s2 = a.alloc(4096).unwrap();
+            a.dealloc(s1, 4096);
+            a.reset_from_live(&live);
+        }
+        // Gap-rebuild keeps every cycle identical: the footprint peak stays
+        // at one cycle's worth of scratch.
+        assert_eq!(a.high_water(), 256 + 1024 + 2 * 4096);
+    }
+
+    #[test]
+    fn legacy_reset_leaks_holes_below_high_water() {
+        let a = PmemAllocator::new(1 << 20);
+        let x = a.alloc(512).unwrap();
+        let top = a.alloc(512).unwrap();
+        a.dealloc(x, 512);
+        a.reset_after_recovery(top + 512, 512);
+        // The hole at `x` is gone: next alloc bumps instead.
+        assert_eq!(a.alloc(512).unwrap(), top + 512);
     }
 }

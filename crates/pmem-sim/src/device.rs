@@ -99,6 +99,30 @@ impl ThreadCtx {
     }
 }
 
+/// Unwind payload thrown by an armed crash point (see
+/// [`PmemDevice::arm_crash_at_fence`]).
+///
+/// Fault-injection drivers catch this with `std::panic::catch_unwind` and
+/// downcast the payload; the device raises it with
+/// `std::panic::resume_unwind`, which skips the panic hook, so an injected
+/// crash is silent. Any other payload escaping a harness is a real bug and
+/// must be re-raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Ordinal of the fence at which the crash fired (1-based; only
+    /// non-empty fences count, see [`PmemDevice::fence_count`]).
+    pub fence: u64,
+}
+
+/// How the next injected crash is chosen.
+#[derive(Debug)]
+enum CrashArm {
+    /// Fire at the fence with this ordinal (or the first one past it).
+    AtFence(u64),
+    /// Fire at each fence with probability `1/one_in` (deterministic LCG).
+    Random { state: u64, one_in: u64 },
+}
+
 /// A byte-addressable persistent device with an explicit persistence domain
 /// and media-block cost accounting.
 ///
@@ -123,6 +147,12 @@ pub struct PmemDevice {
     write_busy_until: AtomicU64,
     /// Simulated time until which the media *read* channel is busy.
     read_busy_until: AtomicU64,
+    /// Ordinal of the last completed non-empty fence (crash-point clock).
+    fence_ordinal: AtomicU64,
+    /// Fast-path flag: a crash arm is installed (checked on every fence).
+    crash_armed: AtomicBool,
+    /// The installed crash arm, if any.
+    crash_arm: Mutex<Option<CrashArm>>,
 }
 
 impl std::fmt::Debug for PmemDevice {
@@ -152,6 +182,9 @@ impl PmemDevice {
             queue_model: AtomicBool::new(false),
             write_busy_until: AtomicU64::new(0),
             read_busy_until: AtomicU64::new(0),
+            fence_ordinal: AtomicU64::new(0),
+            crash_armed: AtomicBool::new(false),
+            crash_arm: Mutex::new(None),
             allocator: PmemAllocator::new(capacity as u64),
         })
     }
@@ -322,9 +355,26 @@ impl PmemDevice {
 
     /// Rebuilds the (volatile) allocator state after a crash: recovery code
     /// passes the end offset of the highest live region and the total bytes
-    /// of live regions.
+    /// of live regions. Space freed before the crash leaks; prefer
+    /// [`reset_allocator_from_live`](Self::reset_allocator_from_live).
     pub fn reset_allocator(&self, high_water: u64, live_bytes: u64) {
         self.allocator.reset_after_recovery(high_water, live_bytes);
+    }
+
+    /// Rebuilds the (volatile) allocator state after a crash from the full
+    /// set of live regions: the free list becomes the gaps between them, so
+    /// regions freed (or abandoned mid-write) before the crash are
+    /// reclaimed. Regions must not overlap.
+    pub fn reset_allocator_from_live(&self, live: &[PRegion]) {
+        let spans: Vec<(u64, u64)> = live.iter().map(|r| (r.off, r.len)).collect();
+        self.allocator.reset_from_live(&spans);
+    }
+
+    /// Highest offset the allocator's bump cursor has ever reached — a
+    /// footprint metric that survives recovery resets, so a store that
+    /// leaks space across crash/recover cycles shows unbounded growth here.
+    pub fn allocator_high_water(&self) -> u64 {
+        self.allocator.high_water()
     }
 
     #[inline]
@@ -467,6 +517,75 @@ impl PmemDevice {
                 + media_time
                 + lines.len() as u64 * ctx.cost.dram_seq_line_ns,
         );
+        // Crash-point clock: every durable-state transition happens at a
+        // non-empty fence, so counting them here (after the lines reached
+        // the arena — the fence *completed*) enumerates exactly the set of
+        // distinct post-crash states a workload can leave behind.
+        let ordinal = self.fence_ordinal.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.crash_armed.load(Ordering::Relaxed) {
+            self.maybe_fire_crash(ordinal);
+        }
+    }
+
+    /// Evaluates the installed crash arm at fence `ordinal`; unwinds with a
+    /// [`CrashPoint`] payload (and disarms) if it fires.
+    #[cold]
+    fn maybe_fire_crash(&self, ordinal: u64) {
+        let mut arm = self.crash_arm.lock();
+        let fire = match &mut *arm {
+            Some(CrashArm::AtFence(n)) => ordinal >= *n,
+            Some(CrashArm::Random { state, one_in }) => {
+                *state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (*state >> 33) % *one_in == 0
+            }
+            None => false,
+        };
+        if fire {
+            *arm = None;
+            self.crash_armed.store(false, Ordering::Relaxed);
+            drop(arm);
+            std::panic::resume_unwind(Box::new(CrashPoint { fence: ordinal }));
+        }
+    }
+
+    /// Number of non-empty fences completed on this device so far.
+    ///
+    /// This is the crash-point clock: a crash-matrix driver runs the
+    /// workload once to learn the total, then replays it armed at each
+    /// ordinal `1..=total`. Empty fences (nothing queued) are not counted,
+    /// matching the early return in [`fence`](Self::fence) — they do not
+    /// change durable state.
+    pub fn fence_count(&self) -> u64 {
+        self.fence_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Arms a crash at the completion of fence ordinal `n` (absolute, not
+    /// relative — add [`fence_count`](Self::fence_count) for "N fences from
+    /// now"). If `n` is already past, the next fence fires. The arm
+    /// auto-disarms when it fires.
+    pub fn arm_crash_at_fence(&self, n: u64) {
+        *self.crash_arm.lock() = Some(CrashArm::AtFence(n.max(1)));
+        self.crash_armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Arms a seeded-random crash: each fence fires with probability
+    /// `1/one_in` (deterministic for a given seed — suitable for long
+    /// workloads where exhaustive enumeration is too slow). Auto-disarms
+    /// when it fires.
+    pub fn arm_crash_random(&self, seed: u64, one_in: u64) {
+        *self.crash_arm.lock() = Some(CrashArm::Random {
+            state: seed,
+            one_in: one_in.max(1),
+        });
+        self.crash_armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Removes any installed crash arm.
+    pub fn disarm_crash(&self) {
+        self.crash_armed.store(false, Ordering::Relaxed);
+        *self.crash_arm.lock() = None;
     }
 
     /// Convenience: `write_nt` + `fence`.
@@ -881,6 +1000,88 @@ mod tests {
         let mut buf = [0u8; 64];
         d.read(&mut r, off, &mut buf);
         assert!(r.clock.now() < 3 * d.profile().read_latency_ns);
+    }
+
+    #[test]
+    fn crash_point_fires_at_exact_fence_and_disarms() {
+        let d = dev();
+        let off = d.alloc(4096).unwrap();
+        d.arm_crash_at_fence(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c = ctx();
+            for i in 0..10u64 {
+                d.persist(&mut c, off + i * 256, &[i as u8; 64]);
+            }
+        }));
+        let payload = caught.expect_err("armed crash must unwind");
+        let point = payload
+            .downcast_ref::<CrashPoint>()
+            .expect("payload is a CrashPoint");
+        assert_eq!(point.fence, 3);
+        assert_eq!(d.fence_count(), 3, "workload stopped at the crash fence");
+        // Auto-disarmed: the workload completes on retry.
+        let mut c = ctx();
+        for i in 0..10u64 {
+            d.persist(&mut c, off + i * 256, &[i as u8; 64]);
+        }
+        assert_eq!(d.fence_count(), 13);
+    }
+
+    #[test]
+    fn empty_fences_do_not_advance_the_crash_clock() {
+        let d = dev();
+        let mut c = ctx();
+        d.fence(&mut c);
+        d.fence(&mut c);
+        assert_eq!(d.fence_count(), 0);
+        let off = d.alloc(256).unwrap();
+        d.persist(&mut c, off, &[1u8; 64]);
+        assert_eq!(d.fence_count(), 1);
+    }
+
+    #[test]
+    fn random_arm_is_deterministic_and_fires_once() {
+        let run = |seed| {
+            let d = dev();
+            let off = d.alloc(1 << 16).unwrap();
+            d.arm_crash_random(seed, 8);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut c = ctx();
+                for i in 0..256u64 {
+                    d.persist(&mut c, off + i * 256, &[i as u8; 64]);
+                }
+            }));
+            match caught {
+                Ok(()) => None,
+                Err(p) => Some(p.downcast_ref::<CrashPoint>().unwrap().fence),
+            }
+        };
+        let a = run(42).expect("1-in-8 over 256 fences should fire");
+        let b = run(42).unwrap();
+        assert_eq!(a, b, "same seed, same crash point");
+    }
+
+    #[test]
+    fn disarm_prevents_firing() {
+        let d = dev();
+        let off = d.alloc(1024).unwrap();
+        d.arm_crash_at_fence(1);
+        d.disarm_crash();
+        let mut c = ctx();
+        d.persist(&mut c, off, &[1u8; 64]);
+        assert_eq!(d.fence_count(), 1);
+    }
+
+    #[test]
+    fn reset_allocator_from_live_reclaims_dead_regions() {
+        let d = dev();
+        let a = d.alloc_region(4096).unwrap();
+        let b = d.alloc_region(4096).unwrap();
+        let _c = d.alloc_region(4096).unwrap();
+        // Crash: only `a` and `_c` are reachable from recovered metadata.
+        d.reset_allocator_from_live(&[a, _c]);
+        // `b`'s space is free again.
+        assert_eq!(d.alloc(4096).unwrap(), b.off);
     }
 
     #[test]

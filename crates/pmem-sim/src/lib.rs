@@ -36,7 +36,7 @@ mod stats;
 pub use alloc::PmemAllocator;
 pub use clock::SimClock;
 pub use cost::CostModel;
-pub use device::{PRegion, PmemDevice, PmemError, ThreadCtx, CACHE_LINE};
+pub use device::{CrashPoint, PRegion, PmemDevice, PmemError, ThreadCtx, CACHE_LINE};
 pub use hist::Histogram;
 pub use profile::DeviceProfile;
 pub use stats::{MediaStats, StatsSnapshot};
