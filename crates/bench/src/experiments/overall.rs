@@ -150,6 +150,61 @@ pub fn fig12(opts: &Opts) -> Vec<ThroughputPoint> {
         }
         println!("{row}");
     }
+
+    // ChameleonDB with a live put stream: the same get scaling measured
+    // while one extra writer thread keeps inserting fresh keys, driving
+    // real MemTable freezes, flushes, and compactions under the readers.
+    // Gets go through the epoch-published shard views, so the put stream
+    // must not serialize them — and every loaded key must stay visible
+    // (`not_found == 0`) across every republish.
+    {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        use pmem_sim::{CostModel, ThreadCtx};
+        use ycsb::RunConfig;
+
+        let built = stores::build(StoreKind::Chameleon, opts.scale());
+        load_store(built.store.as_ref(), &built.dev, opts.keys, opts.threads);
+        let mut row = format!("{:>16}", "ChameleonDB+put");
+        for threads in thread_counts(opts.threads) {
+            built.dev.set_active_threads(threads as u32 + 1);
+            let stop = AtomicBool::new(false);
+            let cost = Arc::new(CostModel::default());
+            // Budget the putter so the log sizing (`keys + 2*ops` entries
+            // via `opts.scale()`) covers the stream.
+            let put_budget = opts.ops;
+            let r = crossbeam::thread::scope(|s| {
+                let store = built.store.as_ref();
+                let stop = &stop;
+                let put_cost = Arc::clone(&cost);
+                s.spawn(move |_| {
+                    let mut ctx = ThreadCtx::for_thread(put_cost, threads);
+                    let mut k = opts.keys;
+                    while !stop.load(Ordering::Relaxed) && k < opts.keys + put_budget {
+                        store.put(&mut ctx, k, &[0xC5u8; 8]).expect("put stream");
+                        k += 1;
+                    }
+                });
+                let cfg = RunConfig::new(Workload::C, threads, opts.ops, opts.keys);
+                let r = ycsb::run(store, &cfg);
+                stop.store(true, Ordering::Relaxed);
+                r
+            })
+            .expect("fig12 putter scope");
+            assert_eq!(
+                r.not_found, 0,
+                "ChameleonDB+put: loaded keys must stay visible under the put stream"
+            );
+            row += &format!(" {:>7.2}", r.mops());
+            out.push(ThroughputPoint {
+                store: "ChameleonDB+put",
+                threads,
+                mops: r.mops(),
+            });
+        }
+        println!("{row}  (gets racing a continuous put stream)");
+    }
     write_json(opts, "fig12_get_throughput", &out);
     out
 }

@@ -45,6 +45,7 @@ mod metrics;
 mod mode;
 mod shard;
 mod store;
+mod view;
 
 pub use config::{ChameleonConfig, CompactionScheme};
 pub use manifest::{Manifest, ManifestRecord, Superblock, LEVEL_DUMPED};

@@ -37,6 +37,11 @@ pub struct StoreMetrics {
     pub gpm_entries: AtomicU64,
     /// Shard-ABI rebuilds performed lazily after a restart.
     pub abi_rebuilds: AtomicU64,
+    /// Gets served through the degraded upper-level walk (ABI not yet
+    /// rebuilt after a restart) — observability for the recovery window.
+    pub degraded_gets: AtomicU64,
+    /// Read-view publications (one per structural transition per shard).
+    pub view_publishes: AtomicU64,
 }
 
 macro_rules! snapshot_fields {
@@ -68,6 +73,8 @@ impl StoreMetrics {
             abi_dumps,
             gpm_entries,
             abi_rebuilds,
+            degraded_gets,
+            view_publishes,
         )
     }
 
@@ -96,6 +103,8 @@ pub struct StoreMetricsSnapshot {
     pub abi_dumps: u64,
     pub gpm_entries: u64,
     pub abi_rebuilds: u64,
+    pub degraded_gets: u64,
+    pub view_publishes: u64,
 }
 
 impl StoreMetricsSnapshot {
@@ -145,6 +154,8 @@ impl StoreMetricsSnapshot {
             ("abi_dumps", self.abi_dumps),
             ("gpm_entries", self.gpm_entries),
             ("abi_rebuilds", self.abi_rebuilds),
+            ("degraded_gets", self.degraded_gets),
+            ("view_publishes", self.view_publishes),
         ]
     }
 }
@@ -172,6 +183,8 @@ impl std::ops::Sub for StoreMetricsSnapshot {
             abi_dumps: self.abi_dumps - earlier.abi_dumps,
             gpm_entries: self.gpm_entries - earlier.gpm_entries,
             abi_rebuilds: self.abi_rebuilds - earlier.abi_rebuilds,
+            degraded_gets: self.degraded_gets - earlier.degraded_gets,
+            view_publishes: self.view_publishes - earlier.view_publishes,
         }
     }
 }
@@ -235,12 +248,12 @@ mod tests {
     fn counters_flatten_every_field() {
         let s = StoreMetricsSnapshot {
             puts: 7,
-            abi_rebuilds: 9,
+            view_publishes: 9,
             ..Default::default()
         };
         let c = s.counters();
-        assert_eq!(c.len(), 16);
+        assert_eq!(c.len(), 18);
         assert_eq!(c[0], ("puts", 7));
-        assert_eq!(*c.last().unwrap(), ("abi_rebuilds", 9));
+        assert_eq!(*c.last().unwrap(), ("view_publishes", 9));
     }
 }

@@ -1,26 +1,34 @@
-//! A shard: MemTable + ABI + multi-level table structure (§2.1–§2.2).
+//! The write side of a shard: MemTable + ABI + multi-level table
+//! structure (§2.1–§2.2), behind the per-shard mutex.
+//!
+//! Reads never come here. Every structural transition republishes an
+//! immutable [`ShardView`] (see `view.rs`) through the shard's
+//! `ViewCell`; `ChameleonDb::get` probes that snapshot lock-free. Two
+//! rules keep concurrent readers sound:
+//!
+//! * **In-place mutation of a shared table is additive only** (inserts /
+//!   overwrites into the live MemTable or ABI). Anything that would
+//!   clear or remove — memtable freeze, ABI dump, last-level
+//!   compaction — swaps in a *fresh* table and republishes; readers on
+//!   the old view keep a fully intact structure.
+//! * **Pmem tables are never freed while a view can hold them.** A
+//!   compaction dooms its inputs ([`TableHandle::doom`]) and drops its
+//!   `Arc`s; the region is deallocated when the last holder (writer
+//!   lists or an epoch-retired view) drops.
 
 use std::sync::Arc;
 
 use chameleon_obs::{EventKind, Obs, Stage};
 use kvapi::{KvError, Result};
-use kvtables::{DramTable, FixedHashTable, Slot, TableBuilder};
+use kvsync::ViewCell;
+use kvtables::{SharedTable, Slot, TableBuilder};
 use pmem_sim::{PmemDevice, ThreadCtx};
 
 use crate::config::{ChameleonConfig, CompactionScheme};
 use crate::manifest::{ManifestRecord, LEVEL_DUMPED};
 use crate::metrics::StoreMetrics;
 use crate::mode::ModeController;
-
-/// Where a get found its answer (drives the hit-source metrics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum GetSource {
-    MemTable,
-    Abi,
-    Upper,
-    Dumped,
-    Last,
-}
+use crate::view::{ShardView, TableHandle};
 
 /// Borrowed environment a shard operation runs in.
 pub(crate) struct ShardEnv<'a> {
@@ -30,6 +38,8 @@ pub(crate) struct ShardEnv<'a> {
     pub mode: &'a ModeController,
     /// Observability sink (event journal, maintenance spans).
     pub obs: &'a Obs,
+    /// Per-shard read-view cells; a shard publishes into `views[id]`.
+    pub views: &'a [ViewCell<ShardView>],
     /// Commits manifest adds/deletes atomically (store-level MetaLog).
     pub commit: &'a dyn Fn(&mut ThreadCtx, &[ManifestRecord]) -> Result<()>,
     /// Makes every acknowledged log append durable (flushes all log
@@ -41,24 +51,24 @@ pub(crate) struct ShardEnv<'a> {
     pub sync_log: &'a dyn Fn(&mut ThreadCtx) -> Result<()>,
 }
 
-/// One shard of the index: an in-DRAM MemTable, the in-DRAM Auxiliary
-/// Bypass Index over all upper levels, the upper-level tables on Pmem, any
-/// GPM-dumped ABI tables, and the single last-level table.
-pub(crate) struct Shard {
+/// One shard's writer-owned state: the live MemTable, the Auxiliary
+/// Bypass Index over all upper levels, the upper-level tables on Pmem,
+/// any GPM-dumped ABI tables, and the single last-level table.
+pub(crate) struct ShardMut {
     pub id: u32,
-    pub memtable: DramTable,
-    pub abi: DramTable,
+    pub memtable: Arc<SharedTable>,
+    pub abi: Arc<SharedTable>,
     /// False right after a restart until this shard's ABI has been rebuilt
     /// from its upper-level tables ("recovered along with serving front-end
     /// requests", §3.3).
     pub abi_valid: bool,
     /// Upper levels `L0..L(levels-2)`; within a level, tables are ordered
     /// oldest-first (newest at the back).
-    pub uppers: Vec<Vec<FixedHashTable>>,
+    pub uppers: Vec<Vec<Arc<TableHandle>>>,
     /// GPM-dumped ABI tables, oldest-first.
-    pub dumped: Vec<FixedHashTable>,
+    pub dumped: Vec<Arc<TableHandle>>,
     /// The last-level table.
-    pub last: Option<FixedHashTable>,
+    pub last: Option<Arc<TableHandle>>,
     /// This shard's randomized MemTable load-factor threshold (§2.5).
     pub load_threshold: f64,
     /// Monotonic table numbering within the shard.
@@ -76,13 +86,13 @@ pub(crate) struct Shard {
     pub abi_unpersisted_floor: Option<u64>,
 }
 
-impl Shard {
+impl ShardMut {
     /// Creates an empty shard.
     pub fn new(id: u32, cfg: &ChameleonConfig, load_threshold: f64) -> Self {
         Self {
             id,
-            memtable: DramTable::new_resident(cfg.memtable_slots),
-            abi: DramTable::new(cfg.effective_abi_slots()),
+            memtable: Arc::new(SharedTable::new_resident(cfg.memtable_slots)),
+            abi: Arc::new(SharedTable::new(cfg.effective_abi_slots())),
             abi_valid: true,
             uppers: vec![Vec::new(); cfg.levels - 1],
             dumped: Vec::new(),
@@ -108,18 +118,47 @@ impl Shard {
             self.uppers
                 .iter()
                 .flatten()
-                .map(|t| t.num_entries())
+                .map(|t| t.table().num_entries())
                 .sum::<u64>()
         };
         self.memtable.len() as u64
             + upper
-            + self.dumped.iter().map(|t| t.num_entries()).sum::<u64>()
-            + self.last.as_ref().map_or(0, |t| t.num_entries())
+            + self
+                .dumped
+                .iter()
+                .map(|t| t.table().num_entries())
+                .sum::<u64>()
+            + self.last.as_ref().map_or(0, |t| t.table().num_entries())
     }
 
     fn next_table_seq(&mut self) -> u64 {
         self.table_seq += 1;
         self.table_seq
+    }
+
+    /// Builds an immutable snapshot of the current readable structures.
+    pub fn snapshot_view(&self) -> ShardView {
+        let mut uppers_newest_first: Vec<Arc<TableHandle>> =
+            self.uppers.iter().flatten().cloned().collect();
+        // Degraded-path probe order, established once per view instead of
+        // per get.
+        uppers_newest_first.sort_by_key(|t| std::cmp::Reverse(t.table().header().table_seq));
+        ShardView {
+            mem: Arc::clone(&self.memtable),
+            abi: Arc::clone(&self.abi),
+            abi_valid: self.abi_valid,
+            uppers_newest_first,
+            dumped_newest_first: self.dumped.iter().rev().cloned().collect(),
+            last: self.last.clone(),
+        }
+    }
+
+    /// Republishes this shard's read view. Called at every structural
+    /// transition, always while still holding the shard mutex (so a
+    /// later insert cannot land in a not-yet-published fresh MemTable).
+    fn publish(&self, env: &ShardEnv<'_>) {
+        env.views[self.id as usize].publish(Arc::new(self.snapshot_view()));
+        StoreMetrics::bump(&env.metrics.view_publishes);
     }
 
     /// Inserts one slot into the MemTable (put or delete), flushing or
@@ -133,7 +172,9 @@ impl Shard {
         slot: Slot,
         seq: u64,
     ) -> Result<Option<u64>> {
-        self.ensure_abi(env, ctx)?;
+        // In-place insert into the shared MemTable: the published view
+        // holds the same Arc, so the entry is reader-visible the moment
+        // this returns — acks need no republish.
         let old = self.memtable.insert(ctx, slot)?;
         self.memtable.note_seq(seq);
         if self.memtable.is_full(self.load_threshold) {
@@ -142,49 +183,13 @@ impl Shard {
         Ok(old)
     }
 
-    /// Looks up `hash` through the shard's structures in freshness order:
-    /// MemTable, ABI (or degraded upper-level search), dumped ABI tables,
-    /// then the last level (Fig. 6b).
-    pub fn get(
-        &mut self,
-        env: &ShardEnv<'_>,
-        ctx: &mut ThreadCtx,
-        hash: u64,
-    ) -> Result<Option<(Slot, GetSource)>> {
-        if let Some(s) = self.memtable.get(ctx, hash) {
-            return Ok(Some((s, GetSource::MemTable)));
-        }
-        if self.abi_valid && env.cfg.use_abi_for_get {
-            if let Some(s) = self.abi.get(ctx, hash) {
-                return Ok(Some((s, GetSource::Abi)));
-            }
-        } else {
-            // Degraded path: ABI not yet rebuilt after restart — search the
-            // upper levels table-by-table, newest first (the Pmem-LSM-NF
-            // behaviour the paper says ChameleonDB degrades to, §3.3).
-            let mut tables: Vec<&FixedHashTable> = self.uppers.iter().flatten().collect();
-            tables.sort_by_key(|t| std::cmp::Reverse(t.header().table_seq));
-            for t in tables {
-                if let Some(s) = t.get(env.dev, ctx, hash) {
-                    return Ok(Some((s, GetSource::Upper)));
-                }
-            }
-        }
-        for t in self.dumped.iter().rev() {
-            if let Some(s) = t.get(env.dev, ctx, hash) {
-                return Ok(Some((s, GetSource::Dumped)));
-            }
-        }
-        if let Some(t) = &self.last {
-            if let Some(s) = t.get(env.dev, ctx, hash) {
-                return Ok(Some((s, GetSource::Last)));
-            }
-        }
-        Ok(None)
-    }
-
     /// Rebuilds the ABI from the upper-level tables if it is stale
     /// (post-restart, on first touch).
+    ///
+    /// The rebuild inserts into the live ABI in place: views published
+    /// while it runs carry `abi_valid: false`, so no reader probes the
+    /// half-built table — they stay on the degraded upper-level walk
+    /// until the completed rebuild is published.
     pub fn ensure_abi(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
         if self.abi_valid {
             return Ok(());
@@ -192,16 +197,17 @@ impl Shard {
         let span = env
             .obs
             .span_start(Stage::AbiRebuild, ctx.clock.now(), env.dev.stats());
-        let mut tables: Vec<FixedHashTable> = self.uppers.iter().flatten().cloned().collect();
-        tables.sort_by_key(|t| std::cmp::Reverse(t.header().table_seq));
+        let mut tables: Vec<Arc<TableHandle>> = self.uppers.iter().flatten().cloned().collect();
+        tables.sort_by_key(|t| std::cmp::Reverse(t.table().header().table_seq));
         for t in &tables {
-            for slot in t.iter_entries(env.dev, ctx) {
+            for slot in t.table().iter_entries(env.dev, ctx) {
                 // Newest-first: keep the first version seen per hash.
                 self.abi.insert_if_absent(ctx, slot)?;
-                self.abi.note_seq(t.header().max_log_seq);
+                self.abi.note_seq(t.table().header().max_log_seq);
             }
         }
         self.abi_valid = true;
+        self.publish(env);
         StoreMetrics::bump(&env.metrics.abi_rebuilds);
         env.obs.span_end(span, ctx.clock.now(), env.dev.stats());
         env.obs.record_event(
@@ -215,6 +221,14 @@ impl Shard {
     }
 
     fn on_memtable_full(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
+        // A stale post-restart ABI must be rebuilt before the first
+        // structural transition: both branches below merge or mirror the
+        // MemTable into the ABI, which is only meaningful if the ABI
+        // already covers the upper levels. Deferring the rebuild to this
+        // point (rather than the first insert) keeps log-replay recovery
+        // cheap — shards that never fill a MemTable serve gets through
+        // the degraded upper-level walk until their first real flush.
+        self.ensure_abi(env, ctx)?;
         if env.mode.suspend_upper_maintenance() {
             self.merge_memtable_into_abi(env, ctx)
         } else {
@@ -240,9 +254,12 @@ impl Shard {
             .obs
             .span_start(Stage::WimMerge, ctx.clock.now(), env.dev.stats());
         let max_seq = self.memtable.max_seq();
-        let slots: Vec<Slot> = self.memtable.iter().collect();
+        let slots = self.memtable.iter();
         let merged = slots.len() as u64;
         for slot in slots {
+            // Additive in-place merge: readers on the current view find
+            // these keys in its (still intact) MemTable first, so the
+            // newest version stays visible throughout.
             self.abi.insert_bulk(ctx, slot)?;
         }
         self.abi.note_seq(max_seq);
@@ -250,7 +267,9 @@ impl Shard {
         // flushed), so this bounds the oldest table-less ABI resident.
         self.abi_unpersisted_floor
             .get_or_insert(self.checkpoint_seq + 1);
-        self.memtable.clear();
+        // Freeze-by-replacement: old views keep the old MemTable intact.
+        self.memtable = Arc::new(SharedTable::new_resident(env.cfg.memtable_slots));
+        self.publish(env);
         StoreMetrics::bump(&env.metrics.wim_merges);
         env.obs.span_end(span, ctx.clock.now(), env.dev.stats());
         env.obs.record_event(
@@ -314,9 +333,12 @@ impl Shard {
             }],
         )?;
         self.checkpoint_seq = self.checkpoint_seq.max(table.header().max_log_seq);
-        self.dumped.push(table);
-        self.abi.clear();
+        self.dumped.push(TableHandle::new(table, env.dev));
+        // Evict-by-replacement: views from before this publish keep the
+        // old ABI (which covers the dumped table's contents).
+        self.abi = Arc::new(SharedTable::new(env.cfg.effective_abi_slots()));
         self.abi_unpersisted_floor = None;
+        self.publish(env);
         StoreMetrics::bump(&env.metrics.abi_dumps);
         let delta = env
             .obs
@@ -360,7 +382,7 @@ impl Shard {
             None => self.memtable.max_seq(),
         };
         b.note_seq(claim);
-        let slots: Vec<Slot> = self.memtable.iter().collect();
+        let slots = self.memtable.iter();
         let flushed = slots.len() as u64;
         for &slot in &slots {
             b.insert(ctx, slot, false)?;
@@ -377,13 +399,16 @@ impl Shard {
             }],
         )?;
         self.checkpoint_seq = self.checkpoint_seq.max(table.header().max_log_seq);
-        self.uppers[0].push(table);
+        self.uppers[0].push(TableHandle::new(table, env.dev));
         let max_seq = self.memtable.max_seq();
         for slot in slots {
             self.abi.insert_bulk(ctx, slot)?;
         }
         self.abi.note_seq(max_seq);
-        self.memtable.clear();
+        // Freeze-by-replacement; the single publish below makes the fresh
+        // MemTable, the ABI mirror, and the new L0 table visible together.
+        self.memtable = Arc::new(SharedTable::new_resident(env.cfg.memtable_slots));
+        self.publish(env);
         StoreMetrics::bump(&env.metrics.flushes);
         let delta = env
             .obs
@@ -454,7 +479,7 @@ impl Shard {
         ctx: &mut ThreadCtx,
         target: usize,
     ) -> Result<()> {
-        let mut inputs: Vec<FixedHashTable> = Vec::new();
+        let mut inputs: Vec<Arc<TableHandle>> = Vec::new();
         for level in self.uppers[..target].iter_mut() {
             inputs.append(level);
         }
@@ -482,7 +507,7 @@ impl Shard {
         &mut self,
         env: &ShardEnv<'_>,
         ctx: &mut ThreadCtx,
-        mut inputs: Vec<FixedHashTable>,
+        mut inputs: Vec<Arc<TableHandle>>,
         target_level: usize,
     ) -> Result<()> {
         debug_assert!(!inputs.is_empty());
@@ -490,12 +515,12 @@ impl Shard {
             .obs
             .span_start(Stage::MidCompaction, ctx.clock.now(), env.dev.stats());
         let tables_in = inputs.len() as u64;
-        inputs.sort_by_key(|t| std::cmp::Reverse(t.header().table_seq));
-        let total: u64 = inputs.iter().map(|t| t.num_entries()).sum();
+        inputs.sort_by_key(|t| std::cmp::Reverse(t.table().header().table_seq));
+        let total: u64 = inputs.iter().map(|t| t.table().num_entries()).sum();
         let mut b = TableBuilder::sized_for(total as usize, self.load_threshold);
         for t in &inputs {
-            b.note_seq(t.header().max_log_seq);
-            for slot in t.iter_entries(env.dev, ctx) {
+            b.note_seq(t.table().header().max_log_seq);
+            for slot in t.table().iter_entries(env.dev, ctx) {
                 b.insert(ctx, slot, false)?;
             }
         }
@@ -508,14 +533,17 @@ impl Shard {
             region: table.region(),
         }];
         records.extend(inputs.iter().map(|t| ManifestRecord::Del {
-            off: t.region().off,
+            off: t.table().region().off,
         }));
         (env.commit)(ctx, &records)?;
+        // Inputs are logically dead; their regions are freed when the last
+        // view holding them is reclaimed.
         for t in inputs {
-            t.free(env.dev);
+            t.doom();
         }
         let slots_out = table.num_entries();
-        self.uppers[target_level].push(table);
+        self.uppers[target_level].push(TableHandle::new(table, env.dev));
+        self.publish(env);
         let delta = env
             .obs
             .span_end(span, ctx.clock.now(), env.dev.stats())
@@ -535,12 +563,12 @@ impl Shard {
 
     /// Last-level (leveled) compaction: merge the ABI (the DRAM copy of all
     /// upper-level items, Fig. 8), any dumped ABI tables, and the existing
-    /// last-level table into a fresh last-level table; then clear the upper
-    /// levels and the ABI (§2.1–§2.2).
+    /// last-level table into a fresh last-level table; then replace the
+    /// upper levels and the ABI (§2.1–§2.2).
     pub fn compact_last_level(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
         self.ensure_abi(env, ctx)?;
-        let dumped_entries: u64 = self.dumped.iter().map(|t| t.num_entries()).sum();
-        let last_entries = self.last.as_ref().map_or(0, |t| t.num_entries());
+        let dumped_entries: u64 = self.dumped.iter().map(|t| t.table().num_entries()).sum();
+        let last_entries = self.last.as_ref().map_or(0, |t| t.table().num_entries());
         let total = self.abi.len() as u64 + dumped_entries + last_entries;
         if total == 0 {
             return Ok(());
@@ -563,14 +591,14 @@ impl Shard {
             b.insert(ctx, slot, true)?;
         }
         for t in self.dumped.iter().rev() {
-            b.note_seq(t.header().max_log_seq);
-            for slot in t.iter_entries(env.dev, ctx) {
+            b.note_seq(t.table().header().max_log_seq);
+            for slot in t.table().iter_entries(env.dev, ctx) {
                 b.insert(ctx, slot, true)?;
             }
         }
         if let Some(t) = &self.last {
-            b.note_seq(t.header().max_log_seq);
-            for slot in t.iter_entries(env.dev, ctx) {
+            b.note_seq(t.table().header().max_log_seq);
+            for slot in t.table().iter_entries(env.dev, ctx) {
                 b.insert(ctx, slot, true)?;
             }
         }
@@ -583,7 +611,7 @@ impl Shard {
             table_seq: seq,
             region: table.region(),
         }];
-        let olds: Vec<FixedHashTable> = self
+        let olds: Vec<Arc<TableHandle>> = self
             .uppers
             .iter_mut()
             .flat_map(std::mem::take)
@@ -591,16 +619,19 @@ impl Shard {
             .chain(self.last.take())
             .collect();
         records.extend(olds.iter().map(|t| ManifestRecord::Del {
-            off: t.region().off,
+            off: t.table().region().off,
         }));
         (env.commit)(ctx, &records)?;
         for t in olds {
-            t.free(env.dev);
+            t.doom();
         }
         self.checkpoint_seq = self.checkpoint_seq.max(table.header().max_log_seq);
-        self.last = Some(table);
-        self.abi.clear();
+        self.last = Some(TableHandle::new(table, env.dev));
+        // Replace (never clear) the shared ABI: views from before this
+        // publish keep the old one, which covers the new last level.
+        self.abi = Arc::new(SharedTable::new(env.cfg.effective_abi_slots()));
         self.abi_unpersisted_floor = None;
+        self.publish(env);
         StoreMetrics::bump(&env.metrics.last_compactions);
         let delta = env
             .obs

@@ -20,10 +20,12 @@ mod bloom;
 mod dram;
 mod fixed;
 mod robinhood;
+mod shared;
 mod slot;
 
 pub use bloom::BloomFilter;
 pub use dram::DramTable;
 pub use fixed::{FixedHashTable, TableBuilder, TableHeader, TABLE_HEADER_BYTES};
 pub use robinhood::RobinHoodMap;
+pub use shared::SharedTable;
 pub use slot::{Slot, SLOT_BYTES, TOMBSTONE_BIT};
