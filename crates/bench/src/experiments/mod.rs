@@ -10,6 +10,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod obs;
 pub mod overall;
+pub mod serve;
 
 use kvapi::KvStore;
 use pmem_sim::{PmemDevice, ThreadCtx};

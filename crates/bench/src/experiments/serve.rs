@@ -1,0 +1,329 @@
+//! `serve` / `serve-bench` — the kvserver service layer.
+//!
+//! `serve` runs a kvserver over a fresh simulated device on
+//! `127.0.0.1:<--port>` until SIGINT/SIGTERM, then shuts down gracefully
+//! (drains the commit lanes, takes a final checkpoint) and prints the
+//! observability snapshot.
+//!
+//! `serve-bench` measures what group commit buys: a closed-loop
+//! multi-connection load (durable puts with interleaved gets) runs twice
+//! over real TCP loopback — once with `max_batch = 1` (a persist fence
+//! per put) and once with group commit — and reports throughput, client
+//! wall-clock latency, and the media cost per put (256B media blocks,
+//! fences, read-modify-write penalties). The batched run amortizes one
+//! fence across the batch, so media blocks per put and RMW charges drop;
+//! `--quick` additionally asserts the workload was clean (no protocol
+//! errors, no lost reads, no thread panics) for the CI smoke job.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use chameleon_obs::ServerObs;
+use chameleondb::{ChameleonConfig, ChameleonDb};
+use kvclient::Client;
+use kvserver::{KvServer, ServerConfig};
+use pmem_sim::{Histogram, PmemDevice};
+use serde::Serialize;
+
+use crate::util::{fmt_bytes, header, write_json, Opts};
+
+/// Store geometry for the service-layer runs: enough MemTable capacity
+/// that the short benchmark never flushes, so the media deltas isolate
+/// the log write path the two commit policies differ on.
+fn serve_store_config() -> ChameleonConfig {
+    ChameleonConfig::with_shards(64)
+}
+
+fn new_store(dev: &Arc<PmemDevice>) -> Arc<ChameleonDb> {
+    Arc::new(
+        ChameleonDb::create(Arc::clone(dev), serve_store_config())
+            .expect("serve: store create failed"),
+    )
+}
+
+// Minimal signal hookup without a libc dependency: POSIX `signal` with a
+// handler that sets a flag the serve loop polls.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+fn install_stop_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// `repro serve`: run a server until SIGINT/SIGTERM.
+pub fn serve(opts: &Opts) {
+    header("kvserver: TCP service layer with group-commit durability");
+    let dev = PmemDevice::optane(1 << 30);
+    let store = new_store(&dev);
+    let obs = Arc::new(ServerObs::new());
+    let cfg = ServerConfig::default();
+    let server = KvServer::start(
+        &format!("127.0.0.1:{}", opts.port),
+        Arc::clone(&dev),
+        Arc::clone(&store),
+        Arc::clone(&obs),
+        cfg.clone(),
+    )
+    .expect("serve: bind failed");
+    install_stop_handlers();
+    println!(
+        "  listening on {} ({} lanes, max batch {}, hold {:?}) — ctrl-c to stop",
+        server.local_addr(),
+        cfg.lanes,
+        cfg.max_batch,
+        cfg.max_hold
+    );
+
+    while !STOP.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(50));
+        if opts.progress {
+            let reqs = obs.requests.load(Ordering::Relaxed);
+            if reqs > 0 && reqs.is_multiple_of(1 << 16) {
+                eprintln!("[serve] {reqs} requests served");
+            }
+        }
+    }
+
+    println!("\n  signal received: draining lanes and checkpointing...");
+    match server.shutdown() {
+        Ok(()) => println!("  clean shutdown"),
+        Err(e) => eprintln!("  shutdown error: {e}"),
+    }
+    let ctx = pmem_sim::ThreadCtx::with_default_cost();
+    let snap = store.obs_snapshot_with(ctx.clock.now(), vec![obs.section()]);
+    println!(
+        "  served {} requests over {} connections ({} batches, {} acks/fence x1000)",
+        obs.requests.load(Ordering::Relaxed),
+        obs.connections.load(Ordering::Relaxed),
+        obs.batches.load(Ordering::Relaxed),
+        obs.acks_per_fence_milli(),
+    );
+    if let Some(path) = &opts.obs_json {
+        std::fs::write(path, snap.to_pretty_json()).expect("write obs json");
+        std::fs::write(path.with_extension("prom"), snap.to_prometheus()).expect("write obs prom");
+        println!("  [artifact] {}", path.display());
+    }
+}
+
+/// One measured serve-bench configuration.
+#[derive(Debug, Serialize)]
+pub struct ServeBenchRow {
+    pub policy: String,
+    pub connections: usize,
+    pub lanes: usize,
+    pub max_batch: usize,
+    pub puts: u64,
+    pub gets: u64,
+    pub retries: u64,
+    pub wall_secs: f64,
+    pub ops_per_sec: f64,
+    /// Client-observed wall-clock put latency (includes the group-commit
+    /// hold window — the latency cost of batching).
+    pub put_p50_us: f64,
+    pub put_p99_us: f64,
+    /// Media traffic attributed to the run, per put.
+    pub media_blocks_per_put: f64,
+    pub rmw_blocks_per_put: f64,
+    pub fences_per_kput: f64,
+    /// Durable acks per commit fence x1000 (from the server counters).
+    pub acks_per_fence_milli: u64,
+    /// Mean committed batch size (server side).
+    pub mean_batch: f64,
+}
+
+struct ClientTally {
+    latency: Histogram,
+    puts: u64,
+    gets: u64,
+    retries: u64,
+    lost_reads: u64,
+}
+
+/// Closed-loop worker: durable puts of unique keys with a read-back
+/// every 16th op.
+fn client_loop(addr: std::net::SocketAddr, conn_id: u64, ops: u64) -> ClientTally {
+    let mut c = Client::connect(addr).expect("serve-bench: connect");
+    let mut t = ClientTally {
+        latency: Histogram::new(),
+        puts: 0,
+        gets: 0,
+        retries: 0,
+        lost_reads: 0,
+    };
+    let value = [0x5Au8; 64];
+    for n in 0..ops {
+        let key = (conn_id << 40) | n;
+        let start = Instant::now();
+        t.retries += c
+            .put_retrying(key, &value, true)
+            .expect("serve-bench: put failed");
+        t.latency.record(start.elapsed().as_nanos() as u64);
+        t.puts += 1;
+        if n.is_multiple_of(16) {
+            t.gets += 1;
+            match c.get(key) {
+                Ok(Some(v)) if v == value => {}
+                _ => t.lost_reads += 1,
+            }
+        }
+    }
+    t
+}
+
+fn run_policy(
+    policy: &str,
+    cfg: ServerConfig,
+    connections: usize,
+    ops_per_conn: u64,
+) -> ServeBenchRow {
+    let dev = PmemDevice::optane(1 << 30);
+    let store = new_store(&dev);
+    let obs = Arc::new(ServerObs::new());
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&dev),
+        Arc::clone(&store),
+        Arc::clone(&obs),
+        cfg.clone(),
+    )
+    .expect("serve-bench: bind failed");
+    let addr = server.local_addr();
+
+    let media_before = dev.stats().snapshot();
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = thread::scope(|s| {
+        let handles: Vec<_> = (0..connections as u64)
+            .map(|cid| s.spawn(move || client_loop(addr, cid, ops_per_conn)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = started.elapsed();
+    let media = dev.stats().snapshot().delta(&media_before);
+
+    let mut latency = Histogram::new();
+    let (mut puts, mut gets, mut retries, mut lost) = (0u64, 0u64, 0u64, 0u64);
+    for t in &tallies {
+        latency.merge(&t.latency);
+        puts += t.puts;
+        gets += t.gets;
+        retries += t.retries;
+        lost += t.lost_reads;
+    }
+    assert_eq!(lost, 0, "serve-bench: {lost} acked writes unreadable");
+
+    server.shutdown().expect("serve-bench: dirty shutdown");
+    assert_eq!(
+        obs.protocol_errors.load(Ordering::Relaxed),
+        0,
+        "serve-bench: protocol errors on loopback"
+    );
+
+    let batches = obs.batches.load(Ordering::Relaxed).max(1);
+    ServeBenchRow {
+        policy: policy.into(),
+        connections,
+        lanes: cfg.lanes,
+        max_batch: cfg.max_batch,
+        puts,
+        gets,
+        retries,
+        wall_secs: wall.as_secs_f64(),
+        ops_per_sec: (puts + gets) as f64 / wall.as_secs_f64(),
+        put_p50_us: latency.median() as f64 / 1e3,
+        put_p99_us: latency.quantile(0.99) as f64 / 1e3,
+        media_blocks_per_put: (media.media_bytes_written / 256) as f64 / puts as f64,
+        rmw_blocks_per_put: media.rmw_blocks as f64 / puts as f64,
+        fences_per_kput: media.fences as f64 * 1e3 / puts as f64,
+        acks_per_fence_milli: obs.acks_per_fence_milli(),
+        mean_batch: obs.batched_ops.load(Ordering::Relaxed) as f64 / batches as f64,
+    }
+}
+
+/// `repro serve-bench`: batch-of-1 vs group commit over TCP loopback.
+pub fn bench(opts: &Opts) {
+    header("serve-bench: group commit vs fence-per-put over TCP loopback");
+    let connections = opts.threads.max(8);
+    // Closed-loop over real TCP: scale the op budget down from the
+    // simulated-store default so the wall-clock stays reasonable.
+    let ops_per_conn = (opts.ops / 10 / connections as u64).clamp(200, 20_000);
+    let lanes = 2;
+    println!("  {connections} connections x {ops_per_conn} durable puts, {lanes} commit lanes\n");
+
+    let batch1 = run_policy(
+        "batch-of-1",
+        ServerConfig {
+            lanes,
+            ..ServerConfig::batch_of_one()
+        },
+        connections,
+        ops_per_conn,
+    );
+    let group = run_policy(
+        "group-commit",
+        ServerConfig {
+            lanes,
+            max_batch: 64,
+            max_hold: Duration::from_micros(200),
+            ..ServerConfig::default()
+        },
+        connections,
+        ops_per_conn,
+    );
+
+    println!(
+        "  policy        ops/s      p50       p99       blk/put  rmw/put  fence/kput  acks/fence"
+    );
+    for row in [&batch1, &group] {
+        println!(
+            "  {:<12}  {:>8.0}  {:>7.1}us {:>7.1}us  {:>7.3}  {:>7.3}  {:>9.1}  {:>9.3}",
+            row.policy,
+            row.ops_per_sec,
+            row.put_p50_us,
+            row.put_p99_us,
+            row.media_blocks_per_put,
+            row.rmw_blocks_per_put,
+            row.fences_per_kput,
+            row.acks_per_fence_milli as f64 / 1e3,
+        );
+    }
+    println!(
+        "\n  group commit: mean batch {:.1} ops, media per put {} -> {} ({}x), fences per put {:.2} -> {:.2}",
+        group.mean_batch,
+        fmt_bytes((batch1.media_blocks_per_put * 256.0) as u64),
+        fmt_bytes((group.media_blocks_per_put * 256.0) as u64),
+        (batch1.media_blocks_per_put / group.media_blocks_per_put.max(1e-9)).round(),
+        batch1.fences_per_kput / 1e3,
+        group.fences_per_kput / 1e3,
+    );
+
+    // The acceptance bar: with >= 8 connections, group commit must cut
+    // the media blocks charged per put versus fence-per-put.
+    assert!(
+        group.media_blocks_per_put < batch1.media_blocks_per_put,
+        "group commit failed to reduce media blocks per put ({} vs {})",
+        group.media_blocks_per_put,
+        batch1.media_blocks_per_put
+    );
+    if opts.quick {
+        // CI smoke: the run must also have batched at all.
+        assert!(
+            group.mean_batch > 1.1,
+            "group commit never formed a batch (mean {:.2})",
+            group.mean_batch
+        );
+    }
+    write_json(opts, "serve_bench", &vec![&batch1, &group]);
+}

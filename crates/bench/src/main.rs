@@ -4,12 +4,15 @@
 //! [--out DIR | --no-out] [--quick] [--obs-json PATH] [--progress]`
 //!
 //! Experiments: `fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//! table4 ablate-abi ablate-loadfactor ablate-ratio obs crash all`.
+//! table4 ablate-abi ablate-loadfactor ablate-ratio obs crash serve
+//! serve-bench all`.
 //! `table2`/`table3` are printed by `fig11`/`fig13`; `fig3` by `table4`.
 //! `obs` exercises the observability layer and honors `--obs-json` /
 //! `--progress`. `crash` runs the crash-matrix fault-injection campaign
 //! (`--quick` for the bounded CI slice) and exits nonzero on any
-//! acknowledged-write violation.
+//! acknowledged-write violation. `serve` runs the kvserver TCP front-end
+//! on `--port` until SIGINT/SIGTERM; `serve-bench` measures group commit
+//! against fence-per-put over TCP loopback.
 
 use chameleon_bench::experiments as exp;
 use chameleon_bench::util::Opts;
@@ -79,6 +82,12 @@ fn main() {
         "crash" => {
             exp::crash::run(&opts);
         }
+        "serve" => {
+            exp::serve::serve(&opts);
+        }
+        "serve-bench" => {
+            exp::serve::bench(&opts);
+        }
         "all" => {
             exp::fig01::run(&opts);
             exp::fig02::run(&opts);
@@ -111,8 +120,9 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: repro <experiment> [--keys N] [--ops N] [--threads N] [--out DIR | --no-out] [--quick]\n\
-         \x20                       [--obs-json PATH] [--progress]\n\
+         \x20                       [--obs-json PATH] [--progress] [--port N]\n\
          experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
-                      table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs crash all"
+                      table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs crash\n\
+                      serve serve-bench all"
     );
 }

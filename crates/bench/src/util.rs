@@ -23,6 +23,8 @@ pub struct Opts {
     pub obs_json: Option<PathBuf>,
     /// Opt-in periodic progress reporter on stderr.
     pub progress: bool,
+    /// TCP port for `repro serve` (loopback only).
+    pub port: u16,
 }
 
 impl Default for Opts {
@@ -35,6 +37,7 @@ impl Default for Opts {
             quick: false,
             obs_json: None,
             progress: false,
+            port: 7878,
         }
     }
 }
@@ -77,6 +80,13 @@ impl Opts {
                         Some(PathBuf::from(it.next().ok_or("--obs-json needs a value")?));
                 }
                 "--progress" => opts.progress = true,
+                "--port" => {
+                    opts.port = it
+                        .next()
+                        .ok_or("--port needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--port: {e}"))?;
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -170,6 +180,15 @@ mod tests {
         );
         assert!(o.progress);
         assert!(Opts::parse(&["--obs-json".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_port() {
+        assert_eq!(Opts::parse(&[]).unwrap().port, 7878);
+        let args: Vec<String> = ["--port", "9000"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(Opts::parse(&args).unwrap().port, 9000);
+        let args: Vec<String> = ["--port", "potato"].iter().map(|s| s.to_string()).collect();
+        assert!(Opts::parse(&args).is_err());
     }
 
     #[test]

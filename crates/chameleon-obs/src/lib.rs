@@ -12,7 +12,11 @@
 //!   attributed per maintenance stage (Fig. 17(b)/(e) style) from one run;
 //! * **per-op latency histograms** ([`OpHists`]): put/get/delete
 //!   [`Histogram`]s per shard, merged on demand into store-level
-//!   p50/p99/p999.
+//!   p50/p99/p999;
+//! * **service-layer batch spans** ([`ServerObs`]): front-end counters and
+//!   per-group-commit-batch histograms (batch size, queue depth, commit
+//!   latency, fences and media bytes per batch) recorded by a network
+//!   server and exported as one extra counter section.
 //!
 //! [`Obs::snapshot`] unifies all three with caller-provided counter
 //! sections into an [`ObsSnapshot`], serializable as pretty JSON or
@@ -25,6 +29,7 @@
 
 pub mod event;
 pub mod export;
+pub mod server;
 pub mod snapshot;
 pub mod span;
 
@@ -32,6 +37,7 @@ use parking_lot::Mutex;
 use pmem_sim::{Histogram, MediaStats, StatsSnapshot};
 
 pub use event::{Event, EventKind, Journal};
+pub use server::{BatchSpan, ServerObs};
 pub use snapshot::{CounterSection, ObsSnapshot, OpSummary, StageSummary};
 pub use span::{SpanStart, Stage, StageAgg};
 

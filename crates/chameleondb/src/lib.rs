@@ -51,4 +51,4 @@ pub use config::{ChameleonConfig, CompactionScheme};
 pub use manifest::{Manifest, ManifestRecord, Superblock, LEVEL_DUMPED};
 pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
 pub use mode::{GpmConfig, Mode, ModeChange};
-pub use store::ChameleonDb;
+pub use store::{BatchOp, ChameleonDb};

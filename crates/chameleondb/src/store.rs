@@ -22,6 +22,17 @@ use crate::view::{GetSource, ShardView, TableHandle};
 /// client on its device (all harnesses construct stores that way).
 pub const SUPERBLOCK_OFF: u64 = 256;
 
+/// One write in a group-commit batch (see [`ChameleonDb::apply_batch`]).
+/// Owned values, so a network front-end can carry batches from connection
+/// threads to a committer thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert/overwrite `key`.
+    Put { key: u64, value: Vec<u8> },
+    /// Delete `key` (appends a tombstone).
+    Delete { key: u64 },
+}
+
 /// Manifest plus an in-DRAM mirror of the live-table set, so overflow
 /// rewrites never need to lock other shards.
 struct MetaLog {
@@ -391,12 +402,20 @@ impl ChameleonDb {
     /// stats, per-stage write-amplification attribution, merged per-shard
     /// op latency histograms, and the journal tail.
     pub fn obs_snapshot(&self, now: u64) -> ObsSnapshot {
+        self.obs_snapshot_with(now, Vec::new())
+    }
+
+    /// Like [`obs_snapshot`](Self::obs_snapshot), with caller-provided
+    /// counter sections appended after the store's own — the hook a
+    /// service layer uses to splice its front-end counters into the same
+    /// JSON/Prometheus export.
+    pub fn obs_snapshot_with(&self, now: u64, extra: Vec<CounterSection>) -> ObsSnapshot {
         let mode_num = match self.mode.mode() {
             Mode::Normal => 0u64,
             Mode::WriteIntensive => 1,
             Mode::GetProtect => 2,
         };
-        let sections = vec![
+        let mut sections = vec![
             CounterSection {
                 name: "store",
                 counters: self.metrics.snapshot().counters(),
@@ -409,6 +428,7 @@ impl ChameleonDb {
                 ],
             },
         ];
+        sections.extend(extra);
         self.obs
             .snapshot(now, sections, self.dev.stats().snapshot())
     }
@@ -439,6 +459,57 @@ impl ChameleonDb {
         } else {
             (hash >> self.shard_shift) as usize
         }
+    }
+
+    /// The shard index that serves `key` — the routing a service layer
+    /// needs to bind keys to commit lanes without re-deriving the hash
+    /// prefix scheme.
+    pub fn shard_of_key(&self, key: u64) -> usize {
+        self.shard_of(hash64(key))
+    }
+
+    /// Applies a batch of writes through the calling thread's log writer,
+    /// then makes the whole batch durable with one final flush — a single
+    /// persist fence for the batch tail (plus the writer's automatic
+    /// fences if the batch outgrows `log.batch_bytes`), instead of the
+    /// fence-per-op a `put` + [`sync`](KvStore::sync) loop pays. This is
+    /// the group-commit entry point: callers must not acknowledge any op
+    /// of the batch before this returns, because entries are durable only
+    /// after the final flush.
+    ///
+    /// Each op takes the same locked per-shard append path as
+    /// `put`/`delete`, so per-shard index order still matches log
+    /// sequence order and recovery replay is unchanged. Returns one flag
+    /// per op: `true` for puts, and for deletes whether the key existed.
+    pub fn apply_batch(&self, ctx: &mut ThreadCtx, ops: &[BatchOp]) -> Result<Vec<bool>> {
+        let mut out = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                BatchOp::Put { key, value } => {
+                    self.put(ctx, *key, value)?;
+                    out.push(true);
+                }
+                BatchOp::Delete { key } => {
+                    out.push(self.delete(ctx, *key)?);
+                }
+            }
+        }
+        self.sync_writer(ctx)?;
+        Ok(out)
+    }
+
+    /// Flushes only the calling thread's log writer (one fence if it has
+    /// unfenced bytes, none otherwise). [`sync`](KvStore::sync) fences
+    /// every writer and is the right call for global durability; a group
+    /// committer that owns all appends of its batch only needs its own
+    /// writer fenced.
+    pub fn sync_writer(&self, ctx: &mut ThreadCtx) -> Result<()> {
+        if self.writers.is_empty() {
+            return Ok(());
+        }
+        self.writers[ctx.thread_id % self.writers.len()]
+            .lock()
+            .flush(ctx)
     }
 
     fn env<'a>(
@@ -1007,6 +1078,112 @@ mod tests {
             assert_eq!(out.len(), sz);
             assert!(out.iter().all(|&b| b == i as u8));
         }
+    }
+
+    #[test]
+    fn apply_batch_is_durable_at_return_with_one_tail_fence() {
+        let dev = PmemDevice::optane(512 << 20);
+        let cfg = ChameleonConfig::tiny();
+        let db = ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap();
+        let mut c = ctx();
+        // Small values: 16 ops * (24B header + 16B value) = 640B < 4KB
+        // batch_bytes, so the only fence is apply_batch's final flush.
+        let ops: Vec<BatchOp> = (0..16u64)
+            .map(|k| BatchOp::Put {
+                key: k,
+                value: value_for(k),
+            })
+            .collect();
+        let before = dev.fence_count();
+        let outcomes = db.apply_batch(&mut c, &ops).unwrap();
+        let after = dev.fence_count();
+        assert_eq!(outcomes, vec![true; 16]);
+        assert_eq!(
+            after - before,
+            1,
+            "a sub-4KB batch must cost exactly one fence"
+        );
+        // Durable at return: crash without sync/checkpoint, then recover.
+        drop(db);
+        dev.crash();
+        let db2 = ChameleonDb::recover(Arc::clone(&dev), cfg, &mut c).unwrap();
+        check_all(&db2, &mut c, 16);
+    }
+
+    #[test]
+    fn apply_batch_reports_delete_existence_and_applies_tombstones() {
+        let db = new_store(ChameleonConfig::tiny());
+        let mut c = ctx();
+        fill(&db, &mut c, 10);
+        let ops = vec![
+            BatchOp::Delete { key: 3 },
+            BatchOp::Put {
+                key: 100,
+                value: value_for(100),
+            },
+            BatchOp::Delete { key: 999 },
+        ];
+        let outcomes = db.apply_batch(&mut c, &ops).unwrap();
+        assert_eq!(outcomes, vec![true, true, false]);
+        let mut out = Vec::new();
+        assert!(!db.get(&mut c, 3, &mut out).unwrap());
+        assert!(db.get(&mut c, 100, &mut out).unwrap());
+    }
+
+    #[test]
+    fn apply_batch_amortizes_fences_versus_per_op_sync() {
+        let per_op = {
+            let dev = PmemDevice::optane(512 << 20);
+            let db = ChameleonDb::create(Arc::clone(&dev), ChameleonConfig::tiny()).unwrap();
+            let mut c = ctx();
+            let before = dev.fence_count();
+            for k in 0..32u64 {
+                db.put(&mut c, k, &value_for(k)).unwrap();
+                db.sync(&mut c).unwrap();
+            }
+            dev.fence_count() - before
+        };
+        let batched = {
+            let dev = PmemDevice::optane(512 << 20);
+            let db = ChameleonDb::create(Arc::clone(&dev), ChameleonConfig::tiny()).unwrap();
+            let mut c = ctx();
+            let ops: Vec<BatchOp> = (0..32u64)
+                .map(|k| BatchOp::Put {
+                    key: k,
+                    value: value_for(k),
+                })
+                .collect();
+            let before = dev.fence_count();
+            db.apply_batch(&mut c, &ops).unwrap();
+            dev.fence_count() - before
+        };
+        assert!(
+            batched * 8 <= per_op,
+            "group commit should amortize fences: batched={batched} per_op={per_op}"
+        );
+    }
+
+    #[test]
+    fn obs_snapshot_with_appends_extra_sections() {
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.obs = chameleon_obs::ObsConfig::on();
+        let db = new_store(cfg);
+        let mut c = ctx();
+        fill(&db, &mut c, 10);
+        let snap = db.obs_snapshot_with(
+            c.clock.now(),
+            vec![CounterSection {
+                name: "server",
+                counters: vec![("batches", 7)],
+            }],
+        );
+        let sec = snap
+            .counters
+            .iter()
+            .find(|s| s.name == "server")
+            .expect("extra section present");
+        assert_eq!(sec.counters, vec![("batches", 7)]);
+        assert!(snap.counters.iter().any(|s| s.name == "store"));
     }
 
     #[test]

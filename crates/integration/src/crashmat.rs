@@ -7,9 +7,11 @@
 //! point the harness
 //!
 //! 1. runs a deterministic mixed workload (puts, overwrites, deletes,
-//!    syncs, a checkpoint, a Write-Intensive phase, and a Get-Protect
-//!    phase that forces ABI dumps) against a fresh simulated device, armed
-//!    to panic-unwind out of fence `k`;
+//!    syncs, a checkpoint, a Write-Intensive phase, a Get-Protect
+//!    phase that forces ABI dumps, and group-commit batches through
+//!    [`ChameleonDb::apply_batch`] — the service layer's write path)
+//!    against a fresh simulated device, armed to panic-unwind out of
+//!    fence `k`;
 //! 2. simulates the power cut ([`pmem_sim::PmemDevice::crash`] drops all
 //!    unfenced lines), optionally arms a *second* crash a few fences into
 //!    recovery itself (the double-crash case), and recovers;
@@ -52,7 +54,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use chameleon_obs::{EventKind, ObsConfig};
-use chameleondb::{ChameleonConfig, ChameleonDb, CompactionScheme, GpmConfig, Mode};
+use chameleondb::{BatchOp, ChameleonConfig, ChameleonDb, CompactionScheme, GpmConfig, Mode};
 use kvapi::KvStore;
 use kvlog::LogConfig;
 use pmem_sim::{CrashPoint, PmemDevice, ThreadCtx};
@@ -77,6 +79,18 @@ pub enum WlOp {
     Checkpoint,
     /// Switch the store's base mode (Normal / WriteIntensive).
     SetMode(Mode),
+    /// Stage a put into the open group-commit batch (applied at the next
+    /// [`WlOp::BatchCommit`]). Scripts must not interleave `Get`s with an
+    /// open batch: staged ops are invisible until they commit.
+    BatchPut(u64),
+    /// Stage a delete into the open group-commit batch.
+    BatchDel(u64),
+    /// Commit the staged batch through [`ChameleonDb::apply_batch`]: one
+    /// tail fence acknowledges the whole batch (plus any mid-batch
+    /// auto-fences once the log's `batch_bytes` overflows — crashing at
+    /// those leaves a partially persisted batch, which the prefix-cut
+    /// audit must accept because no ack was released).
+    BatchCommit,
 }
 
 /// Matrix parameters.
@@ -193,6 +207,22 @@ pub fn build_script(keys: u64) -> Vec<WlOp> {
         s.push(WlOp::Del(k));
     }
     s.push(WlOp::Sync);
+    // Phase 6: group-commit batches (the service layer's write path).
+    // Fresh keys first; each batch is large enough to overflow the log's
+    // 512B `batch_bytes` several times, so mid-batch auto-fences create
+    // crash points with a partially persisted, never-acknowledged batch.
+    for k in 2 * n..2 * n + n / 4 {
+        s.push(WlOp::BatchPut(k));
+    }
+    s.push(WlOp::BatchCommit);
+    // Overwrites and deletes of batch-written keys in a second batch.
+    for k in 2 * n..2 * n + n / 8 {
+        s.push(WlOp::BatchPut(k));
+    }
+    for k in 2 * n + n / 8..2 * n + n / 4 {
+        s.push(WlOp::BatchDel(k));
+    }
+    s.push(WlOp::BatchCommit);
     // Un-acknowledged tail: may be lost, bounded by the log batch.
     for k in 0..8 {
         s.push(WlOp::Put(k));
@@ -222,11 +252,11 @@ pub fn build_model(script: &[WlOp]) -> BTreeMap<u64, Vec<Version>> {
     let mut model: BTreeMap<u64, Vec<Version>> = BTreeMap::new();
     for (i, op) in script.iter().enumerate() {
         match *op {
-            WlOp::Put(k) => model.entry(k).or_default().push(Version {
+            WlOp::Put(k) | WlOp::BatchPut(k) => model.entry(k).or_default().push(Version {
                 op: i as u64,
                 del: false,
             }),
-            WlOp::Del(k) => model.entry(k).or_default().push(Version {
+            WlOp::Del(k) | WlOp::BatchDel(k) => model.entry(k).or_default().push(Version {
                 op: i as u64,
                 del: true,
             }),
@@ -249,6 +279,11 @@ fn exec(
 ) -> kvapi::Result<()> {
     // key -> Some(op of live put) | None = deleted.
     let mut live: HashMap<u64, Option<u64>> = HashMap::new();
+    // Open group-commit batch: ops staged since the last BatchCommit,
+    // with their deferred live-map updates (staged ops are invisible to
+    // gets until the batch commits).
+    let mut staged_ops: Vec<BatchOp> = Vec::new();
+    let mut staged_live: Vec<(u64, Option<u64>)> = Vec::new();
     let mut out = Vec::new();
     for (i, op) in script.iter().enumerate() {
         let idx = i as u64;
@@ -260,6 +295,24 @@ fn exec(
             WlOp::Del(k) => {
                 db.delete(ctx, k)?;
                 live.insert(k, None);
+            }
+            WlOp::BatchPut(k) => {
+                staged_ops.push(BatchOp::Put {
+                    key: k,
+                    value: value_of(k, idx).to_vec(),
+                });
+                staged_live.push((k, Some(idx)));
+            }
+            WlOp::BatchDel(k) => {
+                staged_ops.push(BatchOp::Delete { key: k });
+                staged_live.push((k, None));
+            }
+            WlOp::BatchCommit => {
+                db.apply_batch(ctx, &staged_ops)?;
+                staged_ops.clear();
+                for (k, v) in staged_live.drain(..) {
+                    live.insert(k, v);
+                }
             }
             WlOp::Get(k) => {
                 let found = db.get(ctx, k, &mut out)?;
@@ -275,8 +328,14 @@ fn exec(
             WlOp::Checkpoint => db.checkpoint(ctx)?,
             WlOp::SetMode(m) => db.set_mode(m),
         }
+        // Staged batch ops advance `completed` before their log appends
+        // happen (at the commit): a loose upper bound on the cut is
+        // sound — the audit only requires that nothing *acknowledged* is
+        // lost, and staging acknowledges nothing.
         completed.set(idx + 1);
-        if matches!(op, WlOp::Sync | WlOp::Checkpoint) {
+        // `apply_batch` flushes the (single) log writer, so like Sync it
+        // acknowledges every op before it.
+        if matches!(op, WlOp::Sync | WlOp::Checkpoint | WlOp::BatchCommit) {
             synced.set(idx + 1);
         }
     }
@@ -638,6 +697,38 @@ mod tests {
             .iter()
             .any(|o| matches!(o, WlOp::SetMode(Mode::WriteIntensive))));
         assert!(s.iter().filter(|o| matches!(o, WlOp::Sync)).count() >= 3);
+        assert!(s.iter().any(|o| matches!(o, WlOp::BatchPut(_))));
+        assert!(s.iter().any(|o| matches!(o, WlOp::BatchDel(_))));
+        assert_eq!(
+            s.iter().filter(|o| matches!(o, WlOp::BatchCommit)).count(),
+            2
+        );
+    }
+
+    /// Each batch must overflow the matrix log config's 512B
+    /// `batch_bytes`, so the matrix really enumerates mid-batch
+    /// auto-fence crash points (a partially persisted batch).
+    #[test]
+    fn batches_are_large_enough_to_split_across_fences() {
+        let s = build_script(128);
+        let mut staged_bytes = 0usize;
+        let mut min_batch = usize::MAX;
+        for op in &s {
+            match op {
+                // 16B value + per-entry log header.
+                WlOp::BatchPut(_) => staged_bytes += 16 + kvlog::ENTRY_HEADER,
+                WlOp::BatchDel(_) => staged_bytes += kvlog::ENTRY_HEADER,
+                WlOp::BatchCommit => {
+                    min_batch = min_batch.min(staged_bytes);
+                    staged_bytes = 0;
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            min_batch >= 2 * 512,
+            "smallest batch ({min_batch}B) must span several 512B log fences"
+        );
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! End-to-end tests of the kvserver service layer over real TCP
+//! loopback: protocol round-trips, group-commit durability under an
+//! injected device crash, ack-withholding until the batch fence, STATS
+//! export, backpressure, and graceful shutdown.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use chameleon_obs::{ObsConfig, ServerObs};
+use chameleondb::{BatchOp, ChameleonConfig, ChameleonDb};
+use kvapi::KvStore;
+use kvclient::{Client, ModeArg, StatsFormat, WriteOutcome};
+use kvserver::{KvServer, ServerConfig};
+use pmem_sim::{CrashPoint, PmemDevice, ThreadCtx};
+
+fn test_store_config() -> ChameleonConfig {
+    // Large MemTables so short tests trigger no flush/compaction: the
+    // crash tests depend on the log being the only post-crash writer.
+    ChameleonConfig {
+        memtable_slots: 4096,
+        obs: ObsConfig::on(),
+        ..ChameleonConfig::tiny()
+    }
+}
+
+fn start_server(
+    dev: &Arc<PmemDevice>,
+    store: &Arc<ChameleonDb>,
+    cfg: ServerConfig,
+) -> (KvServer, std::net::SocketAddr) {
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(dev),
+        Arc::clone(store),
+        Arc::new(ServerObs::new()),
+        cfg,
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn value_for(key: u64) -> Vec<u8> {
+    format!("value-{key:016x}").into_bytes()
+}
+
+#[test]
+fn wire_round_trip_put_get_delete_sync_mode() {
+    let dev = PmemDevice::optane(256 << 20);
+    let store = Arc::new(ChameleonDb::create(Arc::clone(&dev), test_store_config()).unwrap());
+    let (server, addr) = start_server(&dev, &store, ServerConfig::default());
+
+    let mut c = Client::connect(addr).unwrap();
+    for key in 0..64u64 {
+        assert_eq!(
+            c.put(key, &value_for(key), key % 2 == 0).unwrap(),
+            WriteOutcome::Done { existed: true }
+        );
+    }
+    c.sync().unwrap();
+    for key in 0..64u64 {
+        assert_eq!(c.get(key).unwrap().as_deref(), Some(&value_for(key)[..]));
+    }
+    assert_eq!(c.get(1 << 40).unwrap(), None);
+    assert_eq!(c.delete(7).unwrap(), WriteOutcome::Done { existed: true });
+    assert_eq!(c.delete(7).unwrap(), WriteOutcome::Done { existed: false });
+    assert_eq!(c.get(7).unwrap(), None);
+
+    assert!(!c.mode(ModeArg::Query).unwrap());
+    assert!(c.mode(ModeArg::WriteIntensive).unwrap());
+    assert!(!c.mode(ModeArg::Normal).unwrap());
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_all_complete() {
+    let dev = PmemDevice::optane(256 << 20);
+    let store = Arc::new(ChameleonDb::create(Arc::clone(&dev), test_store_config()).unwrap());
+    let (server, addr) = start_server(&dev, &store, ServerConfig::default());
+
+    let mut c = Client::connect(addr).unwrap();
+    let ids: Vec<u64> = (0..256u64)
+        .map(|key| c.send_put(key, &value_for(key), true).unwrap())
+        .collect();
+    for id in ids {
+        match c.recv_for(id).unwrap() {
+            kvclient::Response::Ok { .. } | kvclient::Response::Retry { .. } => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    server.shutdown().unwrap();
+}
+
+/// Satellite: N concurrent clients issue durable puts; after an
+/// arbitrary ack the device crashes. Every write acked before the crash
+/// snapshot must survive recovery.
+#[test]
+fn every_acked_durable_write_survives_crash() {
+    let dev = PmemDevice::optane(256 << 20);
+    let cfg = test_store_config();
+    let store = Arc::new(ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap());
+    let (server, addr) = start_server(
+        &dev,
+        &store,
+        ServerConfig {
+            lanes: 2,
+            max_batch: 16,
+            max_hold: Duration::from_micros(500),
+            ..ServerConfig::default()
+        },
+    );
+
+    // Keyed by client id so writers never collide.
+    let acked: Arc<Mutex<HashMap<u64, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..8u64)
+        .map(|cid| {
+            let acked = Arc::clone(&acked);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut n = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let key = (cid << 32) | n;
+                    let val = value_for(key);
+                    match c.put(key, &val, true) {
+                        Ok(WriteOutcome::Done { .. }) => {
+                            // The ack is in hand; the crash snapshot
+                            // below must include this key.
+                            acked.lock().unwrap().insert(key, val);
+                            n += 1;
+                        }
+                        Ok(WriteOutcome::Retry) => thread::yield_now(),
+                        // Socket torn down by the crash/abort below.
+                        Err(_) => break,
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let traffic build, then crash while holding the ack map: anything
+    // recorded is acked, hence fenced, hence must survive.
+    thread::sleep(Duration::from_millis(300));
+    let survivors: HashMap<u64, Vec<u8>> = {
+        let guard = acked.lock().unwrap();
+        dev.crash();
+        guard.clone()
+    };
+    stop.store(true, Ordering::SeqCst);
+    server.abort();
+    for h in clients {
+        h.join().unwrap();
+    }
+    assert!(
+        survivors.len() >= 32,
+        "want meaningful traffic before the crash, got {} acks",
+        survivors.len()
+    );
+
+    drop(store);
+    let mut ctx = ThreadCtx::with_default_cost();
+    let recovered = ChameleonDb::recover(Arc::clone(&dev), cfg, &mut ctx).unwrap();
+    let mut out = Vec::new();
+    for (key, val) in &survivors {
+        assert!(
+            recovered.get(&mut ctx, *key, &mut out).unwrap(),
+            "acked key {key:#x} lost by crash"
+        );
+        assert_eq!(&out, val, "acked key {key:#x} has wrong value");
+    }
+}
+
+/// Satellite regression: a batch's acks are withheld until its fence.
+/// Wire-level half: with a held-open batch, acks must not arrive before
+/// the batch fills (or the hold expires).
+#[test]
+fn durable_acks_wait_for_the_batch_fence() {
+    let dev = PmemDevice::optane(256 << 20);
+    let store = Arc::new(ChameleonDb::create(Arc::clone(&dev), test_store_config()).unwrap());
+    let (server, addr) = start_server(
+        &dev,
+        &store,
+        ServerConfig {
+            lanes: 1,
+            max_batch: 4,
+            max_hold: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+    );
+
+    let fences_before = dev.fence_count();
+    let mut c = Client::connect(addr).unwrap();
+    let ids: Vec<u64> = (0..3u64)
+        .map(|k| c.send_put(k, b"held", true).unwrap())
+        .collect();
+    c.flush().unwrap();
+    // The batch is 3/4 full and the hold is 5s: no ack may arrive yet.
+    c.set_read_timeout(Some(Duration::from_millis(250)))
+        .unwrap();
+    match c.recv_for(ids[0]) {
+        Err(e) => assert!(
+            matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut),
+            "expected timeout, got {e:?}"
+        ),
+        Ok(r) => panic!("ack released before the batch fence: {r:?}"),
+    }
+    // The fourth put fills the batch; every ack is released by one fence.
+    let last = c.send_put(3, b"held", true).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    for id in ids.into_iter().chain([last]) {
+        assert!(matches!(
+            c.recv_for(id).unwrap(),
+            kvclient::Response::Ok { .. }
+        ));
+    }
+    let commit_fences = dev.fence_count() - fences_before;
+    assert_eq!(
+        commit_fences, 1,
+        "a four-op batch must commit under exactly one fence"
+    );
+    server.shutdown().unwrap();
+}
+
+/// In-process half of the regression: a crash injected at the commit
+/// fence unwinds `apply_batch` before it returns, so the server's
+/// post-return ack path is structurally unreachable, and recovery sees a
+/// consistent prefix.
+#[test]
+fn crash_at_commit_fence_withholds_acks_and_recovers_prefix() {
+    let dev = PmemDevice::optane(256 << 20);
+    let cfg = test_store_config();
+    let store = ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+
+    // A durably committed prefix the crash must not touch.
+    let prefix: Vec<BatchOp> = (0..8u64)
+        .map(|k| BatchOp::Put {
+            key: k,
+            value: value_for(k),
+        })
+        .collect();
+    store.apply_batch(&mut ctx, &prefix).unwrap();
+
+    // Crash at the very next fence: the doomed batch's tail fence.
+    dev.arm_crash_at_fence(dev.fence_count() + 1);
+    let doomed: Vec<BatchOp> = (100..108u64)
+        .map(|k| BatchOp::Put {
+            key: k,
+            value: value_for(k),
+        })
+        .collect();
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        store.apply_batch(&mut ctx, &doomed).unwrap();
+    }));
+    let crash = unwound.expect_err("apply_batch must unwind at the armed fence");
+    assert!(
+        crash.downcast_ref::<CrashPoint>().is_some(),
+        "unwind payload must be the injected CrashPoint"
+    );
+    dev.disarm_crash();
+
+    drop(store);
+    let recovered = ChameleonDb::recover(Arc::clone(&dev), cfg, &mut ctx).unwrap();
+    let mut out = Vec::new();
+    for k in 0..8u64 {
+        assert!(
+            recovered.get(&mut ctx, k, &mut out).unwrap(),
+            "fenced prefix key {k} lost"
+        );
+        assert_eq!(out, value_for(k));
+    }
+    // The armed crash fires after its fence completes, so the doomed
+    // batch is durable-but-unacked — the legal recovery window (a store
+    // may keep more than it acked, never less, and never garbage).
+    for k in 100..108u64 {
+        if recovered.get(&mut ctx, k, &mut out).unwrap() {
+            assert_eq!(out, value_for(k), "doomed key {k} recovered torn");
+        }
+    }
+}
+
+/// Satellite: PR-3's degraded-read counters and the new server batch
+/// stats are visible through the STATS command in both formats.
+#[test]
+fn stats_command_exports_store_and_server_sections() {
+    let dev = PmemDevice::optane(256 << 20);
+    let store = Arc::new(ChameleonDb::create(Arc::clone(&dev), test_store_config()).unwrap());
+    let (server, addr) = start_server(&dev, &store, ServerConfig::default());
+
+    let mut c = Client::connect(addr).unwrap();
+    for key in 0..32u64 {
+        c.put(key, &value_for(key), true).unwrap();
+        assert!(c.get(key).unwrap().is_some());
+    }
+
+    let prom = c.stats(StatsFormat::Prometheus).unwrap();
+    for metric in [
+        "chameleon_store_degraded_gets",
+        "chameleon_store_view_publishes",
+        "chameleon_server_batches",
+        "chameleon_server_acks",
+        "chameleon_server_commit_fences",
+        "chameleon_server_batch_size_p99",
+        "chameleon_server_queue_depth_p99",
+        "chameleon_server_acks_per_fence_milli",
+    ] {
+        assert!(prom.contains(metric), "prometheus text missing {metric}");
+    }
+
+    let json = c.stats(StatsFormat::Json).unwrap();
+    for key in ["\"server\"", "\"batches\"", "\"degraded_gets\""] {
+        assert!(json.contains(key), "json snapshot missing {key}");
+    }
+    // The 32 durable puts above were all acked, hence all batched.
+    let batched: u64 = prom
+        .lines()
+        .find(|l| l.starts_with("chameleon_server_batched_ops "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("batched_ops gauge present");
+    assert!(batched >= 32, "expected >= 32 batched ops, got {batched}");
+
+    server.shutdown().unwrap();
+}
+
+/// A full lane answers RETRY instead of blocking or dropping, and every
+/// accepted write is still acked exactly once.
+#[test]
+fn full_lane_backpressure_yields_retry_not_loss() {
+    let dev = PmemDevice::optane(256 << 20);
+    let store = Arc::new(ChameleonDb::create(Arc::clone(&dev), test_store_config()).unwrap());
+    let (server, addr) = start_server(
+        &dev,
+        &store,
+        ServerConfig {
+            lanes: 1,
+            queue_cap: 1,
+            max_batch: 1,
+            max_hold: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut c = Client::connect(addr).unwrap();
+    let big = vec![0xA5u8; 16 << 10];
+    let total = 300u64;
+    let ids: Vec<u64> = (0..total)
+        .map(|k| c.send_put(k, &big, true).unwrap())
+        .collect();
+    let (mut ok, mut retry) = (0u64, 0u64);
+    let mut accepted = Vec::new();
+    for (k, id) in ids.into_iter().enumerate() {
+        match c.recv_for(id).unwrap() {
+            kvclient::Response::Ok { .. } => {
+                ok += 1;
+                accepted.push(k as u64);
+            }
+            kvclient::Response::Retry { .. } => retry += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(ok + retry, total);
+    assert!(ok > 0, "some writes must get through");
+    // Every accepted (acked) write is durable and readable.
+    for k in accepted {
+        assert!(c.get(k).unwrap().is_some(), "acked key {k} unreadable");
+    }
+    server.shutdown().unwrap();
+}
+
+/// Graceful shutdown drains accepted work and checkpoints: even
+/// non-durable (early-acked) writes survive a clean restart.
+#[test]
+fn graceful_shutdown_drains_queues_and_checkpoints() {
+    let dev = PmemDevice::optane(256 << 20);
+    let cfg = test_store_config();
+    let store = Arc::new(ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap());
+    let (server, addr) = start_server(&dev, &store, ServerConfig::default());
+
+    let mut c = Client::connect(addr).unwrap();
+    for key in 0..128u64 {
+        // Non-durable: acked at enqueue, still in a lane queue or an
+        // open batch when shutdown starts.
+        assert!(matches!(
+            c.put(key, &value_for(key), false).unwrap(),
+            WriteOutcome::Done { .. }
+        ));
+    }
+    drop(c);
+    server.shutdown().unwrap();
+    drop(store);
+
+    // A clean shutdown implies no work lost: recover and read it all.
+    let mut ctx = ThreadCtx::with_default_cost();
+    let recovered = ChameleonDb::recover(Arc::clone(&dev), cfg, &mut ctx).unwrap();
+    let mut out = Vec::new();
+    for key in 0..128u64 {
+        assert!(
+            recovered.get(&mut ctx, key, &mut out).unwrap(),
+            "drained write {key} lost by graceful shutdown"
+        );
+        assert_eq!(out, value_for(key));
+    }
+}

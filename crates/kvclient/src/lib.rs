@@ -1,0 +1,228 @@
+//! Blocking client for the [`kvserver`] wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection. Requests carry a
+//! client-assigned `req_id`; because the server interleaves inline GET
+//! replies with durable write acks that wait for a later group-commit
+//! fence, responses can arrive out of order. The client buffers
+//! stragglers and hands each response to whoever asked for its id, so
+//! the blocking convenience calls ([`Client::get`], [`Client::put`], …)
+//! and the pipelined calls ([`Client::send_put`] + [`Client::recv_for`])
+//! compose on one connection.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use kvserver::proto::{decode_response, encode_request, read_frame, write_frame};
+pub use kvserver::proto::{ModeArg, Request, Response, StatsFormat};
+
+/// Outcome of a single write attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// Acked. For a durable write the ack implies the commit fence has
+    /// run; for a delete, `existed` says whether the key was present.
+    Done { existed: bool },
+    /// The write's commit lane was full; resubmit after backoff.
+    Retry,
+}
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_owned())
+}
+
+/// A blocking, pipelining-capable connection to a kvserver.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    /// Responses read while waiting for a different `req_id`.
+    stashed: HashMap<u64, Response>,
+}
+
+impl Client {
+    /// Connects and disables Nagle (the protocol is already batched).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            stashed: HashMap::new(),
+        })
+    }
+
+    /// Read timeout for responses (`None` blocks forever). Lets tests
+    /// assert that an ack is *withheld*.
+    pub fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(dur)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends a request without waiting for its response (pipelining).
+    /// Returns the assigned `req_id`; pair with [`Client::recv_for`].
+    pub fn send(&mut self, mut req: Request) -> io::Result<u64> {
+        let id = self.fresh_id();
+        set_req_id(&mut req, id);
+        write_frame(&mut self.writer, &encode_request(&req))?;
+        Ok(id)
+    }
+
+    /// Flushes buffered outgoing frames to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Reads the next response off the wire, whatever its id.
+    fn recv_any(&mut self) -> io::Result<Response> {
+        self.flush()?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        decode_response(&payload).map_err(|e| bad_data(e.0))
+    }
+
+    /// Blocks until the response for `req_id` arrives, stashing any
+    /// other responses read along the way.
+    pub fn recv_for(&mut self, req_id: u64) -> io::Result<Response> {
+        if let Some(resp) = self.stashed.remove(&req_id) {
+            return Ok(resp);
+        }
+        loop {
+            let resp = self.recv_any()?;
+            if resp.req_id() == req_id {
+                return Ok(resp);
+            }
+            self.stashed.insert(resp.req_id(), resp);
+        }
+    }
+
+    /// Pipelined PUT: sends without waiting. Non-durable puts are acked
+    /// at enqueue; durable puts only after their batch's fence.
+    pub fn send_put(&mut self, key: u64, value: &[u8], durable: bool) -> io::Result<u64> {
+        self.send(Request::Put {
+            req_id: 0,
+            key,
+            value: value.to_vec(),
+            durable,
+        })
+    }
+
+    /// Blocking PUT.
+    pub fn put(&mut self, key: u64, value: &[u8], durable: bool) -> io::Result<WriteOutcome> {
+        let id = self.send_put(key, value, durable)?;
+        self.write_outcome(id)
+    }
+
+    /// Blocking PUT that resubmits on RETRY until accepted.
+    pub fn put_retrying(&mut self, key: u64, value: &[u8], durable: bool) -> io::Result<u64> {
+        let mut retries = 0u64;
+        loop {
+            match self.put(key, value, durable)? {
+                WriteOutcome::Done { .. } => return Ok(retries),
+                WriteOutcome::Retry => {
+                    retries += 1;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Blocking DELETE; `Done { existed }` reports whether the key was
+    /// present.
+    pub fn delete(&mut self, key: u64) -> io::Result<WriteOutcome> {
+        let id = self.send(Request::Delete {
+            req_id: 0,
+            key,
+            durable: true,
+        })?;
+        self.write_outcome(id)
+    }
+
+    fn write_outcome(&mut self, id: u64) -> io::Result<WriteOutcome> {
+        match self.recv_for(id)? {
+            Response::Ok { .. } | Response::Deleted { .. } => {
+                Ok(WriteOutcome::Done { existed: true })
+            }
+            Response::NotFound { .. } => Ok(WriteOutcome::Done { existed: false }),
+            Response::Retry { .. } => Ok(WriteOutcome::Retry),
+            Response::Err { message, .. } => Err(io::Error::other(message)),
+            other => Err(bad_data(unexpected(&other))),
+        }
+    }
+
+    /// Blocking GET.
+    pub fn get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        let id = self.send(Request::Get { req_id: 0, key })?;
+        match self.recv_for(id)? {
+            Response::Value { value, .. } => Ok(Some(value)),
+            Response::NotFound { .. } => Ok(None),
+            Response::Err { message, .. } => Err(io::Error::other(message)),
+            other => Err(bad_data(unexpected(&other))),
+        }
+    }
+
+    /// SYNC barrier: returns once every commit lane has fenced all
+    /// writes submitted before this call on this connection.
+    pub fn sync(&mut self) -> io::Result<()> {
+        let id = self.send(Request::Sync { req_id: 0 })?;
+        match self.recv_for(id)? {
+            Response::Ok { .. } => Ok(()),
+            Response::Err { message, .. } => Err(io::Error::other(message)),
+            other => Err(bad_data(unexpected(&other))),
+        }
+    }
+
+    /// Fetches the observability snapshot as JSON or Prometheus text.
+    pub fn stats(&mut self, format: StatsFormat) -> io::Result<String> {
+        let id = self.send(Request::Stats { req_id: 0, format })?;
+        match self.recv_for(id)? {
+            Response::Stats { text, .. } => Ok(text),
+            Response::Err { message, .. } => Err(io::Error::other(message)),
+            other => Err(bad_data(unexpected(&other))),
+        }
+    }
+
+    /// Switches (or with [`ModeArg::Query`], reads) the store mode.
+    /// Returns whether the store is now in Write-Intensive Mode.
+    pub fn mode(&mut self, arg: ModeArg) -> io::Result<bool> {
+        let id = self.send(Request::Mode { req_id: 0, arg })?;
+        match self.recv_for(id)? {
+            Response::Mode {
+                write_intensive, ..
+            } => Ok(write_intensive),
+            Response::Err { message, .. } => Err(io::Error::other(message)),
+            other => Err(bad_data(unexpected(&other))),
+        }
+    }
+}
+
+fn set_req_id(req: &mut Request, id: u64) {
+    match req {
+        Request::Get { req_id, .. }
+        | Request::Put { req_id, .. }
+        | Request::Delete { req_id, .. }
+        | Request::Sync { req_id }
+        | Request::Stats { req_id, .. }
+        | Request::Mode { req_id, .. } => *req_id = id,
+    }
+}
+
+fn unexpected(resp: &Response) -> &'static str {
+    match resp {
+        Response::Ok { .. } => "unexpected OK",
+        Response::Value { .. } => "unexpected VALUE",
+        Response::NotFound { .. } => "unexpected NOT_FOUND",
+        Response::Deleted { .. } => "unexpected DELETED",
+        Response::Stats { .. } => "unexpected STATS",
+        Response::Mode { .. } => "unexpected MODE",
+        Response::Retry { .. } => "unexpected RETRY",
+        Response::Err { .. } => "unexpected ERR",
+    }
+}

@@ -207,7 +207,7 @@ impl StorageLog {
     }
 
     /// Bytes superseded by overwrites/deletes (GC is future work; see
-    /// DESIGN.md §5).
+    /// DESIGN.md §6).
     pub fn dead_bytes(&self) -> u64 {
         self.dead_bytes.load(Ordering::Relaxed)
     }

@@ -1,0 +1,659 @@
+//! The server engine: acceptor, per-connection reader/writer threads,
+//! bounded per-shard submission lanes, and group-commit committers.
+//!
+//! # Threading model
+//!
+//! ```text
+//! acceptor ──spawns──▶ conn reader ──try_send──▶ lane queue ──▶ committer
+//!                       │    ▲                                   │
+//!                       │    └── GET/STATS/MODE served inline    │
+//!                       ▼                                        │
+//!                  conn writer ◀───────── acks after fence ──────┘
+//! ```
+//!
+//! * One **reader thread per connection** decodes frames. GETs run inline
+//!   on the lock-free read path; STATS/MODE are served inline too. Writes
+//!   are routed by key shard to one of `lanes` bounded queues — a full
+//!   queue answers `RETRY` instead of blocking the reader (backpressure).
+//! * One **writer thread per connection** drains a response channel, so
+//!   inline replies and later durable acks interleave freely; the client
+//!   matches them by `req_id`.
+//! * One **committer thread per lane** owns a `ThreadCtx` (and therefore
+//!   a log writer). It drains its queue into a batch of at most
+//!   `max_batch` ops, holding the batch open at most `max_hold`, appends
+//!   the whole batch through [`ChameleonDb::apply_batch`] — one persist
+//!   fence at the tail — and only then releases the durable acks. With
+//!   `max_batch == 1` this degenerates to fence-per-op (the baseline the
+//!   bench compares against).
+//!
+//! # Durability contract
+//!
+//! A durable write's ack is sent strictly after `apply_batch` returns,
+//! which is strictly after the fence covering its log entry. If the
+//! device crashes at that fence, `apply_batch` never returns and the acks
+//! are structurally unreachable — there is no code path that acks first.
+//! SYNC is a barrier across *all* lanes: it is acked once every lane has
+//! fenced everything submitted before it.
+
+use std::io::{self, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use chameleon_obs::ServerObs;
+use chameleondb::{BatchOp, ChameleonDb, Mode};
+use kvapi::KvStore;
+use parking_lot::Mutex;
+use pmem_sim::{CostModel, PmemDevice, ThreadCtx};
+
+use crate::proto::{
+    decode_request, encode_response, read_frame, write_frame, ModeArg, Request, Response,
+    StatsFormat,
+};
+
+/// Tuning knobs for the service layer.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Commit lanes (committer threads); writes are routed by key shard.
+    pub lanes: usize,
+    /// Bounded capacity of each lane's submission queue; a full lane
+    /// answers RETRY.
+    pub queue_cap: usize,
+    /// Most write ops committed under one fence.
+    pub max_batch: usize,
+    /// Longest a committer holds a non-full batch open waiting for more
+    /// work (wall-clock; the simulated device has no wall time).
+    pub max_hold: Duration,
+    /// Cost model for the per-thread simulation contexts.
+    pub cost: Arc<CostModel>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            lanes: 4,
+            queue_cap: 1024,
+            max_batch: 64,
+            max_hold: Duration::from_micros(200),
+            cost: Arc::new(CostModel::default()),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Fence-per-op configuration: every write commits alone. The
+    /// baseline group commit is measured against.
+    pub fn batch_of_one() -> Self {
+        Self {
+            max_batch: 1,
+            max_hold: Duration::ZERO,
+            ..Self::default()
+        }
+    }
+}
+
+/// Countdown released once every lane has fenced past the barrier.
+struct SyncGate {
+    remaining: AtomicUsize,
+    req_id: u64,
+    resp: Mutex<Option<Sender<Response>>>,
+}
+
+impl SyncGate {
+    /// Counts one lane down; the last lane sends the ack (or `err`).
+    fn arrive(&self, err: Option<&str>) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(tx) = self.resp.lock().take() {
+                let _ = tx.send(match err {
+                    None => Response::Ok {
+                        req_id: self.req_id,
+                    },
+                    Some(m) => Response::Err {
+                        req_id: self.req_id,
+                        message: m.to_owned(),
+                    },
+                });
+            }
+        }
+    }
+}
+
+enum Submission {
+    Write {
+        op: BatchOp,
+        req_id: u64,
+        /// Ack after the fence (`true`) or already acked at enqueue.
+        durable: bool,
+        resp: Sender<Response>,
+    },
+    Barrier(Arc<SyncGate>),
+}
+
+struct Lane {
+    /// Taken (dropped) at shutdown so the committer sees disconnect after
+    /// draining the queue.
+    tx: Mutex<Option<SyncSender<Submission>>>,
+    /// Approximate queued submissions (sampled into the queue-depth
+    /// histogram at each batch drain).
+    depth: AtomicUsize,
+}
+
+struct Shared {
+    store: Arc<ChameleonDb>,
+    dev: Arc<PmemDevice>,
+    obs: Arc<ServerObs>,
+    lanes: Vec<Lane>,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+    /// Set by [`KvServer::abort`]: committers drop queued work unapplied.
+    discard: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    conn_seq: AtomicUsize,
+}
+
+/// A running TCP front-end over one [`ChameleonDb`].
+pub struct KvServer {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    committers: Vec<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl KvServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor and one committer per lane.
+    pub fn start(
+        addr: &str,
+        dev: Arc<PmemDevice>,
+        store: Arc<ChameleonDb>,
+        obs: Arc<ServerObs>,
+        cfg: ServerConfig,
+    ) -> io::Result<Self> {
+        assert!(cfg.lanes >= 1, "need at least one commit lane");
+        assert!(cfg.max_batch >= 1, "need at least batch-of-1");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let mut lanes = Vec::with_capacity(cfg.lanes);
+        let mut receivers = Vec::with_capacity(cfg.lanes);
+        for _ in 0..cfg.lanes {
+            let (tx, rx) = mpsc::sync_channel(cfg.queue_cap);
+            lanes.push(Lane {
+                tx: Mutex::new(Some(tx)),
+                depth: AtomicUsize::new(0),
+            });
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            store,
+            dev,
+            obs,
+            lanes,
+            cfg,
+            stop: AtomicBool::new(false),
+            discard: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            conn_handles: Mutex::new(Vec::new()),
+            conn_seq: AtomicUsize::new(0),
+        });
+
+        let committers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let sh = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("kvs-commit-{i}"))
+                    .spawn(move || committer_loop(&sh, i, rx))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let sh = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("kvs-accept".to_owned())
+                .spawn(move || acceptor_loop(&sh, listener))?
+        };
+
+        Ok(Self {
+            shared,
+            acceptor: Some(acceptor),
+            committers,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop accepting, shut down live connections,
+    /// drain every lane queue (committing what was accepted), then take a
+    /// final checkpoint. Returns an error listing any panicked threads.
+    pub fn shutdown(mut self) -> Result<(), String> {
+        let panics = self.stop_threads(false);
+        let mut ctx = ThreadCtx::for_thread(Arc::clone(&self.shared.cfg.cost), 0);
+        let ckpt = self.shared.store.checkpoint(&mut ctx);
+        match (panics.is_empty(), ckpt) {
+            (true, Ok(())) => Ok(()),
+            (true, Err(e)) => Err(format!("final checkpoint failed: {e:?}")),
+            (false, _) => Err(format!("server threads panicked: {panics:?}")),
+        }
+    }
+
+    /// Hard stop for crash tests: queued-but-uncommitted work is dropped
+    /// without touching the device, and no final checkpoint is taken.
+    pub fn abort(mut self) {
+        self.shared.discard.store(true, Ordering::SeqCst);
+        self.stop_threads(true);
+    }
+
+    fn stop_threads(&mut self, _aborting: bool) -> Vec<String> {
+        let sh = &self.shared;
+        sh.stop.store(true, Ordering::SeqCst);
+        let mut panics = Vec::new();
+        let join = |h: JoinHandle<()>, what: &str, panics: &mut Vec<String>| {
+            if h.join().is_err() {
+                panics.push(what.to_owned());
+            }
+        };
+        if let Some(h) = self.acceptor.take() {
+            join(h, "acceptor", &mut panics);
+        }
+        // Unblock readers; their writer threads exit once every pending
+        // submission holding a response sender has been resolved.
+        for conn in sh.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for h in sh.conn_handles.lock().drain(..) {
+            join(h, "connection", &mut panics);
+        }
+        for lane in &sh.lanes {
+            drop(lane.tx.lock().take());
+        }
+        for (i, h) in self.committers.drain(..).enumerate() {
+            join(h, &format!("committer {i}"), &mut panics);
+        }
+        panics
+    }
+}
+
+fn acceptor_loop(sh: &Arc<Shared>, listener: TcpListener) {
+    while !sh.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(false);
+                if let Ok(clone) = stream.try_clone() {
+                    sh.conns.lock().push(clone);
+                }
+                let conn_id = sh.conn_seq.fetch_add(1, Ordering::Relaxed);
+                let sh2 = Arc::clone(sh);
+                let spawned = thread::Builder::new()
+                    .name(format!("kvs-conn-{conn_id}"))
+                    .spawn(move || connection_loop(&sh2, stream, conn_id));
+                match spawned {
+                    Ok(h) => sh.conn_handles.lock().push(h),
+                    Err(_) => continue,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn connection_loop(sh: &Arc<Shared>, stream: TcpStream, conn_id: usize) {
+    let obs = &sh.obs;
+    ServerObs::bump(&obs.connections);
+    // Committers own thread ids 0..lanes (one log writer each);
+    // connection readers get ids above that range.
+    let mut ctx = ThreadCtx::for_thread(Arc::clone(&sh.cfg.cost), sh.cfg.lanes + conn_id);
+    let (resp_tx, resp_rx) = mpsc::channel::<Response>();
+    let writer = match stream.try_clone() {
+        Ok(ws) => thread::Builder::new()
+            .name(format!("kvs-send-{conn_id}"))
+            .spawn(move || response_writer_loop(ws, resp_rx)),
+        Err(_) => {
+            ServerObs::bump(&obs.disconnects);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    serve_requests(sh, &mut ctx, &mut reader, &resp_tx);
+    ServerObs::bump(&obs.disconnects);
+    drop(resp_tx);
+    if let Ok(h) = writer {
+        let _ = h.join();
+    }
+    // The acceptor tracks a clone of every stream (for shutdown), so
+    // dropping ours would leave the TCP connection established; shut it
+    // down explicitly — after the writer has flushed any final error —
+    // so the peer sees EOF.
+    let _ = reader.get_ref().shutdown(Shutdown::Both);
+}
+
+fn serve_requests(
+    sh: &Arc<Shared>,
+    ctx: &mut ThreadCtx,
+    reader: &mut impl Read,
+    resp_tx: &Sender<Response>,
+) {
+    let obs = &sh.obs;
+    let mut valbuf = Vec::new();
+    loop {
+        let payload = match read_frame(reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e) => {
+                if e.kind() == ErrorKind::InvalidData {
+                    ServerObs::bump(&obs.protocol_errors);
+                }
+                return;
+            }
+        };
+        let req = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                ServerObs::bump(&obs.protocol_errors);
+                let _ = resp_tx.send(Response::Err {
+                    req_id: 0,
+                    message: e.to_string(),
+                });
+                return;
+            }
+        };
+        ServerObs::bump(&obs.requests);
+        match req {
+            Request::Get { req_id, key } => {
+                ServerObs::bump(&obs.gets);
+                valbuf.clear();
+                let resp = match sh.store.get(ctx, key, &mut valbuf) {
+                    Ok(true) => Response::Value {
+                        req_id,
+                        value: valbuf.clone(),
+                    },
+                    Ok(false) => Response::NotFound { req_id },
+                    Err(e) => Response::Err {
+                        req_id,
+                        message: format!("{e:?}"),
+                    },
+                };
+                let _ = resp_tx.send(resp);
+            }
+            Request::Put {
+                req_id,
+                key,
+                value,
+                durable,
+            } => {
+                ServerObs::bump(&obs.puts);
+                submit_write(
+                    sh,
+                    BatchOp::Put { key, value },
+                    key,
+                    req_id,
+                    durable,
+                    resp_tx,
+                );
+            }
+            Request::Delete { req_id, key, .. } => {
+                ServerObs::bump(&obs.deletes);
+                // Deletes are always acked post-commit: the outcome
+                // (existed or not) is only known once the batch applies.
+                submit_write(sh, BatchOp::Delete { key }, key, req_id, true, resp_tx);
+            }
+            Request::Sync { req_id } => {
+                ServerObs::bump(&obs.syncs);
+                submit_barrier(sh, req_id, resp_tx);
+            }
+            Request::Stats { req_id, format } => {
+                ServerObs::bump(&obs.stats_reqs);
+                let snap = sh
+                    .store
+                    .obs_snapshot_with(ctx.clock.now(), vec![obs.section()]);
+                let text = match format {
+                    StatsFormat::Json => snap.to_pretty_json(),
+                    StatsFormat::Prometheus => snap.to_prometheus(),
+                };
+                let _ = resp_tx.send(Response::Stats { req_id, text });
+            }
+            Request::Mode { req_id, arg } => {
+                ServerObs::bump(&obs.mode_reqs);
+                match arg {
+                    ModeArg::Normal => sh.store.set_mode(Mode::Normal),
+                    ModeArg::WriteIntensive => sh.store.set_mode(Mode::WriteIntensive),
+                    ModeArg::Query => {}
+                }
+                let _ = resp_tx.send(Response::Mode {
+                    req_id,
+                    write_intensive: sh.store.mode() == Mode::WriteIntensive,
+                });
+            }
+        }
+    }
+}
+
+/// Routes one write to its lane. Non-durable writes are acked here, at
+/// enqueue; durable ones are acked by the committer after the fence.
+fn submit_write(
+    sh: &Arc<Shared>,
+    op: BatchOp,
+    key: u64,
+    req_id: u64,
+    durable: bool,
+    resp_tx: &Sender<Response>,
+) {
+    let lane = &sh.lanes[sh.store.shard_of_key(key) % sh.cfg.lanes];
+    let sub = Submission::Write {
+        op,
+        req_id,
+        durable,
+        resp: resp_tx.clone(),
+    };
+    // Count before sending so the committer's decrement (which follows
+    // its recv, which follows this send) can never underflow.
+    lane.depth.fetch_add(1, Ordering::Relaxed);
+    let sent = match &*lane.tx.lock() {
+        Some(tx) => tx.try_send(sub),
+        None => Err(TrySendError::Disconnected(sub)),
+    };
+    match sent {
+        Ok(()) => {
+            if !durable {
+                ServerObs::bump(&sh.obs.early_acks);
+                let _ = resp_tx.send(Response::Ok { req_id });
+            }
+        }
+        Err(TrySendError::Full(_)) => {
+            lane.depth.fetch_sub(1, Ordering::Relaxed);
+            ServerObs::bump(&sh.obs.retries);
+            let _ = resp_tx.send(Response::Retry { req_id });
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            lane.depth.fetch_sub(1, Ordering::Relaxed);
+            let _ = resp_tx.send(Response::Err {
+                req_id,
+                message: "server shutting down".to_owned(),
+            });
+        }
+    }
+}
+
+/// Posts a SYNC barrier to every lane; the last lane to fence past it
+/// sends the ack.
+fn submit_barrier(sh: &Arc<Shared>, req_id: u64, resp_tx: &Sender<Response>) {
+    let gate = Arc::new(SyncGate {
+        remaining: AtomicUsize::new(sh.cfg.lanes),
+        req_id,
+        resp: Mutex::new(Some(resp_tx.clone())),
+    });
+    for lane in &sh.lanes {
+        lane.depth.fetch_add(1, Ordering::Relaxed);
+        // Blocking send: a barrier must not be dropped for backpressure,
+        // and the committer is always draining, so this cannot wedge.
+        let sent = match lane.tx.lock().as_ref() {
+            Some(tx) => tx.send(Submission::Barrier(Arc::clone(&gate))).is_ok(),
+            None => false,
+        };
+        if !sent {
+            lane.depth.fetch_sub(1, Ordering::Relaxed);
+            gate.arrive(Some("server shutting down"));
+        }
+    }
+}
+
+fn response_writer_loop(stream: TcpStream, rx: Receiver<Response>) {
+    let mut w = BufWriter::new(stream);
+    while let Ok(resp) = rx.recv() {
+        if write_frame(&mut w, &encode_response(&resp)).is_err() {
+            return;
+        }
+        // Opportunistically coalesce whatever else is queued into one
+        // flush.
+        while let Ok(more) = rx.try_recv() {
+            if write_frame(&mut w, &encode_response(&more)).is_err() {
+                return;
+            }
+        }
+        if w.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn committer_loop(sh: &Arc<Shared>, lane_idx: usize, rx: Receiver<Submission>) {
+    let mut ctx = ThreadCtx::for_thread(Arc::clone(&sh.cfg.cost), lane_idx);
+    let lane = &sh.lanes[lane_idx];
+    loop {
+        // Block until there is work; disconnect after drain means
+        // shutdown.
+        let first = match rx.recv() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        lane.depth.fetch_sub(1, Ordering::Relaxed);
+        let mut batch = vec![first];
+        if sh.cfg.max_batch > 1 {
+            let deadline = Instant::now() + sh.cfg.max_hold;
+            while batch.len() < sh.cfg.max_batch {
+                let left = deadline.saturating_duration_since(Instant::now());
+                let next = if left.is_zero() {
+                    match rx.try_recv() {
+                        Ok(s) => s,
+                        Err(_) => break,
+                    }
+                } else {
+                    match rx.recv_timeout(left) {
+                        Ok(s) => s,
+                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                            break
+                        }
+                    }
+                };
+                lane.depth.fetch_sub(1, Ordering::Relaxed);
+                batch.push(next);
+            }
+        }
+        if sh.discard.load(Ordering::SeqCst) {
+            // Aborting: drop the batch unapplied and unacked (response
+            // senders just disconnect). Keep draining so senders never
+            // block.
+            continue;
+        }
+        commit_batch(sh, &mut ctx, lane, batch);
+    }
+}
+
+fn commit_batch(sh: &Arc<Shared>, ctx: &mut ThreadCtx, lane: &Lane, batch: Vec<Submission>) {
+    let queue_depth = lane.depth.load(Ordering::Relaxed) as u64;
+    let mut ops = Vec::with_capacity(batch.len());
+    let mut writes = Vec::with_capacity(batch.len());
+    let mut barriers = Vec::new();
+    for sub in batch {
+        match sub {
+            Submission::Write {
+                op,
+                req_id,
+                durable,
+                resp,
+            } => {
+                ops.push(op);
+                writes.push((req_id, durable, resp));
+            }
+            Submission::Barrier(gate) => barriers.push(gate),
+        }
+    }
+
+    if ops.is_empty() {
+        // Barrier-only batch: everything previously committed on this
+        // lane is already fenced, but flush the writer anyway so a
+        // barrier is a fence even across future refactors.
+        let err = sh.store.sync_writer(ctx).err().map(|e| format!("{e:?}"));
+        for gate in barriers {
+            gate.arrive(err.as_deref());
+        }
+        return;
+    }
+
+    let durable_acks = writes.iter().filter(|(_, durable, _)| *durable).count() as u64;
+    let span = sh.obs.batch_start(ctx.clock.now(), sh.dev.stats());
+    match sh.store.apply_batch(ctx, &ops) {
+        Ok(outcomes) => {
+            sh.obs.batch_end(
+                span,
+                ctx.clock.now(),
+                sh.dev.stats(),
+                ops.len() as u64,
+                durable_acks,
+                queue_depth,
+            );
+            // Acks strictly after the batch's fence (`apply_batch` has
+            // returned): an injected crash at that fence unwinds above
+            // and never reaches this loop.
+            for ((req_id, durable, resp), (op, existed)) in
+                writes.iter().zip(ops.iter().zip(outcomes))
+            {
+                if !*durable {
+                    continue;
+                }
+                let r = match op {
+                    BatchOp::Put { .. } => Response::Ok { req_id: *req_id },
+                    BatchOp::Delete { .. } => {
+                        if existed {
+                            Response::Deleted { req_id: *req_id }
+                        } else {
+                            Response::NotFound { req_id: *req_id }
+                        }
+                    }
+                };
+                let _ = resp.send(r);
+            }
+            for gate in barriers {
+                gate.arrive(None);
+            }
+        }
+        Err(e) => {
+            let msg = format!("{e:?}");
+            for (req_id, durable, resp) in writes {
+                if durable {
+                    let _ = resp.send(Response::Err {
+                        req_id,
+                        message: msg.clone(),
+                    });
+                }
+            }
+            for gate in barriers {
+                gate.arrive(Some(&msg));
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! kvserver: a concurrent TCP service layer over [`chameleondb`] with
+//! group-commit durability.
+//!
+//! Three pieces (DESIGN.md §5):
+//!
+//! * [`proto`] — the length-prefixed binary wire protocol: pipelined
+//!   requests matched to streamed responses by `req_id`.
+//! * [`KvServer`] — acceptor + per-connection reader/writer threads over
+//!   bounded per-shard submission lanes.
+//! * The **group-commit engine** — one committer per lane drains its
+//!   queue into batches, appends each batch through
+//!   [`chameleondb::ChameleonDb::apply_batch`] under a single persist
+//!   fence, and releases durable acks only after that fence. On the
+//!   simulated Optane device this amortizes both the fence and the
+//!   256-byte-block read-modify-write cost across the batch.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use chameleon_obs::ServerObs;
+//! use chameleondb::{ChameleonConfig, ChameleonDb};
+//! use kvserver::{KvServer, ServerConfig};
+//! use pmem_sim::PmemDevice;
+//!
+//! let dev = PmemDevice::optane(256 << 20);
+//! let store = Arc::new(
+//!     ChameleonDb::create(Arc::clone(&dev), ChameleonConfig::tiny()).unwrap(),
+//! );
+//! let server = KvServer::start(
+//!     "127.0.0.1:0",
+//!     dev,
+//!     store,
+//!     Arc::new(ServerObs::new()),
+//!     ServerConfig::default(),
+//! )
+//! .unwrap();
+//! let addr = server.local_addr();
+//! // ... connect clients to `addr` ...
+//! server.shutdown().unwrap();
+//! ```
+
+mod engine;
+pub mod proto;
+
+pub use engine::{KvServer, ServerConfig};

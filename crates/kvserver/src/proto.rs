@@ -1,0 +1,623 @@
+//! Wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload. Requests and responses carry a client-chosen `req_id` so a
+//! pipelining client can match out-of-order completions: inline GET
+//! replies may interleave with durable write acks that wait for a later
+//! group-commit fence.
+//!
+//! ```text
+//! frame    := len:u32 payload[len]
+//! request  := opcode:u8 req_id:u64 body
+//!   GET    (0x01) := key:u64
+//!   PUT    (0x02) := flags:u8 key:u64 vlen:u32 value[vlen]
+//!   DELETE (0x03) := flags:u8 key:u64
+//!   SYNC   (0x04) :=
+//!   STATS  (0x05) := fmt:u8            (0 = JSON, 1 = Prometheus)
+//!   MODE   (0x06) := mode:u8           (0 = Normal, 1 = WriteIntensive,
+//!                                       0xFF = query current mode)
+//! response := status:u8 req_id:u64 body
+//!   OK        (0x00) :=
+//!   VALUE     (0x01) := vlen:u32 value[vlen]
+//!   NOT_FOUND (0x02) :=
+//!   DELETED   (0x03) :=
+//!   STATS     (0x04) := len:u32 text[len]
+//!   MODE      (0x05) := mode:u8
+//!   RETRY     (0x06) :=                 (lane queue full; resubmit)
+//!   ERR       (0x07) := len:u32 utf8[len]
+//! ```
+//!
+//! `flags` bit 0 on PUT/DELETE marks the write *durable*: its ack is
+//! withheld until the group-commit fence that persists it. All other flag
+//! bits must be zero.
+//!
+//! Decoding is strict: unknown opcodes, oversized lengths, short or
+//! trailing bytes all yield [`ProtoError`] — the server closes the
+//! connection rather than guess at framing. Decoders never panic on
+//! arbitrary bytes (see `tests/proto_props.rs`).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Largest accepted value, in bytes.
+pub const MAX_VALUE: usize = 1 << 20;
+/// Largest accepted frame payload (a PUT of a maximal value, with slack
+/// for the header; also bounds STATS/ERR text).
+pub const MAX_FRAME: usize = MAX_VALUE + 64;
+
+/// PUT/DELETE flag bit: withhold the ack until the write is fenced.
+pub const FLAG_DURABLE: u8 = 0x01;
+
+/// A malformed or oversized frame. Fatal to the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub &'static str);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// STATS output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    Json,
+    Prometheus,
+}
+
+/// MODE argument: switch the store's mode or query it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeArg {
+    Normal,
+    WriteIntensive,
+    Query,
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Get {
+        req_id: u64,
+        key: u64,
+    },
+    Put {
+        req_id: u64,
+        key: u64,
+        value: Vec<u8>,
+        durable: bool,
+    },
+    Delete {
+        req_id: u64,
+        key: u64,
+        durable: bool,
+    },
+    Sync {
+        req_id: u64,
+    },
+    Stats {
+        req_id: u64,
+        format: StatsFormat,
+    },
+    Mode {
+        req_id: u64,
+        arg: ModeArg,
+    },
+}
+
+impl Request {
+    pub fn req_id(&self) -> u64 {
+        match *self {
+            Request::Get { req_id, .. }
+            | Request::Put { req_id, .. }
+            | Request::Delete { req_id, .. }
+            | Request::Sync { req_id }
+            | Request::Stats { req_id, .. }
+            | Request::Mode { req_id, .. } => req_id,
+        }
+    }
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    Ok { req_id: u64 },
+    Value { req_id: u64, value: Vec<u8> },
+    NotFound { req_id: u64 },
+    Deleted { req_id: u64 },
+    Stats { req_id: u64, text: String },
+    Mode { req_id: u64, write_intensive: bool },
+    Retry { req_id: u64 },
+    Err { req_id: u64, message: String },
+}
+
+impl Response {
+    pub fn req_id(&self) -> u64 {
+        match *self {
+            Response::Ok { req_id }
+            | Response::Value { req_id, .. }
+            | Response::NotFound { req_id }
+            | Response::Deleted { req_id }
+            | Response::Stats { req_id, .. }
+            | Response::Mode { req_id, .. }
+            | Response::Retry { req_id }
+            | Response::Err { req_id, .. } => req_id,
+        }
+    }
+}
+
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_DELETE: u8 = 0x03;
+const OP_SYNC: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
+const OP_MODE: u8 = 0x06;
+
+const ST_OK: u8 = 0x00;
+const ST_VALUE: u8 = 0x01;
+const ST_NOT_FOUND: u8 = 0x02;
+const ST_DELETED: u8 = 0x03;
+const ST_STATS: u8 = 0x04;
+const ST_MODE: u8 = 0x05;
+const ST_RETRY: u8 = 0x06;
+const ST_ERR: u8 = 0x07;
+
+/// Strict little-endian cursor over one frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(ProtoError("truncated frame"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let end = self
+            .pos
+            .checked_add(4)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtoError("truncated frame"))?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtoError("truncated frame"))?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(ProtoError("truncated frame"))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError("trailing bytes in frame"))
+        }
+    }
+}
+
+fn decode_flags(flags: u8) -> Result<bool, ProtoError> {
+    if flags & !FLAG_DURABLE != 0 {
+        return Err(ProtoError("reserved flag bits set"));
+    }
+    Ok(flags & FLAG_DURABLE != 0)
+}
+
+/// Decodes one request payload (the bytes after the length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let opcode = c.u8()?;
+    let req_id = c.u64()?;
+    let req = match opcode {
+        OP_GET => Request::Get {
+            req_id,
+            key: c.u64()?,
+        },
+        OP_PUT => {
+            let durable = decode_flags(c.u8()?)?;
+            let key = c.u64()?;
+            let vlen = c.u32()? as usize;
+            if vlen > MAX_VALUE {
+                return Err(ProtoError("value too large"));
+            }
+            let value = c.bytes(vlen)?.to_vec();
+            Request::Put {
+                req_id,
+                key,
+                value,
+                durable,
+            }
+        }
+        OP_DELETE => {
+            let durable = decode_flags(c.u8()?)?;
+            Request::Delete {
+                req_id,
+                key: c.u64()?,
+                durable,
+            }
+        }
+        OP_SYNC => Request::Sync { req_id },
+        OP_STATS => {
+            let format = match c.u8()? {
+                0 => StatsFormat::Json,
+                1 => StatsFormat::Prometheus,
+                _ => return Err(ProtoError("unknown stats format")),
+            };
+            Request::Stats { req_id, format }
+        }
+        OP_MODE => {
+            let arg = match c.u8()? {
+                0 => ModeArg::Normal,
+                1 => ModeArg::WriteIntensive,
+                0xFF => ModeArg::Query,
+                _ => return Err(ProtoError("unknown mode")),
+            };
+            Request::Mode { req_id, arg }
+        }
+        _ => return Err(ProtoError("unknown opcode")),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encodes one request payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match req {
+        Request::Get { req_id, key } => {
+            out.push(OP_GET);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        Request::Put {
+            req_id,
+            key,
+            value,
+            durable,
+        } => {
+            out.push(OP_PUT);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.push(if *durable { FLAG_DURABLE } else { 0 });
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
+        }
+        Request::Delete {
+            req_id,
+            key,
+            durable,
+        } => {
+            out.push(OP_DELETE);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.push(if *durable { FLAG_DURABLE } else { 0 });
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        Request::Sync { req_id } => {
+            out.push(OP_SYNC);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
+        Request::Stats { req_id, format } => {
+            out.push(OP_STATS);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.push(match format {
+                StatsFormat::Json => 0,
+                StatsFormat::Prometheus => 1,
+            });
+        }
+        Request::Mode { req_id, arg } => {
+            out.push(OP_MODE);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.push(match arg {
+                ModeArg::Normal => 0,
+                ModeArg::WriteIntensive => 1,
+                ModeArg::Query => 0xFF,
+            });
+        }
+    }
+    out
+}
+
+/// Decodes one response payload (the bytes after the length prefix).
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let status = c.u8()?;
+    let req_id = c.u64()?;
+    let resp = match status {
+        ST_OK => Response::Ok { req_id },
+        ST_VALUE => {
+            let vlen = c.u32()? as usize;
+            if vlen > MAX_VALUE {
+                return Err(ProtoError("value too large"));
+            }
+            Response::Value {
+                req_id,
+                value: c.bytes(vlen)?.to_vec(),
+            }
+        }
+        ST_NOT_FOUND => Response::NotFound { req_id },
+        ST_DELETED => Response::Deleted { req_id },
+        ST_STATS => {
+            let len = c.u32()? as usize;
+            if len > MAX_FRAME {
+                return Err(ProtoError("stats text too large"));
+            }
+            let text = std::str::from_utf8(c.bytes(len)?)
+                .map_err(|_| ProtoError("stats text not utf-8"))?
+                .to_owned();
+            Response::Stats { req_id, text }
+        }
+        ST_MODE => {
+            let write_intensive = match c.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(ProtoError("unknown mode")),
+            };
+            Response::Mode {
+                req_id,
+                write_intensive,
+            }
+        }
+        ST_RETRY => Response::Retry { req_id },
+        ST_ERR => {
+            let len = c.u32()? as usize;
+            if len > MAX_FRAME {
+                return Err(ProtoError("error text too large"));
+            }
+            let message = std::str::from_utf8(c.bytes(len)?)
+                .map_err(|_| ProtoError("error text not utf-8"))?
+                .to_owned();
+            Response::Err { req_id, message }
+        }
+        _ => return Err(ProtoError("unknown status")),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+/// Encodes one response payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match resp {
+        Response::Ok { req_id } => {
+            out.push(ST_OK);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
+        Response::Value { req_id, value } => {
+            out.push(ST_VALUE);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
+        }
+        Response::NotFound { req_id } => {
+            out.push(ST_NOT_FOUND);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
+        Response::Deleted { req_id } => {
+            out.push(ST_DELETED);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
+        Response::Stats { req_id, text } => {
+            out.push(ST_STATS);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
+        Response::Mode {
+            req_id,
+            write_intensive,
+        } => {
+            out.push(ST_MODE);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.push(u8::from(*write_intensive));
+        }
+        Response::Retry { req_id } => {
+            out.push(ST_RETRY);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
+        Response::Err { req_id, message } => {
+            out.push(ST_ERR);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+            out.extend_from_slice(message.as_bytes());
+        }
+    }
+    out
+}
+
+/// Writes `payload` as one frame: length prefix, then the bytes.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame payload. Returns `Ok(None)` on clean EOF at a frame
+/// boundary; EOF mid-frame, or a length above [`MAX_FRAME`], is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_raw = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_raw[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_raw) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            ProtoError("frame too large"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip_all_variants() {
+        let reqs = vec![
+            Request::Get { req_id: 1, key: 42 },
+            Request::Put {
+                req_id: 2,
+                key: 7,
+                value: b"v".to_vec(),
+                durable: true,
+            },
+            Request::Put {
+                req_id: 3,
+                key: 8,
+                value: Vec::new(),
+                durable: false,
+            },
+            Request::Delete {
+                req_id: 4,
+                key: 9,
+                durable: true,
+            },
+            Request::Sync { req_id: 5 },
+            Request::Stats {
+                req_id: 6,
+                format: StatsFormat::Prometheus,
+            },
+            Request::Mode {
+                req_id: 7,
+                arg: ModeArg::Query,
+            },
+        ];
+        for req in reqs {
+            let wire = encode_request(&req);
+            assert_eq!(decode_request(&wire).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trip_all_variants() {
+        let resps = vec![
+            Response::Ok { req_id: 1 },
+            Response::Value {
+                req_id: 2,
+                value: vec![0; 300],
+            },
+            Response::NotFound { req_id: 3 },
+            Response::Deleted { req_id: 4 },
+            Response::Stats {
+                req_id: 5,
+                text: "chameleon_x 1\n".to_owned(),
+            },
+            Response::Mode {
+                req_id: 6,
+                write_intensive: true,
+            },
+            Response::Retry { req_id: 7 },
+            Response::Err {
+                req_id: 8,
+                message: "boom".to_owned(),
+            },
+        ];
+        for resp in resps {
+            let wire = encode_response(&resp);
+            assert_eq!(decode_response(&wire).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_errors() {
+        let wire = encode_request(&Request::Put {
+            req_id: 1,
+            key: 2,
+            value: b"abc".to_vec(),
+            durable: false,
+        });
+        for cut in 0..wire.len() {
+            assert!(decode_request(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut padded = wire.clone();
+        padded.push(0);
+        assert!(decode_request(&padded).is_err());
+    }
+
+    #[test]
+    fn oversized_value_is_rejected_without_allocation() {
+        let mut wire = vec![OP_PUT];
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.push(0);
+        wire.extend_from_slice(&2u64.to_le_bytes());
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(decode_request(&wire), Err(ProtoError("value too large")));
+    }
+
+    #[test]
+    fn reserved_flag_bits_are_rejected() {
+        let mut wire = vec![OP_DELETE];
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.push(0x02);
+        wire.extend_from_slice(&2u64.to_le_bytes());
+        assert!(decode_request(&wire).is_err());
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_detects_torn_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        // Torn mid-header and mid-payload.
+        let mut torn = &buf[..2];
+        assert!(read_frame(&mut torn).is_err());
+        let mut torn = &buf[..6];
+        assert!(read_frame(&mut torn).is_err());
+
+        // Oversized declared length.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

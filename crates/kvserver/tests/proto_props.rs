@@ -1,0 +1,190 @@
+//! Protocol framing properties: every request/response round-trips, and
+//! truncated, torn, or garbage frames error cleanly — decoders never
+//! panic and never mis-frame (a decode that succeeds must re-encode to
+//! the exact input bytes).
+
+use kvserver::proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ModeArg, Request, Response, StatsFormat, MAX_FRAME,
+};
+use proptest::prelude::*;
+
+/// Builds one request from unconstrained draws (the discriminant picks
+/// the variant; surplus fields are ignored).
+fn make_request(disc: u8, req_id: u64, key: u64, value: Vec<u8>, flag: bool) -> Request {
+    match disc % 6 {
+        0 => Request::Get { req_id, key },
+        1 => Request::Put {
+            req_id,
+            key,
+            value,
+            durable: flag,
+        },
+        2 => Request::Delete {
+            req_id,
+            key,
+            durable: flag,
+        },
+        3 => Request::Sync { req_id },
+        4 => Request::Stats {
+            req_id,
+            format: if flag {
+                StatsFormat::Prometheus
+            } else {
+                StatsFormat::Json
+            },
+        },
+        _ => Request::Mode {
+            req_id,
+            arg: match key % 3 {
+                0 => ModeArg::Normal,
+                1 => ModeArg::WriteIntensive,
+                _ => ModeArg::Query,
+            },
+        },
+    }
+}
+
+fn make_response(disc: u8, req_id: u64, value: Vec<u8>, flag: bool) -> Response {
+    let text = || String::from_utf8_lossy(&value).into_owned();
+    match disc % 8 {
+        0 => Response::Ok { req_id },
+        1 => Response::Value { req_id, value },
+        2 => Response::NotFound { req_id },
+        3 => Response::Deleted { req_id },
+        4 => Response::Stats {
+            req_id,
+            text: text(),
+        },
+        5 => Response::Mode {
+            req_id,
+            write_intensive: flag,
+        },
+        6 => Response::Retry { req_id },
+        _ => Response::Err {
+            req_id,
+            message: text(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity for every request variant.
+    #[test]
+    fn request_round_trips(
+        disc: u8,
+        req_id: u64,
+        key: u64,
+        value in proptest::collection::vec(0u8..255, 0..2048),
+        flag in proptest::bool::ANY,
+    ) {
+        let req = make_request(disc, req_id, key, value, flag);
+        let wire = encode_request(&req);
+        prop_assert_eq!(decode_request(&wire), Ok(req));
+    }
+
+    /// encode → decode is the identity for every response variant.
+    #[test]
+    fn response_round_trips(
+        disc: u8,
+        req_id: u64,
+        value in proptest::collection::vec(0u8..255, 0..2048),
+        flag in proptest::bool::ANY,
+    ) {
+        let resp = make_response(disc, req_id, value, flag);
+        let wire = encode_response(&resp);
+        prop_assert_eq!(decode_response(&wire), Ok(resp));
+    }
+
+    /// Every strict prefix of a valid frame is rejected, and appending
+    /// bytes to a valid frame is rejected — framing is exact.
+    #[test]
+    fn truncated_and_padded_requests_error(
+        disc: u8,
+        req_id: u64,
+        key: u64,
+        value in proptest::collection::vec(0u8..255, 0..256),
+        flag in proptest::bool::ANY,
+        pad: u8,
+    ) {
+        let req = make_request(disc, req_id, key, value, flag);
+        let wire = encode_request(&req);
+        for cut in 0..wire.len() {
+            prop_assert!(decode_request(&wire[..cut]).is_err());
+        }
+        let mut padded = wire;
+        padded.push(pad);
+        prop_assert!(decode_request(&padded).is_err());
+    }
+
+    /// Arbitrary bytes never panic a decoder; a lucky decode must
+    /// re-encode to exactly the input (no mis-framing).
+    #[test]
+    fn garbage_never_panics_or_misframes(
+        bytes in proptest::collection::vec(0u8..255, 0..512),
+    ) {
+        if let Ok(req) = decode_request(&bytes) {
+            prop_assert_eq!(encode_request(&req), bytes.clone());
+        }
+        if let Ok(resp) = decode_response(&bytes) {
+            prop_assert_eq!(encode_response(&resp), bytes);
+        }
+    }
+
+    /// Frame I/O: a stream of frames reads back exactly, a torn tail is
+    /// an error (never a short frame), and EOF at a boundary is clean.
+    #[test]
+    fn frame_stream_round_trips_and_torn_tails_error(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u8..255, 0..128), 0..8),
+        cut_seed: u64,
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        let mut r = &stream[..];
+        for p in &payloads {
+            prop_assert_eq!(read_frame(&mut r).unwrap(), Some(p.clone()));
+        }
+        prop_assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        if !stream.is_empty() {
+            // Cut anywhere that is not a frame boundary: the reader must
+            // error, not hand back a short frame.
+            let cut = (cut_seed as usize) % stream.len();
+            let mut torn = &stream[..cut];
+            let mut boundary = 0usize;
+            let mut boundaries = vec![0usize];
+            for p in &payloads {
+                boundary += 4 + p.len();
+                boundaries.push(boundary);
+            }
+            if !boundaries.contains(&cut) {
+                let mut n = 0;
+                loop {
+                    match read_frame(&mut torn) {
+                        Ok(Some(_)) => n += 1,
+                        Ok(None) => {
+                            prop_assert!(false, "clean EOF at torn cut {cut}");
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                    prop_assert!(n <= payloads.len());
+                }
+            }
+        }
+    }
+
+    /// Declared lengths above MAX_FRAME are refused before allocation.
+    #[test]
+    fn oversized_frame_lengths_are_refused(extra in 1u64..(1 << 20)) {
+        let len = (MAX_FRAME as u64 + extra) as u32;
+        let header = len.to_le_bytes();
+        let mut r = &header[..];
+        prop_assert!(read_frame(&mut r).is_err());
+    }
+}
