@@ -53,6 +53,46 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable with `parking_lot`'s in-place-guard API
+/// (`wait` takes `&mut MutexGuard` instead of consuming and returning
+/// the guard the way `std::sync::Condvar::wait` does).
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically releases the guarded mutex and waits for a
+    /// notification; the lock is re-held when this returns. Spurious
+    /// wakeups are possible, exactly as with `std` and `parking_lot` —
+    /// callers must re-check their predicate in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait consumes the guard and hands back a fresh one;
+        // bridge that to parking_lot's `&mut` shape by moving the guard
+        // out and back through raw pointers. `std::sync::Condvar::wait`
+        // does not unwind (the poison case is mapped below), so exactly
+        // one live guard exists at every exit from this block.
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let reacquired = self.0.wait(owned).unwrap_or_else(PoisonError::into_inner);
+            std::ptr::write(guard, reacquired);
+        }
+    }
+}
+
 /// A reader-writer lock with `parking_lot`'s panic-free API.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);

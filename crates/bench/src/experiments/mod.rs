@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure.
 
 pub mod ablate;
+pub mod bg_maint;
 pub mod crash;
 pub mod fig01;
 pub mod fig02;

@@ -4,7 +4,7 @@
 //! [--out DIR | --no-out] [--quick] [--obs-json PATH] [--progress]`
 //!
 //! Experiments: `fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//! table4 ablate-abi ablate-loadfactor ablate-ratio obs crash serve
+//! table4 ablate-abi ablate-loadfactor ablate-ratio obs bg-maint crash serve
 //! serve-bench all`.
 //! `table2`/`table3` are printed by `fig11`/`fig13`; `fig3` by `table4`.
 //! `obs` exercises the observability layer and honors `--obs-json` /
@@ -78,6 +78,9 @@ fn main() {
         }
         "obs" => {
             exp::obs::run(&opts);
+        }
+        "bg-maint" => {
+            exp::bg_maint::run(&opts);
         }
         "crash" => {
             exp::crash::run(&opts);

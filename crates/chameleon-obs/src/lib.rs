@@ -141,6 +141,10 @@ pub struct Obs {
     journal: Journal,
     stages: span::StageTable,
     op_hists: Vec<Mutex<OpHists>>,
+    /// Durations puts spent stalled on background-maintenance
+    /// backpressure (frozen-MemTable queue at capacity). Store-level, not
+    /// per-shard: stalls are rare by design, so one lock suffices.
+    stall_hist: Mutex<Histogram>,
     /// Stage currently inside an open span (0 = none, else index + 1).
     /// Spans never nest (flush/compaction entry points start theirs after
     /// any nested maintenance), so one slot suffices; fault-injection
@@ -161,6 +165,7 @@ impl Obs {
             journal: Journal::new(cap),
             stages: span::StageTable::new(),
             op_hists: (0..lanes).map(|_| Mutex::new(OpHists::default())).collect(),
+            stall_hist: Mutex::new(Histogram::default()),
             active_stage: std::sync::atomic::AtomicU8::new(0),
         }
     }
@@ -262,6 +267,21 @@ impl Obs {
             return;
         };
         lane.lock().hist_mut(op).record(latency_ns);
+    }
+
+    /// Records one write-stall duration (a put that waited for the
+    /// background-maintenance pipeline to retire a frozen MemTable).
+    #[inline]
+    pub fn record_stall(&self, stalled_ns: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.stall_hist.lock().record(stalled_ns);
+    }
+
+    /// Copy of the write-stall duration histogram.
+    pub fn stall_rollup(&self) -> Histogram {
+        self.stall_hist.lock().clone()
     }
 
     /// Merges every shard's histograms into one store-level [`OpHists`].

@@ -76,9 +76,9 @@ pub struct ObsSnapshot {
     pub events_dropped: u64,
 }
 
-fn op_summary(op: OpKind, h: &Histogram) -> OpSummary {
+fn op_summary(op: &'static str, h: &Histogram) -> OpSummary {
     OpSummary {
-        op: op.name(),
+        op,
         count: h.count(),
         mean_ns: h.mean(),
         p50_ns: h.quantile(0.50),
@@ -144,9 +144,12 @@ pub(crate) fn build(
 
     let roll = obs.op_rollup();
     let ops = vec![
-        op_summary(OpKind::Put, &roll.put),
-        op_summary(OpKind::Get, &roll.get),
-        op_summary(OpKind::Delete, &roll.delete),
+        op_summary(OpKind::Put.name(), &roll.put),
+        op_summary(OpKind::Get.name(), &roll.get),
+        op_summary(OpKind::Delete.name(), &roll.delete),
+        // Not a front-door op, but the same summary shape: how long puts
+        // stalled on frozen-queue backpressure (count == stalls recorded).
+        op_summary("write_stall", &obs.stall_rollup()),
     ];
 
     ObsSnapshot {

@@ -19,6 +19,44 @@ pub enum CompactionScheme {
     Direct,
 }
 
+/// Background maintenance pipeline configuration.
+///
+/// When enabled, a put that fills a MemTable freezes it (swap + view
+/// republish) and queues a maintenance request to a small worker pool;
+/// the flush / WIM merge / GPM dump / compaction then run off the put
+/// path, under the shard mutex. Like [`ObsConfig`], none of this is part
+/// of the persisted config blob: a store can be recovered with a
+/// different pipeline setting than it was created with.
+#[derive(Debug, Clone)]
+pub struct BgConfig {
+    /// Master switch. When false every structural transition runs inline
+    /// on the put that triggered it (the pre-pipeline behaviour).
+    pub enabled: bool,
+    /// Number of maintenance worker threads.
+    pub workers: usize,
+    /// Maximum frozen MemTables a shard may have pending (queued +
+    /// in-flight). A put that would freeze past this cap waits on the
+    /// shard's condvar instead — counted in the `write_stalls` metric.
+    pub frozen_queue_cap: usize,
+    /// Lock-step mode: each put drains its own enqueued maintenance
+    /// before returning. Work still runs on the worker pool (exercising
+    /// the freeze/queue/worker/republish path), but never concurrently
+    /// with foreground fences — the crash matrix needs this so fence
+    /// ordinals stay deterministic across dry and armed runs.
+    pub synchronous: bool,
+}
+
+impl Default for BgConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            workers: 2,
+            frozen_queue_cap: 2,
+            synchronous: false,
+        }
+    }
+}
+
 /// Configuration of a [`crate::ChameleonDb`].
 ///
 /// [`ChameleonConfig::paper`] reproduces Table 1 exactly; the scaled
@@ -71,6 +109,8 @@ pub struct ChameleonConfig {
     /// part of the persisted config blob: a store can be recovered with a
     /// different observability setting than it was created with.
     pub obs: ObsConfig,
+    /// Background maintenance pipeline (not part of the persisted blob).
+    pub bg: BgConfig,
 }
 
 impl ChameleonConfig {
@@ -101,6 +141,7 @@ impl ChameleonConfig {
             gpm: GpmConfig::default(),
             use_abi_for_get: true,
             obs: ObsConfig::off(),
+            bg: BgConfig::default(),
         }
     }
 
@@ -163,6 +204,14 @@ impl ChameleonConfig {
         }
         if self.max_threads == 0 {
             return Err("max_threads must be >= 1".into());
+        }
+        if self.bg.enabled {
+            if self.bg.workers == 0 {
+                return Err("bg.workers must be >= 1 when the pipeline is enabled".into());
+            }
+            if self.bg.frozen_queue_cap == 0 {
+                return Err("bg.frozen_queue_cap must be >= 1".into());
+            }
         }
         Ok(())
     }

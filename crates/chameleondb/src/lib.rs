@@ -40,6 +40,7 @@
 //! ```
 
 mod config;
+mod maint;
 mod manifest;
 mod metrics;
 mod mode;
@@ -47,7 +48,7 @@ mod shard;
 mod store;
 mod view;
 
-pub use config::{ChameleonConfig, CompactionScheme};
+pub use config::{BgConfig, ChameleonConfig, CompactionScheme};
 pub use manifest::{Manifest, ManifestRecord, Superblock, LEVEL_DUMPED};
 pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
 pub use mode::{GpmConfig, Mode, ModeChange};

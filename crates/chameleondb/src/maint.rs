@@ -1,0 +1,192 @@
+//! Shared state of the background maintenance pipeline: the request
+//! queue feeding the worker pool, the drain/idle signal, and the
+//! per-shard backpressure condvars.
+//!
+//! The pipeline takes MemTable flushes, WIM merges, GPM dumps, and
+//! cascading compactions off the put path (the foreground/background
+//! split the paper assumes for its multi-level DRAM index, §2.2–2.4).
+//! A put that fills a MemTable freezes it and enqueues the shard here;
+//! a worker pops the request, reacquires the shard mutex, and runs the
+//! same maintenance chain the inline path would have, republishing the
+//! read view exactly as before. The worker threads themselves live in
+//! `store.rs` (they need the whole store); this module owns only the
+//! coordination state.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use kvapi::{KvError, Result};
+use parking_lot::{Condvar, Mutex};
+
+/// Why the pipeline stopped doing useful work. The first failure poisons
+/// the pipeline: queued requests are discarded and every later stalled
+/// put or drain surfaces an error (or re-raises the panic, once).
+pub(crate) enum MaintFailure {
+    /// A worker's maintenance pass returned an error.
+    Err(KvError),
+    /// A worker's maintenance pass panicked. An injected
+    /// `pmem_sim::CrashPoint` payload must reach the fault-injection
+    /// driver intact, so the payload is re-raised (once) on the next
+    /// foreground thread that synchronizes with the pipeline.
+    Panic(Box<dyn Any + Send>),
+}
+
+#[derive(Default)]
+struct MaintState {
+    /// Shard indices with a frozen MemTable awaiting processing.
+    queue: VecDeque<usize>,
+    /// Queued plus currently-processing requests.
+    pending: usize,
+    /// Accept no new work; workers exit once the queue is empty.
+    stop: bool,
+    /// Abandon queued work (crash-abort shutdown, or pipeline poisoned).
+    discard: bool,
+    failure: Option<MaintFailure>,
+}
+
+/// Coordination state shared by foreground threads and the worker pool.
+pub(crate) struct Maint {
+    enabled: bool,
+    state: Mutex<MaintState>,
+    /// Workers wait here for requests.
+    work_cv: Condvar,
+    /// Drainers wait here for `pending == 0` (or a failure).
+    idle_cv: Condvar,
+    /// `shard_cvs[i]` is signalled — always under shard `i`'s mutex, so
+    /// a stalled put's check-then-wait cannot miss it — when a
+    /// maintenance pass for shard `i` completes (or the pipeline dies).
+    pub(crate) shard_cvs: Vec<Condvar>,
+}
+
+impl Maint {
+    pub fn new(enabled: bool, shards: usize) -> Self {
+        Self {
+            enabled,
+            state: Mutex::new(MaintState::default()),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            shard_cvs: (0..shards).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Queues a maintenance request for `shard` and wakes a worker.
+    /// Dropped silently once shutdown/poisoning began — the frozen table
+    /// stays readable in the view, and the next stalled put on the shard
+    /// surfaces the recorded failure.
+    pub fn enqueue(&self, shard: usize) {
+        let mut st = self.state.lock();
+        if st.stop || st.discard {
+            return;
+        }
+        st.queue.push_back(shard);
+        st.pending += 1;
+        self.work_cv.notify_one();
+    }
+
+    /// Blocks until a request is available (returning its shard) or the
+    /// pipeline is shut down (returning `None`). Under `discard`, queued
+    /// requests are dropped instead of returned.
+    pub fn next_job(&self) -> Option<usize> {
+        let mut st = self.state.lock();
+        loop {
+            if st.discard && !st.queue.is_empty() {
+                let dropped = st.queue.len();
+                st.queue.clear();
+                st.pending -= dropped;
+                if st.pending == 0 {
+                    self.idle_cv.notify_all();
+                }
+            }
+            if let Some(shard) = st.queue.pop_front() {
+                return Some(shard);
+            }
+            if st.stop {
+                return None;
+            }
+            self.work_cv.wait(&mut st);
+        }
+    }
+
+    /// Marks one request finished. A failure poisons the pipeline:
+    /// queued requests are discarded and drainers are woken immediately
+    /// (even while other workers are still mid-pass).
+    pub fn job_done(&self, failure: Option<MaintFailure>) {
+        let mut st = self.state.lock();
+        st.pending -= 1;
+        if let Some(f) = failure {
+            if st.failure.is_none() {
+                st.failure = Some(f);
+            }
+            st.discard = true;
+            let dropped = st.queue.len();
+            st.queue.clear();
+            st.pending -= dropped;
+            self.idle_cv.notify_all();
+        }
+        if st.pending == 0 {
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Takes the recorded failure, leaving a sticky error behind so every
+    /// later caller still fails. Callers turn the result into an error or
+    /// re-raised panic via [`raise`], outside the state lock.
+    pub fn take_failure(&self) -> Option<MaintFailure> {
+        let mut st = self.state.lock();
+        Self::take_failure_locked(&mut st)
+    }
+
+    fn take_failure_locked(st: &mut MaintState) -> Option<MaintFailure> {
+        let f = st.failure.take()?;
+        st.failure = Some(MaintFailure::Err(KvError::Corrupt(
+            "background maintenance failed earlier",
+        )));
+        Some(f)
+    }
+
+    /// Waits until every queued and in-flight request has completed,
+    /// surfacing any pipeline failure.
+    pub fn drain(&self) -> Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        loop {
+            if let Some(f) = Self::take_failure_locked(&mut st) {
+                drop(st);
+                return Err(raise(f));
+            }
+            if st.pending == 0 {
+                return Ok(());
+            }
+            self.idle_cv.wait(&mut st);
+        }
+    }
+
+    /// Begins shutdown: no new work is accepted and workers exit once the
+    /// queue empties. With `discard`, queued requests are dropped (the
+    /// crash-abort path); otherwise workers process them first (graceful
+    /// shutdown drains the pipeline).
+    pub fn shutdown(&self, discard: bool) {
+        let mut st = self.state.lock();
+        st.stop = true;
+        if discard {
+            st.discard = true;
+        }
+        self.work_cv.notify_all();
+    }
+}
+
+/// Converts a taken failure into the error to return, re-raising panic
+/// payloads (e.g. an injected `CrashPoint`) on the calling thread. The
+/// re-raise uses `resume_unwind`, so it stays silent like the original.
+pub(crate) fn raise(f: MaintFailure) -> KvError {
+    match f {
+        MaintFailure::Err(e) => e,
+        MaintFailure::Panic(p) => std::panic::resume_unwind(p),
+    }
+}

@@ -42,6 +42,9 @@ pub struct StoreMetrics {
     pub degraded_gets: AtomicU64,
     /// Read-view publications (one per structural transition per shard).
     pub view_publishes: AtomicU64,
+    /// Puts that waited because their shard's frozen-MemTable queue was at
+    /// capacity (background-maintenance backpressure).
+    pub write_stalls: AtomicU64,
 }
 
 macro_rules! snapshot_fields {
@@ -75,6 +78,7 @@ impl StoreMetrics {
             abi_rebuilds,
             degraded_gets,
             view_publishes,
+            write_stalls,
         )
     }
 
@@ -105,6 +109,7 @@ pub struct StoreMetricsSnapshot {
     pub abi_rebuilds: u64,
     pub degraded_gets: u64,
     pub view_publishes: u64,
+    pub write_stalls: u64,
 }
 
 impl StoreMetricsSnapshot {
@@ -156,6 +161,7 @@ impl StoreMetricsSnapshot {
             ("abi_rebuilds", self.abi_rebuilds),
             ("degraded_gets", self.degraded_gets),
             ("view_publishes", self.view_publishes),
+            ("write_stalls", self.write_stalls),
         ]
     }
 }
@@ -185,6 +191,7 @@ impl std::ops::Sub for StoreMetricsSnapshot {
             abi_rebuilds: self.abi_rebuilds - earlier.abi_rebuilds,
             degraded_gets: self.degraded_gets - earlier.degraded_gets,
             view_publishes: self.view_publishes - earlier.view_publishes,
+            write_stalls: self.write_stalls - earlier.write_stalls,
         }
     }
 }
@@ -248,12 +255,12 @@ mod tests {
     fn counters_flatten_every_field() {
         let s = StoreMetricsSnapshot {
             puts: 7,
-            view_publishes: 9,
+            write_stalls: 9,
             ..Default::default()
         };
         let c = s.counters();
-        assert_eq!(c.len(), 18);
+        assert_eq!(c.len(), 19);
         assert_eq!(c[0], ("puts", 7));
-        assert_eq!(*c.last().unwrap(), ("view_publishes", 9));
+        assert_eq!(*c.last().unwrap(), ("write_stalls", 9));
     }
 }

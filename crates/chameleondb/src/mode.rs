@@ -5,6 +5,15 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use parking_lot::Mutex;
 use pmem_sim::Histogram;
 
+/// One GPM evaluation window: the sample histogram and its count live
+/// under a single mutex so recording a sample, hitting the window
+/// boundary, and resetting for the next window are one atomic step.
+#[derive(Debug, Default)]
+struct Window {
+    hist: Histogram,
+    count: u64,
+}
+
 /// The store's current operating mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -81,8 +90,7 @@ pub struct ModeController {
     /// Effective mode (may be GetProtect while the monitor holds it there).
     current: AtomicU8,
     gpm: GpmConfig,
-    window: Mutex<Histogram>,
-    window_count: AtomicU64,
+    window: Mutex<Window>,
     /// Most recently computed windowed p99 (ns), 0 before the first window.
     last_p99: AtomicU64,
 }
@@ -95,8 +103,7 @@ impl ModeController {
             base: AtomicU8::new(base.as_u8()),
             current: AtomicU8::new(base.as_u8()),
             gpm,
-            window: Mutex::new(Histogram::new()),
-            window_count: AtomicU64::new(0),
+            window: Mutex::new(Window::default()),
             last_p99: AtomicU64::new(0),
         }
     }
@@ -140,15 +147,21 @@ impl ModeController {
         if !self.gpm.enabled {
             return None;
         }
-        self.window.lock().record(ns);
-        let n = self.window_count.fetch_add(1, Ordering::Relaxed) + 1;
-        if !n.is_multiple_of(self.gpm.window_ops) {
-            return None;
-        }
+        // Record, count, and (at the boundary) evaluate + reset under ONE
+        // lock acquisition. Splitting these steps lets samples recorded
+        // between a boundary hit and the reset fold into the wrong window
+        // — in the worst case the boundary thread evaluates a p99 over a
+        // freshly-reset (empty) window, reads 0, and spuriously exits GPM.
         let p99 = {
             let mut w = self.window.lock();
-            let p = w.quantile(0.99);
-            w.reset();
+            w.hist.record(ns);
+            w.count += 1;
+            if w.count < self.gpm.window_ops {
+                return None;
+            }
+            let p = w.hist.quantile(0.99);
+            w.hist.reset();
+            w.count = 0;
             p
         };
         self.last_p99.store(p99, Ordering::Relaxed);
@@ -261,6 +274,41 @@ mod tests {
             c.record_get_latency(100);
         }
         assert_eq!(c.mode(), Mode::WriteIntensive);
+    }
+
+    /// Regression: sample recording and window-boundary evaluation must
+    /// be one atomic step. Every sample here is exactly 5000ns, so every
+    /// correctly evaluated window has p99 == 5000 (`quantile` clamps to
+    /// the exact max) — the controller must enter GPM at the first
+    /// boundary and never leave. The old two-step scheme (`record` under
+    /// one lock acquisition, count bumped via a separate atomic, then a
+    /// re-lock to evaluate and reset) let a thread hit the boundary just
+    /// after another thread's reset and evaluate an empty window: p99 0,
+    /// below the exit threshold, spurious exit from GPM.
+    #[test]
+    fn window_boundary_is_atomic_under_concurrent_recording() {
+        let c = ModeController::new(Mode::Normal, gpm(4));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..400_000 {
+                        if let Some(ch) = c.record_get_latency(5000) {
+                            assert_eq!(
+                                ch.p99_ns, 5000,
+                                "window evaluated with missing/foreign samples"
+                            );
+                            assert_eq!(
+                                ch.to,
+                                Mode::GetProtect,
+                                "spurious exit driven by a half-reset window"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.mode(), Mode::GetProtect);
+        assert_eq!(c.last_p99(), 5000);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   `Arc`s; the region is deallocated when the last holder (writer
 //!   lists or an epoch-retired view) drops.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use chameleon_obs::{EventKind, Obs, Stage};
@@ -57,6 +58,16 @@ pub(crate) struct ShardEnv<'a> {
 pub(crate) struct ShardMut {
     pub id: u32,
     pub memtable: Arc<SharedTable>,
+    /// Frozen MemTables awaiting background maintenance, oldest at the
+    /// front. Filled by [`ShardMut::freeze_memtable`], drained FIFO by
+    /// [`ShardMut::process_one_frozen`] — FIFO keeps per-shard seq order:
+    /// every entry in a later frozen table outranks every entry in an
+    /// earlier one, which the checkpoint-claim logic relies on.
+    pub frozen: VecDeque<Arc<SharedTable>>,
+    /// The frozen table a maintenance pass is currently flushing/merging.
+    /// Stays in published views until the pass commits and republishes;
+    /// counts against the frozen-queue cap for backpressure.
+    pub in_flight: Option<Arc<SharedTable>>,
     pub abi: Arc<SharedTable>,
     /// False right after a restart until this shard's ABI has been rebuilt
     /// from its upper-level tables ("recovered along with serving front-end
@@ -92,6 +103,8 @@ impl ShardMut {
         Self {
             id,
             memtable: Arc::new(SharedTable::new_resident(cfg.memtable_slots)),
+            frozen: VecDeque::new(),
+            in_flight: None,
             abi: Arc::new(SharedTable::new(cfg.effective_abi_slots())),
             abi_valid: true,
             uppers: vec![Vec::new(); cfg.levels - 1],
@@ -106,7 +119,16 @@ impl ShardMut {
 
     /// DRAM bytes held by this shard's volatile structures.
     pub fn dram_bytes(&self) -> u64 {
-        self.memtable.dram_bytes() + self.abi.dram_bytes()
+        self.memtable.dram_bytes()
+            + self.abi.dram_bytes()
+            + self.frozen.iter().map(|t| t.dram_bytes()).sum::<u64>()
+            + self.in_flight.as_ref().map_or(0, |t| t.dram_bytes())
+    }
+
+    /// Frozen MemTables pending maintenance (queued + in-flight); the
+    /// quantity the backpressure cap bounds.
+    pub fn pending_frozen(&self) -> usize {
+        self.frozen.len() + usize::from(self.in_flight.is_some())
     }
 
     /// Approximate live entries (slots across all structures; duplicates
@@ -122,6 +144,8 @@ impl ShardMut {
                 .sum::<u64>()
         };
         self.memtable.len() as u64
+            + self.frozen.iter().map(|t| t.len() as u64).sum::<u64>()
+            + self.in_flight.as_ref().map_or(0, |t| t.len() as u64)
             + upper
             + self
                 .dumped
@@ -143,8 +167,14 @@ impl ShardMut {
         // Degraded-path probe order, established once per view instead of
         // per get.
         uppers_newest_first.sort_by_key(|t| std::cmp::Reverse(t.table().header().table_seq));
+        // Newest first: the frozen deque is oldest-at-front, and the
+        // in-flight table (if any) is older than everything still queued.
+        let mut frozen_newest_first: Vec<Arc<SharedTable>> =
+            self.frozen.iter().rev().cloned().collect();
+        frozen_newest_first.extend(self.in_flight.iter().cloned());
         ShardView {
             mem: Arc::clone(&self.memtable),
+            frozen_newest_first,
             abi: Arc::clone(&self.abi),
             abi_valid: self.abi_valid,
             uppers_newest_first,
@@ -161,8 +191,9 @@ impl ShardMut {
         StoreMetrics::bump(&env.metrics.view_publishes);
     }
 
-    /// Inserts one slot into the MemTable (put or delete), flushing or
-    /// merging when the randomized load threshold is hit.
+    /// Inserts one slot into the MemTable (put or delete), running the
+    /// full maintenance chain inline when the randomized load threshold
+    /// is hit — the path recovery replay and pipeline-disabled stores use.
     ///
     /// Returns the previous MemTable location word for dead-byte accounting.
     pub fn insert(
@@ -172,15 +203,69 @@ impl ShardMut {
         slot: Slot,
         seq: u64,
     ) -> Result<Option<u64>> {
-        // In-place insert into the shared MemTable: the published view
-        // holds the same Arc, so the entry is reader-visible the moment
-        // this returns — acks need no republish.
-        let old = self.memtable.insert(ctx, slot)?;
-        self.memtable.note_seq(seq);
+        let old = self.insert_no_maint(ctx, slot, seq)?;
         if self.memtable.is_full(self.load_threshold) {
             self.on_memtable_full(env, ctx)?;
         }
         Ok(old)
+    }
+
+    /// Inserts one slot into the MemTable without any maintenance — the
+    /// pipelined put path, which handles a full MemTable by freezing
+    /// *before* the insert and delegating the work to the worker pool.
+    ///
+    /// In-place insert into the shared MemTable: the published view holds
+    /// the same Arc, so the entry is reader-visible the moment this
+    /// returns — acks need no republish.
+    pub fn insert_no_maint(
+        &mut self,
+        ctx: &mut ThreadCtx,
+        slot: Slot,
+        seq: u64,
+    ) -> Result<Option<u64>> {
+        let old = self.memtable.insert(ctx, slot)?;
+        self.memtable.note_seq(seq);
+        Ok(old)
+    }
+
+    /// Freezes the live MemTable: pushes it onto the frozen queue, swaps
+    /// in a fresh table, and republishes so readers keep seeing the
+    /// frozen entries (now via the view's frozen list). No-op when empty.
+    pub fn freeze_memtable(&mut self, env: &ShardEnv<'_>) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        self.frozen.push_back(Arc::clone(&self.memtable));
+        self.memtable = Arc::new(SharedTable::new_resident(env.cfg.memtable_slots));
+        self.publish(env);
+    }
+
+    /// Pops the oldest frozen MemTable and runs one full maintenance pass
+    /// for it: ABI rebuild if stale, then WIM merge or {fold dumped,
+    /// flush, cascade compactions} depending on the mode *at processing
+    /// time*. Returns whether there was anything to process.
+    ///
+    /// Runs under the shard mutex (callers hold it); the table stays
+    /// published as `in_flight` until the pass commits and republishes.
+    pub fn process_one_frozen(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<bool> {
+        let Some(table) = self.frozen.pop_front() else {
+            return Ok(false);
+        };
+        self.in_flight = Some(Arc::clone(&table));
+        self.ensure_abi(env, ctx)?;
+        if env.mode.suspend_upper_maintenance() {
+            self.merge_table_into_abi(env, ctx, &table)?;
+        } else {
+            // If a GPM episode left dumped ABI tables behind, fold them into
+            // the last level now that the burst has subsided (§2.4: "dumped
+            // tables will gradually be merged ... after the put burst").
+            if !self.dumped.is_empty() {
+                self.compact_last_level(env, ctx)?;
+            }
+            self.flush_table(env, ctx, &table)?;
+            self.maybe_compact(env, ctx)?;
+        }
+        Ok(true)
     }
 
     /// Rebuilds the ABI from the upper-level tables if it is stale
@@ -220,45 +305,46 @@ impl ShardMut {
         Ok(())
     }
 
+    /// Inline maintenance (recovery replay and pipeline-disabled stores):
+    /// freeze the just-filled MemTable and process it immediately. The
+    /// frozen queue is always empty here, so the processed table is the
+    /// one this call froze.
+    ///
+    /// A stale post-restart ABI is rebuilt inside `process_one_frozen`
+    /// before the first structural transition: both maintenance branches
+    /// merge or mirror the MemTable into the ABI, which is only
+    /// meaningful if the ABI already covers the upper levels. Deferring
+    /// the rebuild to this point (rather than the first insert) keeps
+    /// log-replay recovery cheap — shards that never fill a MemTable
+    /// serve gets through the degraded upper-level walk until their first
+    /// real flush.
     fn on_memtable_full(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
-        // A stale post-restart ABI must be rebuilt before the first
-        // structural transition: both branches below merge or mirror the
-        // MemTable into the ABI, which is only meaningful if the ABI
-        // already covers the upper levels. Deferring the rebuild to this
-        // point (rather than the first insert) keeps log-replay recovery
-        // cheap — shards that never fill a MemTable serve gets through
-        // the degraded upper-level walk until their first real flush.
-        self.ensure_abi(env, ctx)?;
-        if env.mode.suspend_upper_maintenance() {
-            self.merge_memtable_into_abi(env, ctx)
-        } else {
-            // If a GPM episode left dumped ABI tables behind, fold them into
-            // the last level now that the burst has subsided (§2.4: "dumped
-            // tables will gradually be merged ... after the put burst").
-            if !self.dumped.is_empty() {
-                self.compact_last_level(env, ctx)?;
-            }
-            self.flush_memtable(env, ctx)?;
-            self.maybe_compact(env, ctx)
-        }
+        self.freeze_memtable(env);
+        self.process_one_frozen(env, ctx)?;
+        Ok(())
     }
 
-    /// Write-Intensive / Get-Protect path (§2.3): fold the MemTable into
-    /// the ABI without persisting an L0 table. The KV data itself is
+    /// Write-Intensive / Get-Protect path (§2.3): fold a frozen MemTable
+    /// into the ABI without persisting an L0 table. The KV data itself is
     /// already durable in the storage log.
-    fn merge_memtable_into_abi(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
-        self.make_abi_room(env, ctx, self.memtable.len())?;
+    fn merge_table_into_abi(
+        &mut self,
+        env: &ShardEnv<'_>,
+        ctx: &mut ThreadCtx,
+        table: &Arc<SharedTable>,
+    ) -> Result<()> {
+        self.make_abi_room(env, ctx, table.len())?;
         // Span starts *after* make_abi_room so any dump/last-compaction it
         // triggered is attributed to its own stage, not to the merge.
         let span = env
             .obs
             .span_start(Stage::WimMerge, ctx.clock.now(), env.dev.stats());
-        let max_seq = self.memtable.max_seq();
-        let slots = self.memtable.iter();
+        let max_seq = table.max_seq();
+        let slots = table.iter();
         let merged = slots.len() as u64;
         for slot in slots {
             // Additive in-place merge: readers on the current view find
-            // these keys in its (still intact) MemTable first, so the
+            // these keys in its (still intact) frozen table first, so the
             // newest version stays visible throughout.
             self.abi.insert_bulk(ctx, slot)?;
         }
@@ -267,8 +353,9 @@ impl ShardMut {
         // flushed), so this bounds the oldest table-less ABI resident.
         self.abi_unpersisted_floor
             .get_or_insert(self.checkpoint_seq + 1);
-        // Freeze-by-replacement: old views keep the old MemTable intact.
-        self.memtable = Arc::new(SharedTable::new_resident(env.cfg.memtable_slots));
+        // The merge is committed: retire the in-flight table from the
+        // published view (its entries are covered by the ABI now).
+        self.in_flight = None;
         self.publish(env);
         StoreMetrics::bump(&env.metrics.wim_merges);
         env.obs.span_end(span, ctx.clock.now(), env.dev.stats());
@@ -355,34 +442,40 @@ impl ShardMut {
         Ok(())
     }
 
-    /// Flushes the MemTable to a new L0 table and mirrors its entries into
-    /// the ABI (Fig. 7).
-    fn flush_memtable(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
-        if self.memtable.is_empty() {
+    /// Flushes a frozen MemTable to a new L0 table and mirrors its entries
+    /// into the ABI (Fig. 7).
+    fn flush_table(
+        &mut self,
+        env: &ShardEnv<'_>,
+        ctx: &mut ThreadCtx,
+        table_in: &Arc<SharedTable>,
+    ) -> Result<()> {
+        if table_in.is_empty() {
+            self.in_flight = None;
             return Ok(());
         }
-        // MemTable entries' log appends may still be unfenced; the L0
+        // The frozen entries' log appends may still be unfenced; the L0
         // table commit below advances checkpoint_seq over them.
         (env.sync_log)(ctx)?;
-        self.make_abi_room(env, ctx, self.memtable.len())?;
+        self.make_abi_room(env, ctx, table_in.len())?;
         // Span starts *after* make_abi_room: an ABI dump or last-level
         // compaction it triggered is billed to its own stage.
         let span = env
             .obs
             .span_start(Stage::Flush, ctx.clock.now(), env.dev.stats());
         let mut b = TableBuilder::new(env.cfg.memtable_slots);
-        // The table covers exactly the MemTable. If the ABI still holds
-        // older WIM/GPM-merged entries that live in no table, claiming the
-        // MemTable's max seq would cover them too, and a crash before the
+        // The table covers exactly this frozen MemTable. If the ABI still
+        // holds older WIM/GPM-merged entries that live in no table, claiming
+        // this table's max seq would cover them too, and a crash before the
         // next dump/last-compaction would skip their replay. Cap the claim
         // below the oldest such entry; the flushed entries then simply stay
         // above checkpoint_seq and replay from the (synced) log.
         let claim = match self.abi_unpersisted_floor {
-            Some(floor) => self.memtable.max_seq().min(floor.saturating_sub(1)),
-            None => self.memtable.max_seq(),
+            Some(floor) => table_in.max_seq().min(floor.saturating_sub(1)),
+            None => table_in.max_seq(),
         };
         b.note_seq(claim);
-        let slots = self.memtable.iter();
+        let slots = table_in.iter();
         let flushed = slots.len() as u64;
         for &slot in &slots {
             b.insert(ctx, slot, false)?;
@@ -400,14 +493,15 @@ impl ShardMut {
         )?;
         self.checkpoint_seq = self.checkpoint_seq.max(table.header().max_log_seq);
         self.uppers[0].push(TableHandle::new(table, env.dev));
-        let max_seq = self.memtable.max_seq();
+        let max_seq = table_in.max_seq();
         for slot in slots {
             self.abi.insert_bulk(ctx, slot)?;
         }
         self.abi.note_seq(max_seq);
-        // Freeze-by-replacement; the single publish below makes the fresh
-        // MemTable, the ABI mirror, and the new L0 table visible together.
-        self.memtable = Arc::new(SharedTable::new_resident(env.cfg.memtable_slots));
+        // The flush is committed: the single publish below retires the
+        // in-flight table and makes the ABI mirror and the new L0 table
+        // visible together.
+        self.in_flight = None;
         self.publish(env);
         StoreMetrics::bump(&env.metrics.flushes);
         let delta = env
@@ -648,12 +742,13 @@ impl ShardMut {
         Ok(())
     }
 
-    /// Flushes the MemTable and folds everything into the last level (used
-    /// by tests and by explicit checkpointing).
+    /// Flushes any frozen and live MemTables and folds everything into the
+    /// last level (used by tests and by explicit checkpointing). The
+    /// store drains the worker pool before calling this, but concurrent
+    /// puts may refreeze — the loop below clears whatever is pending.
     pub fn force_checkpoint(&mut self, env: &ShardEnv<'_>, ctx: &mut ThreadCtx) -> Result<()> {
-        if !self.memtable.is_empty() {
-            self.flush_memtable(env, ctx)?;
-        }
+        self.freeze_memtable(env);
+        while self.process_one_frozen(env, ctx)? {}
         if !self.abi.is_empty() || !self.dumped.is_empty() {
             self.compact_last_level(env, ctx)?;
         }

@@ -1,7 +1,10 @@
 //! The ChameleonDB store: shard routing, modes, persistence, recovery.
 
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use chameleon_obs::{CounterSection, EventKind, Obs, ObsSnapshot, OpKind};
 use kvapi::{hash64, CrashRecover, KvError, KvStore, Result};
@@ -9,9 +12,10 @@ use kvlog::{EntryMeta, LogWriter, StorageLog, ENTRY_HEADER};
 use kvsync::{EpochDomain, ViewCell};
 use kvtables::{FixedHashTable, Slot};
 use parking_lot::Mutex;
-use pmem_sim::{PRegion, PmemDevice, ThreadCtx};
+use pmem_sim::{CostModel, PRegion, PmemDevice, ThreadCtx};
 
 use crate::config::ChameleonConfig;
+use crate::maint::{raise, Maint, MaintFailure};
 use crate::manifest::{Manifest, ManifestRecord, Superblock, LEVEL_DUMPED};
 use crate::metrics::{StoreMetrics, StoreMetricsSnapshot};
 use crate::mode::{Mode, ModeController};
@@ -61,7 +65,22 @@ impl MetaLog {
 }
 
 /// ChameleonDB (see the crate-level docs for the design overview).
+///
+/// The handle owns the background-maintenance worker pool; every other
+/// piece of store state lives in the shared [`StoreInner`] (reached
+/// transparently through `Deref`, so `db.get(..)`, `db.metrics()` etc.
+/// read as before). Dropping the handle shuts the pipeline down
+/// gracefully: queued maintenance is processed, then the workers join.
 pub struct ChameleonDb {
+    inner: Arc<StoreInner>,
+    /// Maintenance worker handles; drained (joined) on shutdown.
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// All store state except the worker-thread handles. Public only because
+/// it is `ChameleonDb`'s `Deref` target; not part of the stable API.
+#[doc(hidden)]
+pub struct StoreInner {
     dev: Arc<PmemDevice>,
     cfg: ChameleonConfig,
     log: Arc<StorageLog>,
@@ -76,7 +95,17 @@ pub struct ChameleonDb {
     metrics: StoreMetrics,
     mode: ModeController,
     obs: Obs,
+    /// Background-maintenance coordination (queue, backpressure, drain).
+    maint: Maint,
     shard_shift: u32,
+}
+
+impl Deref for ChameleonDb {
+    type Target = StoreInner;
+
+    fn deref(&self) -> &StoreInner {
+        &self.inner
+    }
 }
 
 impl std::fmt::Debug for ChameleonDb {
@@ -85,6 +114,84 @@ impl std::fmt::Debug for ChameleonDb {
             .field("shards", &self.shards.len())
             .field("mode", &self.mode.mode())
             .finish_non_exhaustive()
+    }
+}
+
+/// The maintenance worker loop: pop a shard index, run one maintenance
+/// pass for it, signal stalled puts. Errors and panics (including an
+/// injected `CrashPoint`) poison the pipeline; the payload is re-raised
+/// on the next foreground thread that drains or stalls.
+fn worker_loop(inner: &StoreInner, worker: usize) {
+    // Workers get thread ids above the foreground range so their epoch
+    // pins and log-writer choices never collide with client threads.
+    let mut ctx = ThreadCtx::for_thread(
+        Arc::new(CostModel::default()),
+        inner.cfg.max_threads + worker,
+    );
+    while let Some(shard_idx) = inner.maint.next_job() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            inner.maintain_shard(shard_idx, &mut ctx)
+        }));
+        let failure = match result {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(MaintFailure::Err(e)),
+            Err(payload) => Some(MaintFailure::Panic(payload)),
+        };
+        let failed = failure.is_some();
+        inner.maint.job_done(failure);
+        // Notify while holding the shard mutex: a stalled put checks for
+        // failures and queue room under that mutex before waiting, so
+        // signalling under it closes the lost-wakeup window. On failure,
+        // wake every shard — the pipeline is dead and all stalled puts
+        // must surface the error rather than wait forever.
+        if failed {
+            for (i, cv) in inner.maint.shard_cvs.iter().enumerate() {
+                let _guard = inner.shards[i].lock();
+                cv.notify_all();
+            }
+        } else {
+            let _guard = inner.shards[shard_idx].lock();
+            inner.maint.shard_cvs[shard_idx].notify_all();
+        }
+    }
+}
+
+impl ChameleonDb {
+    /// Wraps a fully-built inner store and spawns the worker pool.
+    fn start(inner: StoreInner) -> Self {
+        let inner = Arc::new(inner);
+        let workers = if inner.cfg.bg.enabled {
+            (0..inner.cfg.bg.workers)
+                .map(|i| {
+                    let inner = Arc::clone(&inner);
+                    std::thread::Builder::new()
+                        .name(format!("chameleon-maint-{i}"))
+                        .spawn(move || worker_loop(&inner, i))
+                        .expect("spawn maintenance worker")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self { inner, workers }
+    }
+
+    /// Stops the worker pool and joins it. With `discard`, queued work is
+    /// abandoned (the crash path); otherwise workers finish the queue
+    /// first. Idempotent — later calls see an empty handle list.
+    fn stop_workers(&mut self, discard: bool) {
+        self.inner.maint.shutdown(discard);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChameleonDb {
+    fn drop(&mut self) {
+        // Graceful shutdown drains the pipeline: frozen MemTables queued
+        // for maintenance are still flushed/merged before workers exit.
+        self.stop_workers(false);
     }
 }
 
@@ -134,7 +241,8 @@ impl ChameleonDb {
         };
         let mode = ModeController::new(base_mode, cfg.gpm.clone());
         let obs = Obs::new(cfg.obs, cfg.shards);
-        Ok(Self {
+        let maint = Maint::new(cfg.bg.enabled, cfg.shards);
+        Ok(ChameleonDb::start(StoreInner {
             shard_shift: 64 - cfg.shards.trailing_zeros(),
             dev,
             cfg,
@@ -150,7 +258,8 @@ impl ChameleonDb {
             metrics: StoreMetrics::default(),
             mode,
             obs,
-        })
+            maint,
+        }))
     }
 
     /// Reopens a store after a crash, charging the full restart cost
@@ -268,7 +377,12 @@ impl ChameleonDb {
             .iter()
             .map(|s| ViewCell::new(Arc::clone(&epochs), Arc::new(s.snapshot_view())))
             .collect();
-        let store = Self {
+        // No worker pool during replay: recovery maintenance (mid-replay
+        // flushes, compactions, eager ABI rebuilds) stays inline on this
+        // thread so the ascending-seq replay invariant is untouched. The
+        // pool is spawned at the end, together with the writers.
+        let maint = Maint::new(cfg.bg.enabled, cfg.shards);
+        let store = StoreInner {
             shard_shift,
             dev,
             cfg,
@@ -284,6 +398,7 @@ impl ChameleonDb {
             metrics: StoreMetrics::default(),
             mode: ModeController::new(Mode::Normal, Default::default()),
             obs: Obs::new(cfg_obs, nshards),
+            maint,
         };
         // Re-admit un-checkpointed entries through the normal insert path
         // (without re-logging them). This may trigger flushes/compactions,
@@ -293,7 +408,7 @@ impl ChameleonDb {
                 |ctx: &mut ThreadCtx, recs: &[ManifestRecord]| store.meta.commit(ctx, recs);
             // No writers are installed yet, so the log sync is a no-op:
             // every replayed entry is already durable in the log.
-            let sync_log = |ctx: &mut ThreadCtx| store.sync(ctx);
+            let sync_log = |ctx: &mut ThreadCtx| store.sync_writers(ctx);
             let env = ShardEnv {
                 dev: &store.dev,
                 cfg: &store.cfg,
@@ -339,13 +454,15 @@ impl ChameleonDb {
         let writers = (0..store.cfg.max_threads)
             .map(|_| Mutex::new(store.log.writer()))
             .collect();
-        Ok(Self {
+        Ok(ChameleonDb::start(StoreInner {
             mode,
             writers,
             ..store
-        })
+        }))
     }
+}
 
+impl StoreInner {
     /// The device this store lives on.
     pub fn device(&self) -> &Arc<PmemDevice> {
         &self.dev
@@ -441,14 +558,39 @@ impl ChameleonDb {
 
     /// Flushes every MemTable and folds all upper levels into the last
     /// level (test/maintenance aid; equivalent to a full checkpoint).
+    /// Drains the background-maintenance pipeline first, so the result is
+    /// the same fully-compacted state the inline-maintenance store gave.
     pub fn checkpoint(&self, ctx: &mut ThreadCtx) -> Result<()> {
-        self.sync(ctx)?;
+        self.maint.drain()?;
+        self.sync_writers(ctx)?;
         let commit = |ctx: &mut ThreadCtx, recs: &[ManifestRecord]| self.meta.commit(ctx, recs);
-        let sync_log = |ctx: &mut ThreadCtx| self.sync(ctx);
+        let sync_log = |ctx: &mut ThreadCtx| self.sync_writers(ctx);
         let env = self.env(&commit, &sync_log);
         for shard in &self.shards {
             shard.lock().force_checkpoint(&env, ctx)?;
         }
+        Ok(())
+    }
+
+    /// Blocks until every queued and in-flight background-maintenance
+    /// request has completed, surfacing any worker failure (a panicking
+    /// worker's payload — e.g. an injected crash — is re-raised here).
+    /// Harnesses call this before asserting on maintenance counters.
+    pub fn drain_maintenance(&self) -> Result<()> {
+        self.maint.drain()
+    }
+
+    /// One background maintenance pass: process the oldest frozen
+    /// MemTable of `shard_idx` (flush or WIM merge, plus any cascading
+    /// dump/compaction), republishing the read view as it goes. Runs on a
+    /// worker thread, under the shard mutex — exactly the chain the
+    /// inline path would have run on the put that froze the table.
+    fn maintain_shard(&self, shard_idx: usize, ctx: &mut ThreadCtx) -> Result<()> {
+        let commit = |ctx: &mut ThreadCtx, recs: &[ManifestRecord]| self.meta.commit(ctx, recs);
+        let sync_log = |ctx: &mut ThreadCtx| self.sync_writers(ctx);
+        let env = self.env(&commit, &sync_log);
+        let mut shard = self.shards[shard_idx].lock();
+        shard.process_one_frozen(&env, ctx)?;
         Ok(())
     }
 
@@ -576,42 +718,68 @@ impl ChameleonDb {
         tombstone: bool,
     ) -> Result<()> {
         let commit = |ctx: &mut ThreadCtx, recs: &[ManifestRecord]| self.meta.commit(ctx, recs);
-        let sync_log = |ctx: &mut ThreadCtx| self.sync(ctx);
+        let sync_log = |ctx: &mut ThreadCtx| self.sync_writers(ctx);
         let env = self.env(&commit, &sync_log);
         let mut shard = self.shards[shard_idx].lock();
+        let pipelined = self.maint.enabled();
+        if pipelined {
+            // Handle a full MemTable *before* the log append. If the
+            // frozen queue has room, freeze-and-swap (one publish, one
+            // enqueue — constant work) and carry on; otherwise stall on
+            // the shard's condvar until a worker retires a frozen table.
+            // Stalling must happen before the append because the wait
+            // releases the shard mutex, and another writer slipping in
+            // would otherwise break per-shard log/index order.
+            while shard.memtable.is_full(shard.load_threshold) {
+                if shard.pending_frozen() < self.cfg.bg.frozen_queue_cap {
+                    shard.freeze_memtable(&env);
+                    self.maint.enqueue(shard_idx);
+                    if self.cfg.bg.synchronous {
+                        // Lock-step mode (crash matrix): wait for the
+                        // worker to finish this table *before* our own
+                        // log append, so worker fences never interleave
+                        // with foreground fences and ordinals stay
+                        // deterministic. The worker needs the shard
+                        // mutex, so release it around the drain.
+                        drop(shard);
+                        self.maint.drain()?;
+                        shard = self.shards[shard_idx].lock();
+                        continue;
+                    }
+                    break;
+                }
+                if let Some(f) = self.maint.take_failure() {
+                    return Err(raise(f));
+                }
+                StoreMetrics::bump(&self.metrics.write_stalls);
+                let start = std::time::Instant::now();
+                self.maint.shard_cvs[shard_idx].wait(&mut shard);
+                let stalled_ns = start.elapsed().as_nanos() as u64;
+                // The stall is real blocking on this op's critical path:
+                // charge it to the op's simulated latency and feed the
+                // dedicated stall histogram.
+                ctx.charge(stalled_ns);
+                self.obs.record_stall(stalled_ns);
+            }
+        }
         let meta = self.append_log(ctx, key, value, tombstone)?;
         let slot = if tombstone {
             Slot::tombstone(hash, meta.loc())
         } else {
             Slot::new(hash, meta.loc())
         };
-        if let Some(old) = shard.insert(&env, ctx, slot, meta.seq)? {
+        let old = if pipelined {
+            // Pipelined path: pure append — a full MemTable was handled
+            // above, so no flush/merge/compaction can run inline here.
+            shard.insert_no_maint(ctx, slot, meta.seq)?
+        } else {
+            shard.insert(&env, ctx, slot, meta.seq)?
+        };
+        if let Some(old) = old {
             let (_, hint) = kvlog::unpack_loc(old);
             self.log.note_dead((ENTRY_HEADER + hint) as u64);
         }
         Ok(())
-    }
-}
-
-/// Serializes the geometry-critical configuration into the superblock blob.
-fn config_blob(cfg: &ChameleonConfig) -> [u8; 128] {
-    let mut blob = [0u8; 128];
-    blob[0..4].copy_from_slice(&(cfg.shards as u32).to_le_bytes());
-    blob[4..8].copy_from_slice(&(cfg.memtable_slots as u32).to_le_bytes());
-    blob[8..9].copy_from_slice(&(cfg.levels as u8).to_le_bytes());
-    blob[9..10].copy_from_slice(&(cfg.ratio as u8).to_le_bytes());
-    blob[16..24].copy_from_slice(&(cfg.effective_abi_slots() as u64).to_le_bytes());
-    blob[24..32].copy_from_slice(&cfg.log.capacity.to_le_bytes());
-    blob[32..40].copy_from_slice(&cfg.manifest_bytes.to_le_bytes());
-    blob[40..48].copy_from_slice(&cfg.seed.to_le_bytes());
-    blob[48..56].copy_from_slice(&cfg.load_factor.0.to_bits().to_le_bytes());
-    blob[56..64].copy_from_slice(&cfg.load_factor.1.to_bits().to_le_bytes());
-    blob
-}
-
-impl KvStore for ChameleonDb {
-    fn name(&self) -> &'static str {
-        "chameleondb"
     }
 
     fn put(&self, ctx: &mut ThreadCtx, key: u64, value: &[u8]) -> Result<()> {
@@ -717,7 +885,17 @@ impl KvStore for ChameleonDb {
         Ok(existed)
     }
 
+    /// Global durability point: drains background maintenance (whose
+    /// flushes may themselves fence the log) and flushes every writer.
     fn sync(&self, ctx: &mut ThreadCtx) -> Result<()> {
+        self.maint.drain()?;
+        self.sync_writers(ctx)
+    }
+
+    /// Flushes every per-thread log writer. Unlike [`sync`](Self::sync)
+    /// this does not drain the pipeline, so maintenance code (which runs
+    /// *inside* the pipeline) can call it without self-deadlock.
+    fn sync_writers(&self, ctx: &mut ThreadCtx) -> Result<()> {
         for w in &self.writers {
             w.lock().flush(ctx)?;
         }
@@ -733,8 +911,58 @@ impl KvStore for ChameleonDb {
     }
 }
 
+/// Serializes the geometry-critical configuration into the superblock blob.
+fn config_blob(cfg: &ChameleonConfig) -> [u8; 128] {
+    let mut blob = [0u8; 128];
+    blob[0..4].copy_from_slice(&(cfg.shards as u32).to_le_bytes());
+    blob[4..8].copy_from_slice(&(cfg.memtable_slots as u32).to_le_bytes());
+    blob[8..9].copy_from_slice(&(cfg.levels as u8).to_le_bytes());
+    blob[9..10].copy_from_slice(&(cfg.ratio as u8).to_le_bytes());
+    blob[16..24].copy_from_slice(&(cfg.effective_abi_slots() as u64).to_le_bytes());
+    blob[24..32].copy_from_slice(&cfg.log.capacity.to_le_bytes());
+    blob[32..40].copy_from_slice(&cfg.manifest_bytes.to_le_bytes());
+    blob[40..48].copy_from_slice(&cfg.seed.to_le_bytes());
+    blob[48..56].copy_from_slice(&cfg.load_factor.0.to_bits().to_le_bytes());
+    blob[56..64].copy_from_slice(&cfg.load_factor.1.to_bits().to_le_bytes());
+    blob
+}
+
+impl KvStore for ChameleonDb {
+    fn name(&self) -> &'static str {
+        "chameleondb"
+    }
+
+    fn put(&self, ctx: &mut ThreadCtx, key: u64, value: &[u8]) -> Result<()> {
+        self.inner.put(ctx, key, value)
+    }
+
+    fn get(&self, ctx: &mut ThreadCtx, key: u64, out: &mut Vec<u8>) -> Result<bool> {
+        self.inner.get(ctx, key, out)
+    }
+
+    fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Result<bool> {
+        self.inner.delete(ctx, key)
+    }
+
+    fn sync(&self, ctx: &mut ThreadCtx) -> Result<()> {
+        self.inner.sync(ctx)
+    }
+
+    fn dram_footprint(&self) -> u64 {
+        self.inner.dram_footprint()
+    }
+
+    fn approx_len(&self) -> u64 {
+        self.inner.approx_len()
+    }
+}
+
 impl CrashRecover for ChameleonDb {
     fn crash_and_recover(&mut self, ctx: &mut ThreadCtx) -> Result<()> {
+        // Stop the worker pool *before* the simulated power cut: a crash
+        // abandons queued maintenance (it is not a graceful shutdown), and
+        // no worker may touch the device once the cut happens.
+        self.stop_workers(true);
         self.dev.crash();
         let recovered = ChameleonDb::recover(Arc::clone(&self.dev), self.cfg.clone(), ctx)?;
         // The old journal dies with the old store; mark the epoch boundary
@@ -801,6 +1029,7 @@ mod tests {
         let mut c = ctx();
         fill(&db, &mut c, 60_000);
         check_all(&db, &mut c, 60_000);
+        db.drain_maintenance().unwrap();
         let m = db.metrics();
         assert!(m.flushes > 50, "expected many flushes, got {}", m.flushes);
         assert!(m.mid_compactions > 0, "expected mid compactions");
@@ -884,6 +1113,7 @@ mod tests {
         let mut c = ctx();
         fill(&db, &mut c, 20_000);
         check_all(&db, &mut c, 20_000);
+        db.drain_maintenance().unwrap();
         assert!(db.metrics().mid_compactions > 0);
     }
 
@@ -895,6 +1125,7 @@ mod tests {
         let mut c = ctx();
         fill(&db, &mut c, 5000);
         check_all(&db, &mut c, 5000);
+        db.drain_maintenance().unwrap();
         let m = db.metrics();
         assert_eq!(m.flushes, 0, "WIM must not flush MemTables to L0");
         assert!(m.wim_merges > 0, "WIM merges MemTables into the ABI");
@@ -910,6 +1141,7 @@ mod tests {
         // will fill ABIs and force last-level compactions.
         fill(&db, &mut c, 60_000);
         check_all(&db, &mut c, 60_000);
+        db.drain_maintenance().unwrap();
         assert!(db.metrics().last_compactions > 0);
     }
 
@@ -920,6 +1152,10 @@ mod tests {
         assert_eq!(db.mode(), Mode::Normal);
         db.set_mode(Mode::WriteIntensive);
         fill(&db, &mut c, 3000);
+        // Drain before asserting AND before the mode flips back — a
+        // still-queued frozen table would otherwise be processed under
+        // the new mode (mode is evaluated at processing time).
+        db.drain_maintenance().unwrap();
         assert_eq!(db.metrics().flushes, 0);
         db.set_mode(Mode::Normal);
         fill(&db, &mut c, 3000);
@@ -1184,6 +1420,84 @@ mod tests {
             .expect("extra section present");
         assert_eq!(sec.counters, vec![("batches", 7)]);
         assert!(snap.counters.iter().any(|s| s.name == "store"));
+    }
+
+    #[test]
+    fn pipeline_disabled_runs_maintenance_inline() {
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.bg.enabled = false;
+        let db = new_store(cfg);
+        let mut c = ctx();
+        fill(&db, &mut c, 20_000);
+        check_all(&db, &mut c, 20_000);
+        let m = db.metrics();
+        assert!(m.flushes > 0);
+        // drain_maintenance on a disabled pipeline is a no-op, not a hang.
+        db.drain_maintenance().unwrap();
+    }
+
+    #[test]
+    fn synchronous_pipeline_still_uses_workers_and_keeps_data() {
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.bg.workers = 1;
+        cfg.bg.synchronous = true;
+        let db = new_store(cfg);
+        let mut c = ctx();
+        fill(&db, &mut c, 10_000);
+        check_all(&db, &mut c, 10_000);
+        // Lock-step: every put drained its own maintenance, so nothing is
+        // pending and the counters are already settled.
+        let m = db.metrics();
+        assert!(m.flushes > 0);
+        for shard in &db.shards {
+            assert_eq!(shard.lock().pending_frozen(), 0);
+        }
+    }
+
+    #[test]
+    fn frozen_queue_never_exceeds_cap_under_concurrent_load() {
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.bg.workers = 1;
+        cfg.bg.frozen_queue_cap = 1;
+        let db = std::sync::Arc::new(new_store(cfg));
+        let threads = 4;
+        db.device().set_active_threads(threads);
+        crossbeam::thread::scope(|s| {
+            for t in 0..threads as usize {
+                let db = std::sync::Arc::clone(&db);
+                s.spawn(move |_| {
+                    let mut c = ThreadCtx::for_thread(
+                        std::sync::Arc::new(pmem_sim::CostModel::default()),
+                        t,
+                    );
+                    let base = t as u64 * 1_000_000;
+                    for k in 0..4000u64 {
+                        db.put(&mut c, base + k, &(base + k).to_le_bytes()).unwrap();
+                    }
+                });
+            }
+            // Observer: the backpressure invariant must hold at any
+            // instant, not just at the end.
+            let db2 = std::sync::Arc::clone(&db);
+            s.spawn(move |_| {
+                for _ in 0..200 {
+                    for shard in &db2.shards {
+                        assert!(shard.lock().pending_frozen() <= 1);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        })
+        .unwrap();
+        db.drain_maintenance().unwrap();
+        let mut c = ctx();
+        let mut out = Vec::new();
+        for t in 0..threads as u64 {
+            let base = t * 1_000_000;
+            for k in 0..4000u64 {
+                assert!(db.get(&mut c, base + k, &mut out).unwrap());
+            }
+        }
     }
 
     #[test]

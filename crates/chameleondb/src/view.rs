@@ -99,6 +99,12 @@ impl std::fmt::Debug for TableHandle {
 #[derive(Debug)]
 pub(crate) struct ShardView {
     pub mem: Arc<SharedTable>,
+    /// Frozen MemTables awaiting background maintenance, newest first
+    /// (the in-flight one, if any, is the oldest and sits at the back).
+    /// Probed right after the live MemTable: their entries are not yet in
+    /// the ABI or any table, so they must stay reader-visible until the
+    /// worker's flush/merge commits and republishes without them.
+    pub frozen_newest_first: Vec<Arc<SharedTable>>,
     pub abi: Arc<SharedTable>,
     /// False until the ABI has been rebuilt after a restart; gets then
     /// take the degraded upper-level walk.
@@ -125,6 +131,13 @@ impl ShardView {
     ) -> Option<(Slot, GetSource)> {
         if let Some(s) = self.mem.get(ctx, hash) {
             return Some((s, GetSource::MemTable));
+        }
+        // Frozen MemTables hold entries newer than everything below; a
+        // hit here is still a MemTable hit for metrics purposes.
+        for t in &self.frozen_newest_first {
+            if let Some(s) = t.get(ctx, hash) {
+                return Some((s, GetSource::MemTable));
+            }
         }
         if self.abi_valid && use_abi {
             if let Some(s) = self.abi.get(ctx, hash) {

@@ -54,7 +54,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use chameleon_obs::{EventKind, ObsConfig};
-use chameleondb::{BatchOp, ChameleonConfig, ChameleonDb, CompactionScheme, GpmConfig, Mode};
+use chameleondb::{
+    BatchOp, BgConfig, ChameleonConfig, ChameleonDb, CompactionScheme, GpmConfig, Mode,
+};
 use kvapi::KvStore;
 use kvlog::LogConfig;
 use pmem_sim::{CrashPoint, PmemDevice, ThreadCtx};
@@ -162,6 +164,17 @@ pub fn store_config(scheme: CompactionScheme) -> ChameleonConfig {
             window_ops: GPM_WINDOW,
         },
         obs: ObsConfig::on(),
+        // Lock-step background maintenance: flushes/compactions still run
+        // on the worker pool (so the matrix exercises the freeze/queue/
+        // worker/republish machinery and worker-thread crash unwinding),
+        // but each put waits for its own enqueued work, keeping fence
+        // ordinals deterministic across the dry and armed runs.
+        bg: BgConfig {
+            enabled: true,
+            workers: 1,
+            frozen_queue_cap: 2,
+            synchronous: true,
+        },
         ..ChameleonConfig::with_shards(2)
     }
 }

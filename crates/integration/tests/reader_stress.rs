@@ -216,6 +216,116 @@ fn readers_vs_wim_merges_and_abi_dumps() {
     assert!(m.abi_dumps > 0, "full ABIs must dump unmerged under GPM");
 }
 
+/// Background-pipeline torture config: one worker and a frozen-queue
+/// cap of 1, so the writers outrun maintenance and hit the backpressure
+/// stall path while frozen tables sit reader-visible in the queue.
+fn bg_torture_cfg() -> ChameleonConfig {
+    let mut cfg = stress_cfg();
+    cfg.bg.workers = 1;
+    cfg.bg.frozen_queue_cap = 1;
+    cfg
+}
+
+/// Background maintenance torture, direct scheme: readers enforce the
+/// ack-floor protocol while the worker pool flushes and compacts behind
+/// the puts, and the tiny frozen queue forces writers into stalls.
+#[test]
+fn readers_vs_background_pipeline_stalls_direct() {
+    let st = run_stress(bg_torture_cfg(), 2, 4, 3);
+    let m = st.db.metrics();
+    assert!(m.flushes > 0, "workload must drive flushes");
+    assert!(m.mid_compactions > 0, "workload must drive mid compactions");
+    assert!(
+        m.write_stalls > 0,
+        "cap-1 frozen queue with one worker must backpressure the writers"
+    );
+}
+
+/// Background maintenance torture under the level-by-level scheme.
+#[test]
+fn readers_vs_background_pipeline_stalls_level_by_level() {
+    let mut cfg = bg_torture_cfg();
+    cfg.compaction = CompactionScheme::LevelByLevel;
+    let st = run_stress(cfg, 2, 4, 3);
+    let m = st.db.metrics();
+    assert!(m.flushes > 0 && m.mid_compactions > 0);
+    assert!(m.write_stalls > 0, "torture config must stall writers");
+}
+
+/// Runtime mode switches while the background pipeline is saturated:
+/// frozen tables enqueued under one mode may be processed under another
+/// (mode is evaluated when the worker picks the job up), and readers
+/// must never notice.
+#[test]
+fn readers_vs_background_pipeline_mode_switches() {
+    let dev = PmemDevice::optane(1 << 30);
+    let db = ChameleonDb::create(Arc::clone(&dev), bg_torture_cfg()).unwrap();
+    dev.set_active_threads(3);
+    let cost = Arc::new(CostModel::default());
+    let stop = AtomicBool::new(false);
+    let ack = AtomicU64::new(0);
+    crossbeam::thread::scope(|s| {
+        let db = &db;
+        let stop = &stop;
+        let ack = &ack;
+        let wcost = Arc::clone(&cost);
+        s.spawn(move |_| {
+            let mut ctx = ThreadCtx::for_thread(wcost, 0);
+            for round in 1..=6u64 {
+                db.set_mode(if round.is_multiple_of(2) {
+                    Mode::WriteIntensive
+                } else {
+                    Mode::Normal
+                });
+                for i in 0..4096u64 {
+                    db.put(&mut ctx, i, &value_for(i, round)).expect("put");
+                    ack.store(round * 4096 + i, Ordering::Release);
+                }
+            }
+            stop.store(true, Ordering::Release);
+        });
+        for r in 0..2usize {
+            let rcost = Arc::clone(&cost);
+            s.spawn(move |_| {
+                let mut ctx = ThreadCtx::for_thread(rcost, 1 + r);
+                let mut out = Vec::new();
+                let mut x = 1u64 + r as u64;
+                while !stop.load(Ordering::Acquire) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let floor = ack.load(Ordering::Acquire);
+                    if floor == 0 {
+                        continue;
+                    }
+                    let k = x % 4096;
+                    if floor >= 4096 + k {
+                        assert!(
+                            db.get(&mut ctx, k, &mut out).expect("get"),
+                            "acked key {k} missing (ack cursor {floor})"
+                        );
+                        let (vk, vv) = decode(&out);
+                        assert_eq!(vk, k);
+                        assert!(vv >= 1);
+                    }
+                }
+            });
+        }
+    })
+    .expect("scope");
+    // Settle the pipeline, then audit the end state single-threaded.
+    db.drain_maintenance().unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let mut out = Vec::new();
+    for k in 0..4096u64 {
+        assert!(db.get(&mut ctx, k, &mut out).unwrap(), "key {k} lost");
+        assert_eq!(decode(&out), (k, 6));
+    }
+    let m = db.metrics();
+    assert!(m.wim_merges > 0, "WIM phases must merge");
+    assert!(m.flushes > 0, "Normal phases must flush");
+}
+
 /// The full-size variant (not part of the default CI slice).
 #[test]
 #[ignore = "long-running full stress; CI runs the quick slices above"]
@@ -368,7 +478,11 @@ fn get_path_writes_no_media_bytes() {
 #[test]
 fn crash_between_view_publish_and_next_commit_recovers() {
     let dev = PmemDevice::optane(1 << 30);
-    let cfg = stress_cfg();
+    let mut cfg = stress_cfg();
+    // Lock-step maintenance: the test steers by watching the flush
+    // counter between individual puts, which needs each put's enqueued
+    // flush to have completed by the time the put returns.
+    cfg.bg.synchronous = true;
     let db = ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap();
     let mut ctx = ThreadCtx::with_default_cost();
 

@@ -14,7 +14,7 @@ use std::time::Duration;
 use chameleon_obs::{ObsConfig, ServerObs};
 use chameleondb::{BatchOp, ChameleonConfig, ChameleonDb};
 use kvapi::KvStore;
-use kvclient::{Client, ModeArg, StatsFormat, WriteOutcome};
+use kvclient::{Client, ModeArg, RetryPolicy, StatsFormat, WriteOutcome};
 use kvserver::{KvServer, ServerConfig};
 use pmem_sim::{CrashPoint, PmemDevice, ThreadCtx};
 
@@ -408,4 +408,60 @@ fn graceful_shutdown_drains_queues_and_checkpoints() {
         );
         assert_eq!(out, value_for(key));
     }
+}
+
+/// A commit lane that never drains must not hang the client forever:
+/// `put_retrying` is bounded and surfaces `TimedOut` once its attempt
+/// budget is spent. The "server" here is a bare socket that answers
+/// RETRY to the first seven puts and only then accepts, so the test
+/// also pins the retry count the client reports on eventual success.
+#[test]
+fn put_retrying_times_out_against_a_wedged_lane() {
+    use kvserver::proto::{
+        decode_request, encode_response, read_frame, write_frame, Request, Response,
+    };
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let wedged = thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let mut writer = std::io::BufWriter::new(stream);
+        let mut puts_seen = 0u64;
+        while let Ok(Some(payload)) = read_frame(&mut reader) {
+            let req_id = match decode_request(&payload).unwrap() {
+                Request::Put { req_id, .. } => req_id,
+                other => panic!("wedged lane got non-put request {other:?}"),
+            };
+            puts_seen += 1;
+            let resp = if puts_seen <= 7 {
+                Response::Retry { req_id }
+            } else {
+                Response::Ok { req_id }
+            };
+            write_frame(&mut writer, &encode_response(&resp)).unwrap();
+            std::io::Write::flush(&mut writer).unwrap();
+        }
+        puts_seen
+    });
+
+    let mut c = Client::connect(addr).unwrap();
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_delay: Duration::from_micros(50),
+        max_delay: Duration::from_millis(1),
+    };
+
+    // Puts 1..=5: all RETRY — the bounded policy must give up.
+    let err = c
+        .put_retrying_with(9, b"wedged", true, &policy)
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::TimedOut);
+
+    // Puts 6..=8: RETRY, RETRY, OK — succeeds and reports two retries.
+    let retries = c.put_retrying_with(9, b"wedged", true, &policy).unwrap();
+    assert_eq!(retries, 2);
+
+    drop(c);
+    assert_eq!(wedged.join().unwrap(), 8, "client sent an unexpected put");
 }

@@ -31,6 +31,55 @@ fn bad_data(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.to_owned())
 }
 
+/// Bounded, jittered exponential backoff for [`Client::put_retrying_with`].
+///
+/// A RETRY response means the key's commit lane was full at enqueue
+/// time; the lane normally drains within one group-commit interval, so
+/// retries back off exponentially from [`RetryPolicy::base_delay`] up to
+/// [`RetryPolicy::max_delay`], each sleep jittered down by up to half to
+/// keep a fleet of clients from resubmitting in lockstep. After
+/// [`RetryPolicy::max_attempts`] total attempts the write surfaces
+/// [`io::ErrorKind::TimedOut`] instead of hanging the caller forever on
+/// a wedged lane.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total submission attempts, the initial one included (min 1).
+    pub max_attempts: u32,
+    /// Backoff before the first resubmit; doubles every retry after.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 16,
+            base_delay: Duration::from_micros(200),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based), jittered into
+    /// `[d/2, d]` where `d = min(base_delay << retry, max_delay)`.
+    fn backoff(&self, retry: u32, seed: &mut u64) -> Duration {
+        let d = self
+            .base_delay
+            .checked_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .map_or(self.max_delay, |d| d.min(self.max_delay));
+        // xorshift64*: no external RNG dependency, good enough to
+        // decorrelate concurrent clients.
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        let half = d.as_nanos() as u64 / 2;
+        let jitter = if half == 0 { 0 } else { *seed % (half + 1) };
+        d.saturating_sub(Duration::from_nanos(jitter))
+    }
+}
+
 /// A blocking, pipelining-capable connection to a kvserver.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -120,18 +169,39 @@ impl Client {
         self.write_outcome(id)
     }
 
-    /// Blocking PUT that resubmits on RETRY until accepted.
+    /// Blocking PUT that resubmits on RETRY under the default
+    /// [`RetryPolicy`]. Returns the number of retries it took; fails
+    /// with [`io::ErrorKind::TimedOut`] once the policy's attempt
+    /// budget is exhausted.
     pub fn put_retrying(&mut self, key: u64, value: &[u8], durable: bool) -> io::Result<u64> {
-        let mut retries = 0u64;
-        loop {
+        self.put_retrying_with(key, value, durable, &RetryPolicy::default())
+    }
+
+    /// Blocking PUT that resubmits on RETRY with explicit backoff
+    /// bounds. See [`RetryPolicy`].
+    pub fn put_retrying_with(
+        &mut self,
+        key: u64,
+        value: &[u8],
+        durable: bool,
+        policy: &RetryPolicy,
+    ) -> io::Result<u64> {
+        let attempts = policy.max_attempts.max(1);
+        let mut seed = key | 1;
+        for retry in 0..attempts {
             match self.put(key, value, durable)? {
-                WriteOutcome::Done { .. } => return Ok(retries),
+                WriteOutcome::Done { .. } => return Ok(u64::from(retry)),
                 WriteOutcome::Retry => {
-                    retries += 1;
-                    std::thread::yield_now();
+                    if retry + 1 < attempts {
+                        std::thread::sleep(policy.backoff(retry, &mut seed));
+                    }
                 }
             }
         }
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("put of key {key} still RETRY after {attempts} attempts"),
+        ))
     }
 
     /// Blocking DELETE; `Done { existed }` reports whether the key was
