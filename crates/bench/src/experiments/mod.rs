@@ -12,6 +12,8 @@ pub mod fig17;
 pub mod obs;
 pub mod overall;
 pub mod serve;
+pub mod top;
+pub mod trace_dump;
 
 use kvapi::KvStore;
 use pmem_sim::{PmemDevice, ThreadCtx};

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use chameleon_obs::ServerObs;
+use chameleon_obs::{ServerObs, TraceConfig};
 use chameleondb::{ChameleonConfig, ChameleonDb};
 use kvclient::Client;
 use kvserver::{KvServer, ServerConfig};
@@ -31,9 +31,13 @@ use crate::util::{fmt_bytes, header, write_json, Opts};
 
 /// Store geometry for the service-layer runs: enough MemTable capacity
 /// that the short benchmark never flushes, so the media deltas isolate
-/// the log write path the two commit policies differ on.
+/// the log write path the two commit policies differ on. Observability
+/// is on so the windowed telemetry (and the server-side latency columns)
+/// have per-op histograms to delta.
 fn serve_store_config() -> ChameleonConfig {
-    ChameleonConfig::with_shards(64)
+    let mut cfg = ChameleonConfig::with_shards(64);
+    cfg.obs = chameleon_obs::ObsConfig::on();
+    cfg
 }
 
 fn new_store(dev: &Arc<PmemDevice>) -> Arc<ChameleonDb> {
@@ -45,13 +49,13 @@ fn new_store(dev: &Arc<PmemDevice>) -> Arc<ChameleonDb> {
 
 // Minimal signal hookup without a libc dependency: POSIX `signal` with a
 // handler that sets a flag the serve loop polls.
-static STOP: AtomicBool = AtomicBool::new(false);
+pub(crate) static STOP: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_signal(_signum: i32) {
     STOP.store(true, Ordering::SeqCst);
 }
 
-fn install_stop_handlers() {
+pub(crate) fn install_stop_handlers() {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     extern "C" {
@@ -69,7 +73,15 @@ pub fn serve(opts: &Opts) {
     let dev = PmemDevice::optane(1 << 30);
     let store = new_store(&dev);
     let obs = Arc::new(ServerObs::new());
-    let cfg = ServerConfig::default();
+    let cfg = ServerConfig {
+        trace: if opts.trace > 0 {
+            TraceConfig::sampled(opts.trace)
+        } else {
+            TraceConfig::off()
+        },
+        http_addr: opts.http_port.map(|p| format!("127.0.0.1:{p}")),
+        ..ServerConfig::default()
+    };
     let server = KvServer::start(
         &format!("127.0.0.1:{}", opts.port),
         Arc::clone(&dev),
@@ -86,6 +98,15 @@ pub fn serve(opts: &Opts) {
         cfg.max_batch,
         cfg.max_hold
     );
+    if opts.trace > 0 {
+        println!(
+            "  tracing 1/{} requests (ring of {} spans; fetch with `repro trace-dump`)",
+            opts.trace, cfg.trace.ring_capacity
+        );
+    }
+    if let Some(http) = server.http_addr() {
+        println!("  metrics sidecar on http://{http}/metrics (and /snapshot.json; watch with `repro top`)");
+    }
 
     while !STOP.load(Ordering::SeqCst) {
         thread::sleep(Duration::from_millis(50));
@@ -98,12 +119,16 @@ pub fn serve(opts: &Opts) {
     }
 
     println!("\n  signal received: draining lanes and checkpointing...");
+    let windows = server.windows();
+    let tracer = server.tracer();
     match server.shutdown() {
         Ok(()) => println!("  clean shutdown"),
         Err(e) => eprintln!("  shutdown error: {e}"),
     }
     let ctx = pmem_sim::ThreadCtx::with_default_cost();
-    let snap = store.obs_snapshot_with(ctx.clock.now(), vec![obs.section()]);
+    let mut snap = store.obs_snapshot_with(ctx.clock.now(), vec![obs.section(), tracer.section()]);
+    snap.windows = windows.windows();
+    snap.trace_stages = tracer.stage_summaries();
     println!(
         "  served {} requests over {} connections ({} batches, {} acks/fence x1000)",
         obs.requests.load(Ordering::Relaxed),
@@ -119,7 +144,7 @@ pub fn serve(opts: &Opts) {
 }
 
 /// One measured serve-bench configuration.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct ServeBenchRow {
     pub policy: String,
     pub connections: usize,
@@ -131,9 +156,16 @@ pub struct ServeBenchRow {
     pub wall_secs: f64,
     pub ops_per_sec: f64,
     /// Client-observed wall-clock put latency (includes the group-commit
-    /// hold window — the latency cost of batching).
+    /// hold window — the latency cost of batching), from the kvclient
+    /// per-op histograms.
     pub put_p50_us: f64,
     pub put_p99_us: f64,
+    /// Server-side put latency from the engine's histograms, in
+    /// *simulated* device microseconds — the media cost of the put,
+    /// excluding protocol, queueing, and batching waits. The gap between
+    /// this and the client columns is the service-layer overhead.
+    pub server_put_p50_us: f64,
+    pub server_put_p99_us: f64,
     /// Media traffic attributed to the run, per put.
     pub media_blocks_per_put: f64,
     pub rmw_blocks_per_put: f64,
@@ -166,11 +198,9 @@ fn client_loop(addr: std::net::SocketAddr, conn_id: u64, ops: u64) -> ClientTall
     let value = [0x5Au8; 64];
     for n in 0..ops {
         let key = (conn_id << 40) | n;
-        let start = Instant::now();
         t.retries += c
             .put_retrying(key, &value, true)
             .expect("serve-bench: put failed");
-        t.latency.record(start.elapsed().as_nanos() as u64);
         t.puts += 1;
         if n.is_multiple_of(16) {
             t.gets += 1;
@@ -180,6 +210,9 @@ fn client_loop(addr: std::net::SocketAddr, conn_id: u64, ops: u64) -> ClientTall
             }
         }
     }
+    // Client-observed latency comes from the kvclient instrumentation
+    // (per blocking round-trip; backoff sleeps between retries excluded).
+    t.latency = c.latencies().put.clone();
     t
 }
 
@@ -224,6 +257,7 @@ fn run_policy(
     }
     assert_eq!(lost, 0, "serve-bench: {lost} acked writes unreadable");
 
+    let server_put = store.obs().op_rollup().put;
     server.shutdown().expect("serve-bench: dirty shutdown");
     assert_eq!(
         obs.protocol_errors.load(Ordering::Relaxed),
@@ -244,6 +278,8 @@ fn run_policy(
         ops_per_sec: (puts + gets) as f64 / wall.as_secs_f64(),
         put_p50_us: latency.median() as f64 / 1e3,
         put_p99_us: latency.quantile(0.99) as f64 / 1e3,
+        server_put_p50_us: server_put.median() as f64 / 1e3,
+        server_put_p99_us: server_put.quantile(0.99) as f64 / 1e3,
         media_blocks_per_put: (media.media_bytes_written / 256) as f64 / puts as f64,
         rmw_blocks_per_put: media.rmw_blocks as f64 / puts as f64,
         fences_per_kput: media.fences as f64 * 1e3 / puts as f64,
@@ -282,13 +318,27 @@ pub fn bench(opts: &Opts) {
         connections,
         ops_per_conn,
     );
+    // Same group-commit config with 1/64 request tracing: measures what
+    // the sampling instrumentation costs on the hot path.
+    let traced = run_policy(
+        "group+trace64",
+        ServerConfig {
+            lanes,
+            max_batch: 64,
+            max_hold: Duration::from_micros(200),
+            trace: TraceConfig::sampled(64),
+            ..ServerConfig::default()
+        },
+        connections,
+        ops_per_conn,
+    );
 
     println!(
-        "  policy        ops/s      p50       p99       blk/put  rmw/put  fence/kput  acks/fence"
+        "  policy          ops/s      p50       p99       blk/put  rmw/put  fence/kput  acks/fence"
     );
-    for row in [&batch1, &group] {
+    for row in [&batch1, &group, &traced] {
         println!(
-            "  {:<12}  {:>8.0}  {:>7.1}us {:>7.1}us  {:>7.3}  {:>7.3}  {:>9.1}  {:>9.3}",
+            "  {:<14}  {:>8.0}  {:>7.1}us {:>7.1}us  {:>7.3}  {:>7.3}  {:>9.1}  {:>9.3}",
             row.policy,
             row.ops_per_sec,
             row.put_p50_us,
@@ -298,6 +348,45 @@ pub fn bench(opts: &Opts) {
             row.fences_per_kput,
             row.acks_per_fence_milli as f64 / 1e3,
         );
+    }
+    println!("\n  client-observed (wall) vs server-side (simulated media) put latency:");
+    for row in [&batch1, &group, &traced] {
+        println!(
+            "  {:<14}  client p50 {:>7.1}us / p99 {:>7.1}us   server p50 {:>6.2}us / p99 {:>6.2}us",
+            row.policy,
+            row.put_p50_us,
+            row.put_p99_us,
+            row.server_put_p50_us,
+            row.server_put_p99_us,
+        );
+    }
+    let overhead_pct = 100.0 * (1.0 - traced.ops_per_sec / group.ops_per_sec);
+    println!(
+        "\n  tracing overhead at 1/64 sampling: {overhead_pct:+.1}% throughput vs untraced (target < 5%; wall-clock, noisy on shared machines)"
+    );
+    if let Some(dir) = &opts.out_dir {
+        let d = dir.join("pr6_tracing");
+        std::fs::create_dir_all(&d).expect("create pr6_tracing dir");
+        #[derive(Serialize)]
+        struct TracingOverhead {
+            sample_every: u64,
+            overhead_pct: f64,
+            untraced: ServeBenchRow,
+            traced: ServeBenchRow,
+        }
+        let path = d.join("tracing_overhead.json");
+        let payload = TracingOverhead {
+            sample_every: 64,
+            overhead_pct,
+            untraced: group.clone(),
+            traced: traced.clone(),
+        };
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&payload).expect("serialize overhead"),
+        )
+        .expect("write overhead artifact");
+        println!("  [artifact] {}", path.display());
     }
     println!(
         "\n  group commit: mean batch {:.1} ops, media per put {} -> {} ({}x), fences per put {:.2} -> {:.2}",

@@ -1,0 +1,280 @@
+//! `repro top` — a live terminal dashboard over the metrics sidecar.
+//!
+//! Polls `http://127.0.0.1:<http-port>/metrics` once per second, parses
+//! the Prometheus exposition, and renders the most recent telemetry
+//! window (ops/sec, per-op latency quantiles, batching, media traffic)
+//! plus cumulative server counters. Runs until SIGINT/SIGTERM; `--quick`
+//! renders three frames and exits (CI smoke).
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use crate::util::{fmt_bytes, fmt_ns, http_get, Opts};
+
+/// One parsed Prometheus sample: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// Parses text exposition into samples, skipping comments and anything
+/// malformed (the dashboard tolerates partial scrapes; strict validation
+/// lives in [`crate::util::validate_prometheus`]).
+pub fn parse_samples(text: &str) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name_labels, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((name, rest)) => {
+                let Some(rest) = rest.strip_suffix('}') else {
+                    continue;
+                };
+                let mut labels = Vec::new();
+                for pair in rest.split(',').filter(|p| !p.is_empty()) {
+                    let Some((k, v)) = pair.split_once('=') else {
+                        continue;
+                    };
+                    labels.push((k.to_string(), v.trim_matches('"').to_string()));
+                }
+                (name, labels)
+            }
+            None => (name_labels, Vec::new()),
+        };
+        out.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    out
+}
+
+struct Metrics(Vec<Sample>);
+
+impl Metrics {
+    fn scalar(&self, name: &str) -> Option<f64> {
+        self.0.iter().find(|s| s.name == name).map(|s| s.value)
+    }
+
+    fn labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.0
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// Distinct values of one label under one metric, in exposition order.
+    fn label_values(&self, name: &str, key: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for s in self.0.iter().filter(|s| s.name == name) {
+            if let Some((_, v)) = s.labels.iter().find(|(k, _)| k == key) {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render(m: &Metrics, addr: &str, clear: bool) {
+    let mut out = String::new();
+    if clear {
+        out.push_str("\x1b[2J\x1b[H");
+    }
+    let seq = m.scalar("chameleon_win_seq").unwrap_or(0.0) as u64;
+    let wall = m.scalar("chameleon_win_wall_ms").unwrap_or(0.0) as u64;
+    out.push_str(&format!(
+        "chameleon top — {addr}   window #{seq} ({wall} ms)\n"
+    ));
+    out.push_str(&format!(
+        "  ops/sec {:.0}\n",
+        m.scalar("chameleon_win_ops_per_sec").unwrap_or(0.0)
+    ));
+
+    let ops = m.label_values("chameleon_win_op_count", "op");
+    if ops.is_empty() {
+        out.push_str("  (no windowed op telemetry yet — is the sampler running?)\n");
+    } else {
+        out.push_str(&format!(
+            "  {:<12} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
+            "op", "count", "p50", "p99", "p99.9", "max"
+        ));
+        for op in &ops {
+            let l = |q: &str| {
+                m.labeled(
+                    "chameleon_win_op_latency_ns",
+                    &[("op", op), ("quantile", q)],
+                )
+                .map_or_else(|| "-".to_string(), |v| fmt_ns(v as u64))
+            };
+            out.push_str(&format!(
+                "  {:<12} {:>9} {:>10} {:>10} {:>10} {:>10}\n",
+                op,
+                m.labeled("chameleon_win_op_count", &[("op", op)])
+                    .unwrap_or(0.0) as u64,
+                l("0.5"),
+                l("0.99"),
+                l("0.999"),
+                m.labeled("chameleon_win_op_latency_ns_max", &[("op", op)])
+                    .map_or_else(|| "-".to_string(), |v| fmt_ns(v as u64)),
+            ));
+        }
+    }
+
+    let batches = m.scalar("chameleon_win_batches").unwrap_or(0.0);
+    let batched = m.scalar("chameleon_win_batched_ops").unwrap_or(0.0);
+    out.push_str(&format!(
+        "  batches {}  mean-batch {:.1}  acks {}  retries {}\n",
+        batches as u64,
+        if batches > 0.0 {
+            batched / batches
+        } else {
+            0.0
+        },
+        m.scalar("chameleon_win_acks").unwrap_or(0.0) as u64,
+        m.scalar("chameleon_win_retries").unwrap_or(0.0) as u64,
+    ));
+    out.push_str(&format!(
+        "  media written {}  read {}  fences {}\n",
+        fmt_bytes(m.scalar("chameleon_win_media_bytes_written").unwrap_or(0.0) as u64),
+        fmt_bytes(m.scalar("chameleon_win_media_bytes_read").unwrap_or(0.0) as u64),
+        m.scalar("chameleon_win_fences").unwrap_or(0.0) as u64,
+    ));
+
+    let stages = m.label_values("chameleon_trace_stage_count", "stage");
+    if !stages.is_empty() {
+        out.push_str(&format!(
+            "  {:<16} {:>9} {:>10} {:>10}\n",
+            "trace stage", "count", "p50", "p99"
+        ));
+        for st in &stages {
+            let l = |q: &str| {
+                m.labeled(
+                    "chameleon_trace_stage_ns",
+                    &[("stage", st), ("quantile", q)],
+                )
+                .map_or_else(|| "-".to_string(), |v| fmt_ns(v as u64))
+            };
+            out.push_str(&format!(
+                "  {:<16} {:>9} {:>10} {:>10}\n",
+                st,
+                m.labeled("chameleon_trace_stage_count", &[("stage", st)])
+                    .unwrap_or(0.0) as u64,
+                l("0.5"),
+                l("0.99"),
+            ));
+        }
+    }
+
+    let counter = |n: &str| m.scalar(&format!("chameleon_server_{n}")).unwrap_or(0.0) as u64;
+    out.push_str(&format!(
+        "  totals: requests {}  puts {}  gets {}  deletes {}  conns {}  early-acks {}  trace-reqs {}\n",
+        counter("requests"),
+        counter("puts"),
+        counter("gets"),
+        counter("deletes"),
+        counter("connections"),
+        counter("early_acks"),
+        counter("trace_reqs"),
+    ));
+    print!("{out}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+}
+
+pub fn run(opts: &Opts) {
+    let port = opts.http_port.unwrap_or(7879);
+    let addr = format!("127.0.0.1:{port}");
+    super::serve::install_stop_handlers();
+    println!("repro top: polling http://{addr}/metrics (ctrl-c to quit)");
+
+    let mut frames = 0u32;
+    let mut waiting_reported = false;
+    while !super::serve::STOP.load(Ordering::SeqCst) {
+        match http_get(&addr, "/metrics") {
+            Ok((200, body)) => {
+                waiting_reported = false;
+                render(&Metrics(parse_samples(&body)), &addr, !opts.quick);
+                frames += 1;
+                if opts.quick && frames >= 3 {
+                    break;
+                }
+            }
+            Ok((status, _)) => {
+                eprintln!("repro top: /metrics returned HTTP {status}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                if !waiting_reported {
+                    eprintln!("repro top: waiting for server at {addr} ({e})");
+                    waiting_reported = true;
+                }
+                if opts.quick {
+                    frames += 1;
+                    if frames >= 30 {
+                        eprintln!("repro top: no server after 30 attempts, giving up");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        // 1s refresh, sliced so ctrl-c lands promptly.
+        for _ in 0..20 {
+            if super::serve::STOP.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXPO: &str = "# TYPE chameleon_win_seq gauge\n\
+        chameleon_win_seq 7\n\
+        chameleon_win_ops_per_sec 123.5\n\
+        chameleon_win_op_count{op=\"put\"} 42\n\
+        chameleon_win_op_latency_ns{op=\"put\",quantile=\"0.99\"} 9000\n\
+        garbage line without value-number x\n";
+
+    #[test]
+    fn parses_samples_and_labels() {
+        let m = Metrics(parse_samples(EXPO));
+        assert_eq!(m.scalar("chameleon_win_seq"), Some(7.0));
+        assert_eq!(m.scalar("chameleon_win_ops_per_sec"), Some(123.5));
+        assert_eq!(
+            m.labeled("chameleon_win_op_count", &[("op", "put")]),
+            Some(42.0)
+        );
+        assert_eq!(
+            m.labeled(
+                "chameleon_win_op_latency_ns",
+                &[("op", "put"), ("quantile", "0.99")]
+            ),
+            Some(9000.0)
+        );
+        assert_eq!(m.labeled("chameleon_win_op_count", &[("op", "get")]), None);
+        assert_eq!(m.label_values("chameleon_win_op_count", "op"), vec!["put"]);
+        // Malformed line is skipped, not fatal.
+        assert_eq!(m.0.len(), 4);
+    }
+}

@@ -12,7 +12,10 @@
 //! (`--quick` for the bounded CI slice) and exits nonzero on any
 //! acknowledged-write violation. `serve` runs the kvserver TCP front-end
 //! on `--port` until SIGINT/SIGTERM; `serve-bench` measures group commit
-//! against fence-per-put over TCP loopback.
+//! against fence-per-put over TCP loopback. `trace-dump` drives a
+//! force-traced workload against a running server and exports Chrome
+//! trace JSON; `top` is a live dashboard over the `--http-port` metrics
+//! sidecar.
 
 use chameleon_bench::experiments as exp;
 use chameleon_bench::util::Opts;
@@ -91,6 +94,12 @@ fn main() {
         "serve-bench" => {
             exp::serve::bench(&opts);
         }
+        "trace-dump" => {
+            exp::trace_dump::run(&opts);
+        }
+        "top" => {
+            exp::top::run(&opts);
+        }
         "all" => {
             exp::fig01::run(&opts);
             exp::fig02::run(&opts);
@@ -123,9 +132,9 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: repro <experiment> [--keys N] [--ops N] [--threads N] [--out DIR | --no-out] [--quick]\n\
-         \x20                       [--obs-json PATH] [--progress] [--port N]\n\
+         \x20                       [--obs-json PATH] [--progress] [--port N] [--trace N] [--http-port N]\n\
          experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
                       table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs crash\n\
-                      serve serve-bench all"
+                      serve serve-bench trace-dump top all"
     );
 }

@@ -25,6 +25,13 @@ pub struct Opts {
     pub progress: bool,
     /// TCP port for `repro serve` (loopback only).
     pub port: u16,
+    /// Request-trace sampling for `repro serve`: trace one request in N
+    /// (0 = off; the wire trace flag still forces individual requests).
+    pub trace: u64,
+    /// Port for the plain-HTTP metrics sidecar (`/metrics`,
+    /// `/snapshot.json`). `repro serve` only starts the sidecar when this
+    /// is set; `repro top` polls it (default 7879 when unset).
+    pub http_port: Option<u16>,
 }
 
 impl Default for Opts {
@@ -38,6 +45,8 @@ impl Default for Opts {
             obs_json: None,
             progress: false,
             port: 7878,
+            trace: 0,
+            http_port: None,
         }
     }
 }
@@ -87,6 +96,21 @@ impl Opts {
                         .parse()
                         .map_err(|e| format!("--port: {e}"))?;
                 }
+                "--trace" => {
+                    opts.trace = it
+                        .next()
+                        .ok_or("--trace needs a value (sample one request in N; 0 = off)")?
+                        .parse()
+                        .map_err(|e| format!("--trace: {e}"))?;
+                }
+                "--http-port" => {
+                    opts.http_port = Some(
+                        it.next()
+                            .ok_or("--http-port needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--http-port: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -134,6 +158,95 @@ pub fn fmt_ns(ns: u64) -> String {
     } else {
         format!("{ns}ns")
     }
+}
+
+/// Issues a minimal HTTP/1.1 GET against the metrics sidecar and returns
+/// `(status_code, body)`. Deliberately tiny: loopback only, `Connection:
+/// close`, whole response read to EOF.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    use std::io::Read as _;
+    let mut s = std::net::TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    s.set_write_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    s.write_all(req.as_bytes())?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    Ok((status, body.to_string()))
+}
+
+/// Validates Prometheus text exposition format and returns the number of
+/// sample lines. Checks: comment lines are `# TYPE` / `# HELP`, metric
+/// names use the legal charset, labels are `key="value"` pairs, and every
+/// sample value parses as f64.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    fn name_ok(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("TYPE ") || rest.starts_with("HELP ")) {
+                return Err(format!("line {}: bad comment {line:?}", i + 1));
+            }
+            continue;
+        }
+        // name[{labels}] value
+        let (name_labels, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value in {line:?}", i + 1))?;
+        let name = match name_labels.split_once('{') {
+            Some((name, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated labels", i + 1))?;
+                for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {}: bad label {pair:?}", i + 1))?;
+                    if !name_ok(k) || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return Err(format!("line {}: bad label {pair:?}", i + 1));
+                    }
+                }
+                name
+            }
+            None => name_labels,
+        };
+        if !name_ok(name) {
+            return Err(format!("line {}: bad metric name {name:?}", i + 1));
+        }
+        value
+            .parse::<f64>()
+            .map_err(|e| format!("line {}: bad value {value:?}: {e}", i + 1))?;
+        samples += 1;
+    }
+    Ok(samples)
 }
 
 /// Formats bytes human-readably.
@@ -192,6 +305,26 @@ mod tests {
     }
 
     #[test]
+    fn parse_trace_and_http_port() {
+        let o = Opts::parse(&[]).unwrap();
+        assert_eq!(o.trace, 0);
+        assert!(o.http_port.is_none());
+        let args: Vec<String> = ["--trace", "64", "--http-port", "7879"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Opts::parse(&args).unwrap();
+        assert_eq!(o.trace, 64);
+        assert_eq!(o.http_port, Some(7879));
+        assert!(Opts::parse(&["--trace".to_string()]).is_err());
+        let bad: Vec<String> = ["--http-port", "potato"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(Opts::parse(&bad).is_err());
+    }
+
+    #[test]
     fn unknown_flag_is_an_error() {
         let args = vec!["--bogus".to_string()];
         assert!(Opts::parse(&args).is_err());
@@ -202,6 +335,21 @@ mod tests {
         let args = vec!["--quick".to_string()];
         let o = Opts::parse(&args).unwrap();
         assert_eq!(o.keys, Opts::default().keys / 10);
+    }
+
+    #[test]
+    fn prometheus_validation() {
+        let good = "# TYPE chameleon_op_count gauge\n\
+                    chameleon_op_count{op=\"put\"} 42\n\
+                    chameleon_win_ops_per_sec 1234.5\n\
+                    chameleon_trace_stage_ns{stage=\"batch_seal\",quantile=\"0.99\"} 9\n";
+        assert_eq!(validate_prometheus(good).unwrap(), 3);
+        assert!(validate_prometheus("bad name! 1\n").is_err());
+        assert!(validate_prometheus("# BOGUS comment\n").is_err());
+        assert!(validate_prometheus("metric{op=put} 1\n").is_err());
+        assert!(validate_prometheus("metric{op=\"x\"} notanumber\n").is_err());
+        assert!(validate_prometheus("metric_no_value\n").is_err());
+        assert_eq!(validate_prometheus("\n\n").unwrap(), 0);
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub enum EventKind {
     },
     /// The ABI was rebuilt from the upper levels.
     AbiRebuild { shard: u32, slots: u64 },
+    /// A put began waiting on background-maintenance backpressure (the
+    /// shard's frozen-MemTable queue was at capacity).
+    WriteStallEnter { shard: u32 },
+    /// The stalled put resumed after `stalled_ns` of simulated waiting.
+    /// Chrome-trace exports render enter/exit pairs as duration bars.
+    WriteStallExit { shard: u32, stalled_ns: u64 },
     /// The simulated device crashed; `crashes` is the device's lifetime
     /// crash count. Recorded into the *recovered* store's journal.
     Crash { crashes: u64 },
@@ -80,6 +86,8 @@ impl EventKind {
             EventKind::LastCompaction { .. } => "last_compaction",
             EventKind::AbiDump { .. } => "abi_dump",
             EventKind::AbiRebuild { .. } => "abi_rebuild",
+            EventKind::WriteStallEnter { .. } => "write_stall_enter",
+            EventKind::WriteStallExit { .. } => "write_stall_exit",
             EventKind::Crash { .. } => "crash",
             EventKind::CrashInjected { .. } => "crash_injected",
         }
@@ -134,6 +142,10 @@ impl EventKind {
             ],
             EventKind::AbiRebuild { shard, slots } => {
                 vec![("shard", shard as u64), ("slots", slots)]
+            }
+            EventKind::WriteStallEnter { shard } => vec![("shard", shard as u64)],
+            EventKind::WriteStallExit { shard, stalled_ns } => {
+                vec![("shard", shard as u64), ("stalled_ns", stalled_ns)]
             }
             EventKind::Crash { crashes } => vec![("crashes", crashes)],
             EventKind::CrashInjected { fence, .. } => vec![("fence", fence)],

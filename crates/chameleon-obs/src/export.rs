@@ -149,6 +149,68 @@ impl ObsSnapshot {
         }
         w.push_str("  ],\n");
 
+        w.push_str("  \"windows\": [\n");
+        for (i, win) in self.windows.iter().enumerate() {
+            let mut ops = String::new();
+            for (j, o) in win.ops.iter().enumerate() {
+                if j > 0 {
+                    ops.push_str(", ");
+                }
+                let _ = write!(
+                    ops,
+                    "{{ \"op\": {}, \"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
+                     \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {} }}",
+                    json_str(o.op),
+                    o.count,
+                    o.mean_ns,
+                    o.p50_ns,
+                    o.p99_ns,
+                    o.p999_ns,
+                    o.max_ns
+                );
+            }
+            let comma = if i + 1 < self.windows.len() { "," } else { "" };
+            let _ = writeln!(
+                w,
+                "    {{ \"seq\": {}, \"wall_ms\": {}, \"ops_per_sec\": {}, \
+                 \"batches\": {}, \"batched_ops\": {}, \"acks\": {}, \"retries\": {}, \
+                 \"media_bytes_written\": {}, \"media_bytes_read\": {}, \"fences\": {}, \
+                 \"ops\": [ {ops} ] }}{comma}",
+                win.seq,
+                win.wall_ms,
+                json_f64(win.ops_per_sec()),
+                win.batches,
+                win.batched_ops,
+                win.acks,
+                win.retries,
+                win.media_bytes_written,
+                win.media_bytes_read,
+                win.fences
+            );
+        }
+        w.push_str("  ],\n");
+
+        w.push_str("  \"trace_stages\": [\n");
+        for (i, t) in self.trace_stages.iter().enumerate() {
+            let comma = if i + 1 < self.trace_stages.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                w,
+                "    {{ \"stage\": {}, \"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {} }}{comma}",
+                json_str(t.stage),
+                t.count,
+                json_f64(t.mean_ns),
+                t.p50_ns,
+                t.p99_ns,
+                t.max_ns
+            );
+        }
+        w.push_str("  ],\n");
+
         w.push_str("  \"events\": {\n");
         let _ = writeln!(w, "    \"total\": {},", self.events_total);
         let _ = writeln!(w, "    \"dropped\": {},", self.events_dropped);
@@ -267,6 +329,86 @@ impl ObsSnapshot {
             );
         }
 
+        // Windowed telemetry: Prometheus scrapes are themselves periodic,
+        // so only the *latest* window exports (the full ring is in the
+        // JSON rendering). Absent entirely when no sampler runs.
+        if let Some(win) = self.windows.last() {
+            let win_scalars: [(&str, u64); 9] = [
+                ("seq", win.seq),
+                ("wall_ms", win.wall_ms),
+                ("batches", win.batches),
+                ("batched_ops", win.batched_ops),
+                ("acks", win.acks),
+                ("retries", win.retries),
+                ("media_bytes_written", win.media_bytes_written),
+                ("media_bytes_read", win.media_bytes_read),
+                ("fences", win.fences),
+            ];
+            for (name, val) in win_scalars {
+                let metric = format!("chameleon_win_{name}");
+                gauge(&mut w, &metric);
+                let _ = writeln!(w, "{metric} {val}");
+            }
+            gauge(&mut w, "chameleon_win_ops_per_sec");
+            let _ = writeln!(
+                w,
+                "chameleon_win_ops_per_sec {}",
+                prom_f64(win.ops_per_sec())
+            );
+            gauge(&mut w, "chameleon_win_op_count");
+            for o in &win.ops {
+                let _ = writeln!(w, "chameleon_win_op_count{{op=\"{}\"}} {}", o.op, o.count);
+            }
+            gauge(&mut w, "chameleon_win_op_latency_ns");
+            for o in &win.ops {
+                for (q, v) in [("0.5", o.p50_ns), ("0.99", o.p99_ns), ("0.999", o.p999_ns)] {
+                    let _ = writeln!(
+                        w,
+                        "chameleon_win_op_latency_ns{{op=\"{}\",quantile=\"{q}\"}} {v}",
+                        o.op
+                    );
+                }
+            }
+            gauge(&mut w, "chameleon_win_op_latency_ns_max");
+            for o in &win.ops {
+                let _ = writeln!(
+                    w,
+                    "chameleon_win_op_latency_ns_max{{op=\"{}\"}} {}",
+                    o.op, o.max_ns
+                );
+            }
+        }
+
+        if !self.trace_stages.is_empty() {
+            gauge(&mut w, "chameleon_trace_stage_count");
+            for t in &self.trace_stages {
+                let _ = writeln!(
+                    w,
+                    "chameleon_trace_stage_count{{stage=\"{}\"}} {}",
+                    t.stage, t.count
+                );
+            }
+            gauge(&mut w, "chameleon_trace_stage_ns");
+            for t in &self.trace_stages {
+                for (q, v) in [("0.5", t.p50_ns), ("0.99", t.p99_ns)] {
+                    let _ = writeln!(
+                        w,
+                        "chameleon_trace_stage_ns{{stage=\"{}\",quantile=\"{q}\"}} {v}",
+                        t.stage
+                    );
+                }
+            }
+            gauge(&mut w, "chameleon_trace_stage_ns_mean");
+            for t in &self.trace_stages {
+                let _ = writeln!(
+                    w,
+                    "chameleon_trace_stage_ns_mean{{stage=\"{}\"}} {}",
+                    t.stage,
+                    prom_f64(t.mean_ns)
+                );
+            }
+        }
+
         gauge(&mut w, "chameleon_events_total");
         let _ = writeln!(w, "chameleon_events_total {}", self.events_total);
         gauge(&mut w, "chameleon_events_dropped");
@@ -283,7 +425,10 @@ mod tests {
 
     use super::*;
     use crate::span::Stage;
-    use crate::{CounterSection, EventKind, Obs, ObsConfig, OpKind};
+    use crate::{
+        CounterSection, DeltaTracker, EventKind, Obs, ObsConfig, OpKind, ServerTickCounters,
+        Tracer, WindowedSeries,
+    };
 
     fn sample_snapshot() -> ObsSnapshot {
         let obs = Obs::new(ObsConfig::on(), 1);
@@ -311,14 +456,43 @@ mod tests {
             },
         );
         obs.record_op(0, OpKind::Get, 150);
-        obs.snapshot(
+        let mut snap = obs.snapshot(
             100,
             vec![CounterSection {
                 name: "store",
                 counters: vec![("puts", 5), ("gets", 9)],
             }],
             dev.snapshot(),
-        )
+        );
+        // Attach windowed telemetry and trace-stage aggregates the way a
+        // server does before serializing.
+        let series = WindowedSeries::new(4);
+        let mut tracker = DeltaTracker::new();
+        let mut ops = crate::OpHists::default();
+        for _ in 0..50 {
+            ops.put.record(2_000);
+        }
+        ops.get.record(900);
+        series.push(tracker.tick(
+            1_000,
+            &ops,
+            &pmem_sim::Histogram::new(),
+            dev.snapshot(),
+            ServerTickCounters {
+                batches: 2,
+                batched_ops: 50,
+                acks: 50,
+                retries: 1,
+            },
+        ));
+        snap.windows = series.windows();
+        let tracer = Tracer::new(crate::TraceConfig::sampled(1));
+        let s = tracer.force("put", 7);
+        s.stamp_at("decode", s.start_ns + 100);
+        s.stamp_at("ack_write", s.start_ns + 400);
+        tracer.complete(&s);
+        snap.trace_stages = tracer.stage_summaries();
+        snap
     }
 
     #[test]
@@ -344,6 +518,11 @@ mod tests {
             "\"trigger\": \"p99_above_enter_threshold\"",
             "\"kind\": \"abi_dump\"",
             "\"total\": 2",
+            "\"windows\": [",
+            "\"wall_ms\": 1000",
+            "\"ops_per_sec\": 51.0",
+            "\"trace_stages\": [",
+            "\"stage\": \"ack_write\"",
         ] {
             assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
         }
@@ -396,5 +575,59 @@ mod tests {
         assert!(text.contains("chameleon_stage_media_bytes_written{stage=\"abi_dump\"} 700"));
         assert!(text.contains("chameleon_op_latency_ns{op=\"get\",quantile=\"0.99\"}"));
         assert!(text.contains("chameleon_store_puts 5"));
+        // Windowed-series and trace-stage metrics ride the same validated
+        // path.
+        assert!(text.contains("chameleon_win_op_count{op=\"put\"} 50"));
+        assert!(text.contains("chameleon_win_op_latency_ns{op=\"put\",quantile=\"0.999\"}"));
+        assert!(text.contains("chameleon_win_batches 2"));
+        assert!(text.contains("chameleon_win_ops_per_sec 51"));
+        assert!(text.contains("chameleon_trace_stage_count{stage=\"decode\"} 1"));
+        assert!(text.contains("chameleon_trace_stage_ns{stage=\"ack_write\",quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn prometheus_omits_window_and_trace_blocks_when_absent() {
+        // A bare store (no sampler, no tracer) must not emit empty-labeled
+        // series or dangling TYPE headers for them.
+        let obs = Obs::new(ObsConfig::on(), 1);
+        let dev = MediaStats::default();
+        let text = obs.snapshot(0, Vec::new(), dev.snapshot()).to_prometheus();
+        assert!(!text.contains("chameleon_win_"));
+        assert!(!text.contains("chameleon_trace_stage_"));
+    }
+
+    #[test]
+    fn prometheus_every_type_header_has_a_sample() {
+        let text = sample_snapshot().to_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(name) = line
+                .strip_prefix("# TYPE ")
+                .and_then(|r| r.split(' ').next())
+            {
+                let next = lines.get(i + 1).unwrap_or(&"");
+                assert!(
+                    next.starts_with(name),
+                    "TYPE header for {name} not followed by its sample: {next:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_values_survive_degenerate_floats() {
+        // Non-finite means and rates must render as parseable values.
+        let mut snap = sample_snapshot();
+        snap.trace_stages[0].mean_ns = f64::NAN;
+        snap.media_write_amplification = f64::INFINITY;
+        let text = snap.to_prometheus();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+        assert!(text.contains("chameleon_media_write_amplification 0"));
     }
 }

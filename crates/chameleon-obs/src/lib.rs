@@ -32,6 +32,8 @@ pub mod export;
 pub mod server;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
+pub mod window;
 
 use parking_lot::Mutex;
 use pmem_sim::{Histogram, MediaStats, StatsSnapshot};
@@ -40,6 +42,8 @@ pub use event::{Event, EventKind, Journal};
 pub use server::{BatchSpan, ServerObs};
 pub use snapshot::{CounterSection, ObsSnapshot, OpSummary, StageSummary};
 pub use span::{SpanStart, Stage, StageAgg};
+pub use trace::{SpanRecord, TraceConfig, TracePayload, TraceSpan, TraceStageSummary, Tracer};
+pub use window::{DeltaTracker, ServerTickCounters, Window, WindowOpStat, WindowedSeries};
 
 /// Observability configuration, carried inside the store config.
 ///

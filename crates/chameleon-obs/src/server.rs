@@ -64,6 +64,8 @@ pub struct ServerObs {
     pub stats_reqs: AtomicU64,
     /// MODE requests served.
     pub mode_reqs: AtomicU64,
+    /// TRACE (span-dump) requests served.
+    pub trace_reqs: AtomicU64,
     /// Writes refused with RETRY because their lane queue was full.
     pub retries: AtomicU64,
     /// Connections dropped for an undecodable frame.
@@ -164,6 +166,7 @@ impl ServerObs {
                 ("syncs", self.syncs.load(Ordering::Relaxed)),
                 ("stats_reqs", self.stats_reqs.load(Ordering::Relaxed)),
                 ("mode_reqs", self.mode_reqs.load(Ordering::Relaxed)),
+                ("trace_reqs", self.trace_reqs.load(Ordering::Relaxed)),
                 ("retries", self.retries.load(Ordering::Relaxed)),
                 (
                     "protocol_errors",

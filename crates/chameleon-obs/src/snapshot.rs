@@ -5,6 +5,8 @@ use pmem_sim::{Histogram, StatsSnapshot};
 
 use crate::event::Event;
 use crate::span::Stage;
+use crate::trace::TraceStageSummary;
+use crate::window::Window;
 use crate::{Obs, OpKind};
 
 /// A named group of `(counter, value)` pairs supplied by the store (e.g.
@@ -74,6 +76,12 @@ pub struct ObsSnapshot {
     pub events_total: u64,
     /// Events lost to ring overwrite.
     pub events_dropped: u64,
+    /// Windowed telemetry ring, oldest first. Empty unless the embedding
+    /// process runs a sampler (the server does; bare stores don't).
+    pub windows: Vec<Window>,
+    /// Per-trace-stage duration aggregates. Empty unless the embedding
+    /// process runs a [`crate::Tracer`].
+    pub trace_stages: Vec<TraceStageSummary>,
 }
 
 fn op_summary(op: &'static str, h: &Histogram) -> OpSummary {
@@ -164,6 +172,8 @@ pub(crate) fn build(
         events: obs.journal().events(),
         events_total: obs.journal().total(),
         events_dropped: obs.journal().dropped(),
+        windows: Vec::new(),
+        trace_stages: Vec::new(),
     }
 }
 

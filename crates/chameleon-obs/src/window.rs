@@ -1,0 +1,388 @@
+//! Windowed telemetry: a ring of per-interval delta snapshots.
+//!
+//! Cumulative histograms answer "what happened since start"; operators
+//! need "what is happening *now*". A [`DeltaTracker`] keeps the previous
+//! tick's cumulative state and, once per interval, subtracts it from the
+//! current state ([`pmem_sim::Histogram::delta`] /
+//! [`pmem_sim::StatsSnapshot::delta`]) to produce one [`Window`]: ops and
+//! latency quantiles, write stalls, batch and ack counts, media bytes and
+//! fences — for that interval only. Windows accumulate in a bounded
+//! [`WindowedSeries`] ring exported through the JSON/Prometheus snapshot
+//! and scraped live by `repro top`.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use pmem_sim::{Histogram, StatsSnapshot};
+
+use crate::{OpHists, ServerObs};
+
+/// One op class's share of a window, from the interval's delta histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowOpStat {
+    pub op: &'static str,
+    pub count: u64,
+    pub mean_ns: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    pub max_ns: u64,
+}
+
+/// Everything that happened in one telemetry interval.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Window {
+    /// Monotonic window number (assigned by [`WindowedSeries::push`]).
+    pub seq: u64,
+    /// Actual wall length of the interval, ms (nominally the configured
+    /// interval; the sampler reports what it measured).
+    pub wall_ms: u64,
+    /// put/get/delete rows (always all three, zero-count rows included)
+    /// plus a `"write_stall"` row whose count is stalls this window.
+    pub ops: Vec<WindowOpStat>,
+    /// Batches committed this window.
+    pub batches: u64,
+    /// Write ops those batches carried.
+    pub batched_ops: u64,
+    /// Durable acks released this window.
+    pub acks: u64,
+    /// Writes refused with RETRY this window.
+    pub retries: u64,
+    /// Media bytes written this window (device-wide).
+    pub media_bytes_written: u64,
+    /// Media bytes read this window (device-wide).
+    pub media_bytes_read: u64,
+    /// Device fences this window.
+    pub fences: u64,
+}
+
+impl Window {
+    /// Looks up an op row by name.
+    pub fn op(&self, name: &str) -> Option<&WindowOpStat> {
+        self.ops.iter().find(|o| o.op == name)
+    }
+
+    /// Total front-door ops in the window (excludes the stall row).
+    pub fn total_ops(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.op != "write_stall")
+            .map(|o| o.count)
+            .sum()
+    }
+
+    /// Front-door throughput over the window, ops/sec.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_ms == 0 {
+            0.0
+        } else {
+            self.total_ops() as f64 * 1000.0 / self.wall_ms as f64
+        }
+    }
+
+    /// Mean ops per committed batch this window.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_ops as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Bounded ring of the last N windows. `push` assigns sequence numbers;
+/// readers get clones (windows are small).
+pub struct WindowedSeries {
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    ring: VecDeque<Window>,
+    next_seq: u64,
+}
+
+impl WindowedSeries {
+    /// A series retaining at most `capacity` windows.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            cap: capacity,
+            inner: Mutex::new(Inner {
+                ring: VecDeque::new(),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// Ring capacity in windows.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends a window, stamping its `seq`; evicts the oldest when full.
+    pub fn push(&self, mut w: Window) {
+        let mut inner = self.inner.lock();
+        w.seq = inner.next_seq;
+        inner.next_seq += 1;
+        if self.cap == 0 {
+            return;
+        }
+        if inner.ring.len() == self.cap {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(w);
+    }
+
+    /// All retained windows, oldest first.
+    pub fn windows(&self) -> Vec<Window> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// The newest window, if any.
+    pub fn latest(&self) -> Option<Window> {
+        self.inner.lock().ring.back().cloned()
+    }
+
+    /// Total windows ever pushed.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+}
+
+fn op_stat(op: &'static str, d: &Histogram) -> WindowOpStat {
+    WindowOpStat {
+        op,
+        count: d.count(),
+        mean_ns: d.mean() as u64,
+        p50_ns: d.quantile(0.5),
+        p99_ns: d.quantile(0.99),
+        p999_ns: d.quantile(0.999),
+        max_ns: d.max(),
+    }
+}
+
+/// Counters a [`DeltaTracker`] needs from the service layer each tick.
+/// Plain values so the sampler reads the atomics once per interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerTickCounters {
+    pub batches: u64,
+    pub batched_ops: u64,
+    pub acks: u64,
+    pub retries: u64,
+}
+
+impl ServerTickCounters {
+    /// Reads the relevant counters out of a [`ServerObs`].
+    pub fn capture(obs: &ServerObs) -> Self {
+        use std::sync::atomic::Ordering::Relaxed;
+        Self {
+            batches: obs.batches.load(Relaxed),
+            batched_ops: obs.batched_ops.load(Relaxed),
+            acks: obs.acks.load(Relaxed),
+            retries: obs.retries.load(Relaxed),
+        }
+    }
+}
+
+/// Converts cumulative state into per-interval [`Window`]s by retaining
+/// the previous tick's snapshot and subtracting. Owned by the sampler
+/// thread; not itself synchronized.
+#[derive(Default)]
+pub struct DeltaTracker {
+    prev_ops: OpHists,
+    prev_stall: Histogram,
+    prev_media: StatsSnapshot,
+    prev_server: ServerTickCounters,
+}
+
+impl DeltaTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Produces the window covering `wall_ms` of elapsed time, given the
+    /// *cumulative* op/stall histograms, device snapshot, and service
+    /// counters at the end of the interval. `seq` is assigned later by
+    /// [`WindowedSeries::push`].
+    pub fn tick(
+        &mut self,
+        wall_ms: u64,
+        ops: &OpHists,
+        stall: &Histogram,
+        media: StatsSnapshot,
+        server: ServerTickCounters,
+    ) -> Window {
+        let media_d = media.delta(&self.prev_media);
+        let w = Window {
+            seq: 0,
+            wall_ms,
+            ops: vec![
+                op_stat("put", &ops.put.delta(&self.prev_ops.put)),
+                op_stat("get", &ops.get.delta(&self.prev_ops.get)),
+                op_stat("delete", &ops.delete.delta(&self.prev_ops.delete)),
+                op_stat("write_stall", &stall.delta(&self.prev_stall)),
+            ],
+            batches: server.batches.saturating_sub(self.prev_server.batches),
+            batched_ops: server
+                .batched_ops
+                .saturating_sub(self.prev_server.batched_ops),
+            acks: server.acks.saturating_sub(self.prev_server.acks),
+            retries: server.retries.saturating_sub(self.prev_server.retries),
+            media_bytes_written: media_d.media_bytes_written,
+            media_bytes_read: media_d.media_bytes_read,
+            fences: media_d.fences,
+        };
+        self.prev_ops = ops.clone();
+        self.prev_stall = stall.clone();
+        self.prev_media = media;
+        self.prev_server = server;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn media(w: u64, r: u64, fences: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            logical_bytes_written: w,
+            media_bytes_written: w,
+            rmw_blocks: 0,
+            logical_bytes_read: r,
+            media_bytes_read: r,
+            fences,
+            line_persists: 0,
+            crashes: 0,
+        }
+    }
+
+    #[test]
+    fn tracker_emits_per_interval_deltas() {
+        let mut tr = DeltaTracker::new();
+        let mut ops = OpHists::default();
+        let stall = Histogram::new();
+        for _ in 0..100 {
+            ops.put.record(1_000);
+        }
+        let w1 = tr.tick(
+            1_000,
+            &ops,
+            &stall,
+            media(4096, 0, 10),
+            ServerTickCounters {
+                batches: 5,
+                batched_ops: 100,
+                acks: 100,
+                retries: 0,
+            },
+        );
+        assert_eq!(w1.op("put").unwrap().count, 100);
+        assert_eq!(w1.op("get").unwrap().count, 0);
+        assert_eq!(w1.media_bytes_written, 4096);
+        assert_eq!(w1.fences, 10);
+        assert_eq!(w1.batches, 5);
+        assert!((w1.mean_batch() - 20.0).abs() < 1e-9);
+        assert!((w1.ops_per_sec() - 100.0).abs() < 1e-9);
+
+        // Second interval: 50 slower puts, 20 gets, more media traffic.
+        for _ in 0..50 {
+            ops.put.record(100_000);
+        }
+        for _ in 0..20 {
+            ops.get.record(2_000);
+        }
+        let w2 = tr.tick(
+            500,
+            &ops,
+            &stall,
+            media(8192, 1024, 12),
+            ServerTickCounters {
+                batches: 6,
+                batched_ops: 150,
+                acks: 150,
+                retries: 3,
+            },
+        );
+        let put = w2.op("put").unwrap();
+        assert_eq!(put.count, 50);
+        // Quantiles reflect only this window's (slow) samples.
+        assert!(put.p50_ns > 90_000, "p50 {}", put.p50_ns);
+        assert_eq!(w2.op("get").unwrap().count, 20);
+        assert_eq!(w2.media_bytes_written, 4096);
+        assert_eq!(w2.media_bytes_read, 1024);
+        assert_eq!(w2.fences, 2);
+        assert_eq!(w2.batches, 1);
+        assert_eq!(w2.retries, 3);
+        assert_eq!(w2.total_ops(), 70);
+        assert!((w2.ops_per_sec() - 140.0).abs() < 1e-9);
+
+        // Idle interval: all zeros.
+        let w3 = tr.tick(
+            1_000,
+            &ops,
+            &stall,
+            media(8192, 1024, 12),
+            ServerTickCounters {
+                batches: 6,
+                batched_ops: 150,
+                acks: 150,
+                retries: 3,
+            },
+        );
+        assert_eq!(w3.total_ops(), 0);
+        assert_eq!(w3.media_bytes_written, 0);
+        assert_eq!(w3.op("put").unwrap().p99_ns, 0);
+    }
+
+    #[test]
+    fn stall_row_carries_window_stalls() {
+        let mut tr = DeltaTracker::new();
+        let ops = OpHists::default();
+        let mut stall = Histogram::new();
+        tr.tick(
+            1_000,
+            &ops,
+            &stall,
+            StatsSnapshot::default(),
+            ServerTickCounters::default(),
+        );
+        stall.record(1_000_000);
+        stall.record(3_000_000);
+        let w = tr.tick(
+            1_000,
+            &ops,
+            &stall,
+            StatsSnapshot::default(),
+            ServerTickCounters::default(),
+        );
+        let row = w.op("write_stall").unwrap();
+        assert_eq!(row.count, 2);
+        assert!(row.max_ns >= 2_900_000);
+        // Stalls are not front-door ops.
+        assert_eq!(w.total_ops(), 0);
+    }
+
+    #[test]
+    fn series_ring_is_bounded_with_monotonic_seq() {
+        let s = WindowedSeries::new(3);
+        assert_eq!(s.capacity(), 3);
+        assert!(s.latest().is_none());
+        for i in 0..7u64 {
+            s.push(Window {
+                wall_ms: i,
+                ..Window::default()
+            });
+        }
+        let ws = s.windows();
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws.iter().map(|w| w.seq).collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(s.latest().unwrap().seq, 6);
+        assert_eq!(s.total(), 7);
+        // Zero capacity never retains but still counts.
+        let z = WindowedSeries::new(0);
+        z.push(Window::default());
+        assert!(z.windows().is_empty());
+        assert_eq!(z.total(), 1);
+    }
+}

@@ -6,7 +6,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use chameleon_obs::{CounterSection, EventKind, Obs, ObsSnapshot, OpKind};
+use chameleon_obs::{CounterSection, EventKind, Obs, ObsSnapshot, OpKind, TraceSpan};
 use kvapi::{hash64, CrashRecover, KvError, KvStore, Result};
 use kvlog::{EntryMeta, LogWriter, StorageLog, ENTRY_HEADER};
 use kvsync::{EpochDomain, ViewCell};
@@ -624,8 +624,23 @@ impl StoreInner {
     /// sequence order and recovery replay is unchanged. Returns one flag
     /// per op: `true` for puts, and for deletes whether the key existed.
     pub fn apply_batch(&self, ctx: &mut ThreadCtx, ops: &[BatchOp]) -> Result<Vec<bool>> {
+        self.apply_batch_traced(ctx, ops, &[])
+    }
+
+    /// [`Self::apply_batch`] with per-op trace spans: ops whose slot in
+    /// `spans` holds a span are stamped `engine_append` after their index
+    /// insert and `engine_fence` once the batch's tail flush returns
+    /// (one fence covers the whole batch, so every traced op's
+    /// `engine_fence` stage measures its own wait for that shared fence).
+    /// `spans` may be shorter than `ops`; missing slots mean untraced.
+    pub fn apply_batch_traced(
+        &self,
+        ctx: &mut ThreadCtx,
+        ops: &[BatchOp],
+        spans: &[Option<&TraceSpan>],
+    ) -> Result<Vec<bool>> {
         let mut out = Vec::with_capacity(ops.len());
-        for op in ops {
+        for (i, op) in ops.iter().enumerate() {
             match op {
                 BatchOp::Put { key, value } => {
                     self.put(ctx, *key, value)?;
@@ -635,8 +650,14 @@ impl StoreInner {
                     out.push(self.delete(ctx, *key)?);
                 }
             }
+            if let Some(Some(span)) = spans.get(i) {
+                span.stamp("engine_append");
+            }
         }
         self.sync_writer(ctx)?;
+        for span in spans.iter().flatten() {
+            span.stamp("engine_fence");
+        }
         Ok(out)
     }
 
@@ -730,6 +751,10 @@ impl StoreInner {
             // Stalling must happen before the append because the wait
             // releases the shard mutex, and another writer slipping in
             // would otherwise break per-shard log/index order.
+            // One stall episode may span several condvar waits; journal
+            // one enter/exit pair around the whole episode so trace dumps
+            // show a single bar with the episode's total duration.
+            let mut episode_stalled_ns = 0u64;
             while shard.memtable.is_full(shard.load_threshold) {
                 if shard.pending_frozen() < self.cfg.bg.frozen_queue_cap {
                     shard.freeze_memtable(&env);
@@ -752,6 +777,14 @@ impl StoreInner {
                     return Err(raise(f));
                 }
                 StoreMetrics::bump(&self.metrics.write_stalls);
+                if episode_stalled_ns == 0 {
+                    self.obs.record_event(
+                        ctx.clock.now(),
+                        EventKind::WriteStallEnter {
+                            shard: shard_idx as u32,
+                        },
+                    );
+                }
                 let start = std::time::Instant::now();
                 self.maint.shard_cvs[shard_idx].wait(&mut shard);
                 let stalled_ns = start.elapsed().as_nanos() as u64;
@@ -760,6 +793,16 @@ impl StoreInner {
                 // dedicated stall histogram.
                 ctx.charge(stalled_ns);
                 self.obs.record_stall(stalled_ns);
+                episode_stalled_ns = episode_stalled_ns.saturating_add(stalled_ns.max(1));
+            }
+            if episode_stalled_ns > 0 {
+                self.obs.record_event(
+                    ctx.clock.now(),
+                    EventKind::WriteStallExit {
+                        shard: shard_idx as u32,
+                        stalled_ns: episode_stalled_ns,
+                    },
+                );
             }
         }
         let meta = self.append_log(ctx, key, value, tombstone)?;
@@ -794,7 +837,17 @@ impl StoreInner {
         Ok(())
     }
 
-    fn get(&self, ctx: &mut ThreadCtx, key: u64, out: &mut Vec<u8>) -> Result<bool> {
+    /// [`KvStore::get`] with an optional trace span: the span is stamped
+    /// `engine_probe` after the lock-free view walk (annotated with the
+    /// level that answered) and `engine_read` after the media read of the
+    /// value, decomposing a GET into index-walk vs media time.
+    pub fn get_traced(
+        &self,
+        ctx: &mut ThreadCtx,
+        key: u64,
+        out: &mut Vec<u8>,
+        span: Option<&TraceSpan>,
+    ) -> Result<bool> {
         StoreMetrics::bump(&self.metrics.gets);
         let start = ctx.clock.now();
         ctx.charge(ctx.cost.op_overhead_ns + ctx.cost.hash_ns);
@@ -811,6 +864,17 @@ impl StoreInner {
             }
             view.get(&self.dev, ctx, hash, self.cfg.use_abi_for_get)
         };
+        if let Some(span) = span {
+            span.stamp("engine_probe");
+            span.annotate(match found {
+                None => "miss",
+                Some((_, GetSource::MemTable)) => "memtable",
+                Some((_, GetSource::Abi)) => "abi",
+                Some((_, GetSource::Upper)) => "upper",
+                Some((_, GetSource::Dumped)) => "dumped",
+                Some((_, GetSource::Last)) => "last",
+            });
+        }
         let result = match found {
             None => {
                 StoreMetrics::bump(&self.metrics.misses);
@@ -832,6 +896,9 @@ impl StoreInner {
                     let meta = self.log.read_entry(ctx, slot.location(), out)?;
                     if meta.key != key {
                         return Err(KvError::Corrupt("log entry key mismatch"));
+                    }
+                    if let Some(span) = span {
+                        span.stamp("engine_read");
                     }
                     Ok(true)
                 }
@@ -857,6 +924,10 @@ impl StoreInner {
             );
         }
         result
+    }
+
+    fn get(&self, ctx: &mut ThreadCtx, key: u64, out: &mut Vec<u8>) -> Result<bool> {
+        self.get_traced(ctx, key, out, None)
     }
 
     fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Result<bool> {

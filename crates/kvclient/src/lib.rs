@@ -12,10 +12,27 @@
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use kvserver::proto::{decode_response, encode_request, read_frame, write_frame};
 pub use kvserver::proto::{ModeArg, Request, Response, StatsFormat};
+use pmem_sim::Histogram;
+
+/// Client-observed wall-clock latency per blocking operation, recorded
+/// from just before the request frame is written until its response is
+/// matched. The server's own histograms measure simulated device time on
+/// the engine side; comparing the two separates protocol/queueing cost
+/// from media cost (serve-bench reports both).
+#[derive(Debug, Default)]
+pub struct ClientLatencies {
+    /// Blocking [`Client::put`] / [`Client::put_traced`] round-trips
+    /// (each RETRY attempt records separately).
+    pub put: Histogram,
+    /// Blocking [`Client::get`] round-trips.
+    pub get: Histogram,
+    /// Blocking [`Client::delete`] round-trips.
+    pub delete: Histogram,
+}
 
 /// Outcome of a single write attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +104,7 @@ pub struct Client {
     next_id: u64,
     /// Responses read while waiting for a different `req_id`.
     stashed: HashMap<u64, Response>,
+    lat: ClientLatencies,
 }
 
 impl Client {
@@ -100,7 +118,14 @@ impl Client {
             writer: BufWriter::new(stream),
             next_id: 1,
             stashed: HashMap::new(),
+            lat: ClientLatencies::default(),
         })
+    }
+
+    /// Client-observed latency histograms accumulated so far on this
+    /// connection.
+    pub fn latencies(&self) -> &ClientLatencies {
+        &self.lat
     }
 
     /// Read timeout for responses (`None` blocks forever). Lets tests
@@ -160,13 +185,39 @@ impl Client {
             key,
             value: value.to_vec(),
             durable,
+            traced: false,
         })
     }
 
     /// Blocking PUT.
     pub fn put(&mut self, key: u64, value: &[u8], durable: bool) -> io::Result<WriteOutcome> {
+        let t0 = Instant::now();
         let id = self.send_put(key, value, durable)?;
-        self.write_outcome(id)
+        let out = self.write_outcome(id)?;
+        self.lat.put.record(t0.elapsed().as_nanos() as u64);
+        Ok(out)
+    }
+
+    /// Blocking PUT with the wire trace flag set: the server samples the
+    /// request regardless of its configured rate, so its span shows up in
+    /// a following [`Client::trace`] dump.
+    pub fn put_traced(
+        &mut self,
+        key: u64,
+        value: &[u8],
+        durable: bool,
+    ) -> io::Result<WriteOutcome> {
+        let t0 = Instant::now();
+        let id = self.send(Request::Put {
+            req_id: 0,
+            key,
+            value: value.to_vec(),
+            durable,
+            traced: true,
+        })?;
+        let out = self.write_outcome(id)?;
+        self.lat.put.record(t0.elapsed().as_nanos() as u64);
+        Ok(out)
     }
 
     /// Blocking PUT that resubmits on RETRY under the default
@@ -207,12 +258,16 @@ impl Client {
     /// Blocking DELETE; `Done { existed }` reports whether the key was
     /// present.
     pub fn delete(&mut self, key: u64) -> io::Result<WriteOutcome> {
+        let t0 = Instant::now();
         let id = self.send(Request::Delete {
             req_id: 0,
             key,
             durable: true,
+            traced: false,
         })?;
-        self.write_outcome(id)
+        let out = self.write_outcome(id)?;
+        self.lat.delete.record(t0.elapsed().as_nanos() as u64);
+        Ok(out)
     }
 
     fn write_outcome(&mut self, id: u64) -> io::Result<WriteOutcome> {
@@ -229,13 +284,16 @@ impl Client {
 
     /// Blocking GET.
     pub fn get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        let t0 = Instant::now();
         let id = self.send(Request::Get { req_id: 0, key })?;
-        match self.recv_for(id)? {
+        let out = match self.recv_for(id)? {
             Response::Value { value, .. } => Ok(Some(value)),
             Response::NotFound { .. } => Ok(None),
             Response::Err { message, .. } => Err(io::Error::other(message)),
             other => Err(bad_data(unexpected(&other))),
-        }
+        }?;
+        self.lat.get.record(t0.elapsed().as_nanos() as u64);
+        Ok(out)
     }
 
     /// SYNC barrier: returns once every commit lane has fenced all
@@ -254,6 +312,18 @@ impl Client {
         let id = self.send(Request::Stats { req_id: 0, format })?;
         match self.recv_for(id)? {
             Response::Stats { text, .. } => Ok(text),
+            Response::Err { message, .. } => Err(io::Error::other(message)),
+            other => Err(bad_data(unexpected(&other))),
+        }
+    }
+
+    /// Fetches up to `max` retained trace spans plus the recent journal
+    /// tail as the wire trace payload (JSON text; parse with
+    /// `chameleon_obs::trace::decode_trace_payload`).
+    pub fn trace(&mut self, max: u32) -> io::Result<String> {
+        let id = self.send(Request::Trace { req_id: 0, max })?;
+        match self.recv_for(id)? {
+            Response::Trace { text, .. } => Ok(text),
             Response::Err { message, .. } => Err(io::Error::other(message)),
             other => Err(bad_data(unexpected(&other))),
         }
@@ -280,6 +350,7 @@ fn set_req_id(req: &mut Request, id: u64) {
         | Request::Delete { req_id, .. }
         | Request::Sync { req_id }
         | Request::Stats { req_id, .. }
+        | Request::Trace { req_id, .. }
         | Request::Mode { req_id, .. } => *req_id = id,
     }
 }
@@ -294,5 +365,6 @@ fn unexpected(resp: &Response) -> &'static str {
         Response::Mode { .. } => "unexpected MODE",
         Response::Retry { .. } => "unexpected RETRY",
         Response::Err { .. } => "unexpected ERR",
+        Response::Trace { .. } => "unexpected TRACE",
     }
 }

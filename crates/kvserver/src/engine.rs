@@ -9,12 +9,16 @@
 //!                       │    └── GET/STATS/MODE served inline    │
 //!                       ▼                                        │
 //!                  conn writer ◀───────── acks after fence ──────┘
+//!
+//! sampler ── every telemetry_interval ──▶ WindowedSeries ring
+//! http sidecar ── GET /metrics, /snapshot.json ──▶ live snapshot
 //! ```
 //!
 //! * One **reader thread per connection** decodes frames. GETs run inline
-//!   on the lock-free read path; STATS/MODE are served inline too. Writes
-//!   are routed by key shard to one of `lanes` bounded queues — a full
-//!   queue answers `RETRY` instead of blocking the reader (backpressure).
+//!   on the lock-free read path; STATS/MODE/TRACE are served inline too.
+//!   Writes are routed by key shard to one of `lanes` bounded queues — a
+//!   full queue answers `RETRY` instead of blocking the reader
+//!   (backpressure).
 //! * One **writer thread per connection** drains a response channel, so
 //!   inline replies and later durable acks interleave freely; the client
 //!   matches them by `req_id`.
@@ -25,6 +29,28 @@
 //!   fence at the tail — and only then releases the durable acks. With
 //!   `max_batch == 1` this degenerates to fence-per-op (the baseline the
 //!   bench compares against).
+//! * An optional **sampler thread** ticks once per `telemetry_interval`,
+//!   subtracting the previous tick's cumulative state to produce one
+//!   [`Window`](chameleon_obs::Window) per interval (ops/sec, latency
+//!   quantiles, stalls, batches, media bytes, fences) in a bounded
+//!   [`WindowedSeries`] ring exported through STATS and `/metrics`.
+//! * An optional **HTTP sidecar** (see [`crate::http`]) serves the same
+//!   snapshot as plain-HTTP `GET /metrics` (Prometheus) and
+//!   `GET /snapshot.json` for scrapers and `repro top`.
+//!
+//! # Request tracing
+//!
+//! A [`Tracer`] samples one request in `trace.sample_every` (the wire
+//! trace flag forces a sample regardless of rate). A sampled request
+//! carries its span through the pipeline and is stamped at each stage
+//! boundary: `decode` → `lane_enqueue` (reader) → `batch_seal`
+//! (committer drain) → `engine_append`/`engine_fence` (inside
+//! [`ChameleonDb::apply_batch`]) → `fence_complete` (committer, post
+//! fence) → `ack_write` (writer thread, after the ack frame is written),
+//! where the span completes. Stage durations are gaps between
+//! consecutive stamps, so they sum exactly to the span total. Completed
+//! spans land in a bounded ring served by the TRACE request and
+//! exportable as Chrome `trace_event` JSON via `repro trace-dump`.
 //!
 //! # Durability contract
 //!
@@ -43,9 +69,12 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use chameleon_obs::ServerObs;
+use chameleon_obs::trace::encode_trace_payload;
+use chameleon_obs::{
+    DeltaTracker, ObsSnapshot, ServerObs, ServerTickCounters, TraceConfig, TraceSpan, Tracer,
+    WindowedSeries,
+};
 use chameleondb::{BatchOp, ChameleonDb, Mode};
-use kvapi::KvStore;
 use parking_lot::Mutex;
 use pmem_sim::{CostModel, PmemDevice, ThreadCtx};
 
@@ -53,6 +82,11 @@ use crate::proto::{
     decode_request, encode_response, read_frame, write_frame, ModeArg, Request, Response,
     StatsFormat,
 };
+
+/// A response plus the trace span (if any) that rides with it to the
+/// writer thread, which stamps `ack_write` and completes the span once
+/// the frame is on the wire.
+type Reply = (Response, Option<Arc<TraceSpan>>);
 
 /// Tuning knobs for the service layer.
 #[derive(Debug, Clone)]
@@ -69,6 +103,16 @@ pub struct ServerConfig {
     pub max_hold: Duration,
     /// Cost model for the per-thread simulation contexts.
     pub cost: Arc<CostModel>,
+    /// Request-trace sampling (off by default; the wire trace flag still
+    /// forces individual requests).
+    pub trace: TraceConfig,
+    /// Length of one telemetry window.
+    pub telemetry_interval: Duration,
+    /// Windows retained in the live ring; `0` disables the sampler.
+    pub window_cap: usize,
+    /// Bind address for the plain-HTTP metrics sidecar (`/metrics`,
+    /// `/snapshot.json`); `None` runs no sidecar.
+    pub http_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +123,10 @@ impl Default for ServerConfig {
             max_batch: 64,
             max_hold: Duration::from_micros(200),
             cost: Arc::new(CostModel::default()),
+            trace: TraceConfig::off(),
+            telemetry_interval: Duration::from_secs(1),
+            window_cap: 120,
+            http_addr: None,
         }
     }
 }
@@ -99,7 +147,7 @@ impl ServerConfig {
 struct SyncGate {
     remaining: AtomicUsize,
     req_id: u64,
-    resp: Mutex<Option<Sender<Response>>>,
+    resp: Mutex<Option<Sender<Reply>>>,
 }
 
 impl SyncGate {
@@ -107,7 +155,7 @@ impl SyncGate {
     fn arrive(&self, err: Option<&str>) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             if let Some(tx) = self.resp.lock().take() {
-                let _ = tx.send(match err {
+                let resp = match err {
                     None => Response::Ok {
                         req_id: self.req_id,
                     },
@@ -115,7 +163,8 @@ impl SyncGate {
                         req_id: self.req_id,
                         message: m.to_owned(),
                     },
-                });
+                };
+                let _ = tx.send((resp, None));
             }
         }
     }
@@ -127,7 +176,10 @@ enum Submission {
         req_id: u64,
         /// Ack after the fence (`true`) or already acked at enqueue.
         durable: bool,
-        resp: Sender<Response>,
+        resp: Sender<Reply>,
+        /// Sampled requests carry their span to the committer for the
+        /// batch-seal / engine / fence-complete stamps.
+        trace: Option<Arc<TraceSpan>>,
     },
     Barrier(Arc<SyncGate>),
 }
@@ -141,10 +193,12 @@ struct Lane {
     depth: AtomicUsize,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     store: Arc<ChameleonDb>,
     dev: Arc<PmemDevice>,
     obs: Arc<ServerObs>,
+    tracer: Arc<Tracer>,
+    windows: Arc<WindowedSeries>,
     lanes: Vec<Lane>,
     cfg: ServerConfig,
     stop: AtomicBool,
@@ -155,17 +209,47 @@ struct Shared {
     conn_seq: AtomicUsize,
 }
 
+impl Shared {
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// A simulation context with a thread id no connection reader will
+    /// reuse (allocated from the same sequence).
+    pub(crate) fn sidecar_ctx(&self) -> ThreadCtx {
+        let id = self.cfg.lanes + self.conn_seq.fetch_add(1, Ordering::Relaxed);
+        ThreadCtx::for_thread(Arc::clone(&self.cfg.cost), id)
+    }
+
+    /// The full observability snapshot served by STATS and the HTTP
+    /// sidecar: store + server + trace counter sections, the windowed
+    /// telemetry ring, and per-trace-stage aggregates.
+    pub(crate) fn obs_snapshot(&self, ctx: &mut ThreadCtx) -> ObsSnapshot {
+        let mut snap = self.store.obs_snapshot_with(
+            ctx.clock.now(),
+            vec![self.obs.section(), self.tracer.section()],
+        );
+        snap.windows = self.windows.windows();
+        snap.trace_stages = self.tracer.stage_summaries();
+        snap
+    }
+}
+
 /// A running TCP front-end over one [`ChameleonDb`].
 pub struct KvServer {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     committers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
+    http: Option<JoinHandle<()>>,
+    http_addr: Option<SocketAddr>,
     local_addr: SocketAddr,
 }
 
 impl KvServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor and one committer per lane.
+    /// acceptor, one committer per lane, the telemetry sampler, and (if
+    /// configured) the HTTP metrics sidecar.
     pub fn start(
         addr: &str,
         dev: Arc<PmemDevice>,
@@ -189,10 +273,14 @@ impl KvServer {
             });
             receivers.push(rx);
         }
+        let tracer = Arc::new(Tracer::new(cfg.trace));
+        let windows = Arc::new(WindowedSeries::new(cfg.window_cap));
         let shared = Arc::new(Shared {
             store,
             dev,
             obs,
+            tracer,
+            windows,
             lanes,
             cfg,
             stop: AtomicBool::new(false),
@@ -220,10 +308,33 @@ impl KvServer {
                 .spawn(move || acceptor_loop(&sh, listener))?
         };
 
+        let sampler = if shared.cfg.window_cap > 0 && shared.cfg.telemetry_interval > Duration::ZERO
+        {
+            let sh = Arc::clone(&shared);
+            Some(
+                thread::Builder::new()
+                    .name("kvs-sampler".to_owned())
+                    .spawn(move || sampler_loop(&sh))?,
+            )
+        } else {
+            None
+        };
+
+        let (http_addr, http) = match shared.cfg.http_addr.clone() {
+            Some(bind) => {
+                let (a, h) = crate::http::start(Arc::clone(&shared), &bind)?;
+                (Some(a), Some(h))
+            }
+            None => (None, None),
+        };
+
         Ok(Self {
             shared,
             acceptor: Some(acceptor),
             committers,
+            sampler,
+            http,
+            http_addr,
             local_addr,
         })
     }
@@ -231,6 +342,22 @@ impl KvServer {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The HTTP sidecar's bound address, if one is running.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
+    }
+
+    /// The request tracer (for in-process span inspection in tests and
+    /// the bench harness).
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.shared.tracer)
+    }
+
+    /// The live windowed-telemetry ring.
+    pub fn windows(&self) -> Arc<WindowedSeries> {
+        Arc::clone(&self.shared.windows)
     }
 
     /// Graceful shutdown: stop accepting, shut down live connections,
@@ -265,6 +392,12 @@ impl KvServer {
         };
         if let Some(h) = self.acceptor.take() {
             join(h, "acceptor", &mut panics);
+        }
+        if let Some(h) = self.sampler.take() {
+            join(h, "sampler", &mut panics);
+        }
+        if let Some(h) = self.http.take() {
+            join(h, "http sidecar", &mut panics);
         }
         // Unblock readers; their writer threads exit once every pending
         // submission holding a response sender has been resolved.
@@ -311,17 +444,45 @@ fn acceptor_loop(sh: &Arc<Shared>, listener: TcpListener) {
     }
 }
 
+/// Once per telemetry interval: subtract the previous tick's cumulative
+/// op/stall histograms, device snapshot, and service counters to produce
+/// one [`chameleon_obs::Window`] for the ring.
+fn sampler_loop(sh: &Arc<Shared>) {
+    let mut tracker = DeltaTracker::new();
+    let mut last = Instant::now();
+    while !sh.stop.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(10));
+        let elapsed = last.elapsed();
+        if elapsed < sh.cfg.telemetry_interval {
+            continue;
+        }
+        last = Instant::now();
+        let obs = sh.store.obs();
+        let w = tracker.tick(
+            elapsed.as_millis() as u64,
+            &obs.op_rollup(),
+            &obs.stall_rollup(),
+            sh.dev.stats().snapshot(),
+            ServerTickCounters::capture(&sh.obs),
+        );
+        sh.windows.push(w);
+    }
+}
+
 fn connection_loop(sh: &Arc<Shared>, stream: TcpStream, conn_id: usize) {
     let obs = &sh.obs;
     ServerObs::bump(&obs.connections);
     // Committers own thread ids 0..lanes (one log writer each);
     // connection readers get ids above that range.
     let mut ctx = ThreadCtx::for_thread(Arc::clone(&sh.cfg.cost), sh.cfg.lanes + conn_id);
-    let (resp_tx, resp_rx) = mpsc::channel::<Response>();
+    let (resp_tx, resp_rx) = mpsc::channel::<Reply>();
     let writer = match stream.try_clone() {
-        Ok(ws) => thread::Builder::new()
-            .name(format!("kvs-send-{conn_id}"))
-            .spawn(move || response_writer_loop(ws, resp_rx)),
+        Ok(ws) => {
+            let tracer = Arc::clone(&sh.tracer);
+            thread::Builder::new()
+                .name(format!("kvs-send-{conn_id}"))
+                .spawn(move || response_writer_loop(ws, &resp_rx, &tracer))
+        }
         Err(_) => {
             ServerObs::bump(&obs.disconnects);
             return;
@@ -341,11 +502,26 @@ fn connection_loop(sh: &Arc<Shared>, stream: TcpStream, conn_id: usize) {
     let _ = reader.get_ref().shutdown(Shutdown::Both);
 }
 
+/// Starts a span for one write: the wire trace flag forces a sample,
+/// otherwise the tracer's rate decides. The `decode` stamp closes the
+/// first stage (span creation to here — the sampling decision itself).
+fn span_for_write(sh: &Shared, op: &'static str, key: u64, forced: bool) -> Option<Arc<TraceSpan>> {
+    let span = if forced {
+        Some(sh.tracer.force(op, key))
+    } else {
+        sh.tracer.sample(op, key)
+    };
+    if let Some(s) = &span {
+        s.stamp("decode");
+    }
+    span
+}
+
 fn serve_requests(
     sh: &Arc<Shared>,
     ctx: &mut ThreadCtx,
     reader: &mut impl Read,
-    resp_tx: &Sender<Response>,
+    resp_tx: &Sender<Reply>,
 ) {
     let obs = &sh.obs;
     let mut valbuf = Vec::new();
@@ -364,10 +540,13 @@ fn serve_requests(
             Ok(r) => r,
             Err(e) => {
                 ServerObs::bump(&obs.protocol_errors);
-                let _ = resp_tx.send(Response::Err {
-                    req_id: 0,
-                    message: e.to_string(),
-                });
+                let _ = resp_tx.send((
+                    Response::Err {
+                        req_id: 0,
+                        message: e.to_string(),
+                    },
+                    None,
+                ));
                 return;
             }
         };
@@ -375,8 +554,12 @@ fn serve_requests(
         match req {
             Request::Get { req_id, key } => {
                 ServerObs::bump(&obs.gets);
+                let span = sh.tracer.sample("get", key);
+                if let Some(s) = &span {
+                    s.stamp("decode");
+                }
                 valbuf.clear();
-                let resp = match sh.store.get(ctx, key, &mut valbuf) {
+                let resp = match sh.store.get_traced(ctx, key, &mut valbuf, span.as_deref()) {
                     Ok(true) => Response::Value {
                         req_id,
                         value: valbuf.clone(),
@@ -387,29 +570,46 @@ fn serve_requests(
                         message: format!("{e:?}"),
                     },
                 };
-                let _ = resp_tx.send(resp);
+                let _ = resp_tx.send((resp, span));
             }
             Request::Put {
                 req_id,
                 key,
                 value,
                 durable,
+                traced,
             } => {
                 ServerObs::bump(&obs.puts);
+                let span = span_for_write(sh, "put", key, traced);
                 submit_write(
                     sh,
                     BatchOp::Put { key, value },
                     key,
                     req_id,
                     durable,
+                    span,
                     resp_tx,
                 );
             }
-            Request::Delete { req_id, key, .. } => {
+            Request::Delete {
+                req_id,
+                key,
+                traced,
+                ..
+            } => {
                 ServerObs::bump(&obs.deletes);
+                let span = span_for_write(sh, "delete", key, traced);
                 // Deletes are always acked post-commit: the outcome
                 // (existed or not) is only known once the batch applies.
-                submit_write(sh, BatchOp::Delete { key }, key, req_id, true, resp_tx);
+                submit_write(
+                    sh,
+                    BatchOp::Delete { key },
+                    key,
+                    req_id,
+                    true,
+                    span,
+                    resp_tx,
+                );
             }
             Request::Sync { req_id } => {
                 ServerObs::bump(&obs.syncs);
@@ -417,14 +617,19 @@ fn serve_requests(
             }
             Request::Stats { req_id, format } => {
                 ServerObs::bump(&obs.stats_reqs);
-                let snap = sh
-                    .store
-                    .obs_snapshot_with(ctx.clock.now(), vec![obs.section()]);
+                let snap = sh.obs_snapshot(ctx);
                 let text = match format {
                     StatsFormat::Json => snap.to_pretty_json(),
                     StatsFormat::Prometheus => snap.to_prometheus(),
                 };
-                let _ = resp_tx.send(Response::Stats { req_id, text });
+                let _ = resp_tx.send((Response::Stats { req_id, text }, None));
+            }
+            Request::Trace { req_id, max } => {
+                ServerObs::bump(&obs.trace_reqs);
+                let spans = sh.tracer.spans(max as usize);
+                let events = sh.store.obs().journal().tail(64);
+                let text = encode_trace_payload(&spans, &events);
+                let _ = resp_tx.send((Response::Trace { req_id, text }, None));
             }
             Request::Mode { req_id, arg } => {
                 ServerObs::bump(&obs.mode_reqs);
@@ -433,10 +638,13 @@ fn serve_requests(
                     ModeArg::WriteIntensive => sh.store.set_mode(Mode::WriteIntensive),
                     ModeArg::Query => {}
                 }
-                let _ = resp_tx.send(Response::Mode {
-                    req_id,
-                    write_intensive: sh.store.mode() == Mode::WriteIntensive,
-                });
+                let _ = resp_tx.send((
+                    Response::Mode {
+                        req_id,
+                        write_intensive: sh.store.mode() == Mode::WriteIntensive,
+                    },
+                    None,
+                ));
             }
         }
     }
@@ -450,14 +658,22 @@ fn submit_write(
     key: u64,
     req_id: u64,
     durable: bool,
-    resp_tx: &Sender<Response>,
+    span: Option<Arc<TraceSpan>>,
+    resp_tx: &Sender<Reply>,
 ) {
     let lane = &sh.lanes[sh.store.shard_of_key(key) % sh.cfg.lanes];
+    // Stamp before the send: once the committer can see the submission
+    // it may seal the batch at any moment, and stamps must stay in
+    // pipeline order.
+    if let Some(s) = &span {
+        s.stamp("lane_enqueue");
+    }
     let sub = Submission::Write {
         op,
         req_id,
         durable,
         resp: resp_tx.clone(),
+        trace: span.clone(),
     };
     // Count before sending so the committer's decrement (which follows
     // its recv, which follows this send) can never underflow.
@@ -470,27 +686,38 @@ fn submit_write(
         Ok(()) => {
             if !durable {
                 ServerObs::bump(&sh.obs.early_acks);
-                let _ = resp_tx.send(Response::Ok { req_id });
+                // The span rides with the early ack; the committer's
+                // later stamps land after completion and are dropped.
+                let _ = resp_tx.send((Response::Ok { req_id }, span));
             }
         }
         Err(TrySendError::Full(_)) => {
             lane.depth.fetch_sub(1, Ordering::Relaxed);
             ServerObs::bump(&sh.obs.retries);
-            let _ = resp_tx.send(Response::Retry { req_id });
+            if let Some(s) = &span {
+                s.annotate("retry");
+            }
+            let _ = resp_tx.send((Response::Retry { req_id }, span));
         }
         Err(TrySendError::Disconnected(_)) => {
             lane.depth.fetch_sub(1, Ordering::Relaxed);
-            let _ = resp_tx.send(Response::Err {
-                req_id,
-                message: "server shutting down".to_owned(),
-            });
+            if let Some(s) = &span {
+                s.annotate("shutdown");
+            }
+            let _ = resp_tx.send((
+                Response::Err {
+                    req_id,
+                    message: "server shutting down".to_owned(),
+                },
+                span,
+            ));
         }
     }
 }
 
 /// Posts a SYNC barrier to every lane; the last lane to fence past it
 /// sends the ack.
-fn submit_barrier(sh: &Arc<Shared>, req_id: u64, resp_tx: &Sender<Response>) {
+fn submit_barrier(sh: &Arc<Shared>, req_id: u64, resp_tx: &Sender<Reply>) {
     let gate = Arc::new(SyncGate {
         remaining: AtomicUsize::new(sh.cfg.lanes),
         req_id,
@@ -511,18 +738,29 @@ fn submit_barrier(sh: &Arc<Shared>, req_id: u64, resp_tx: &Sender<Response>) {
     }
 }
 
-fn response_writer_loop(stream: TcpStream, rx: Receiver<Response>) {
+/// Stamps `ack_write` and completes the span once its response frame has
+/// been written (the final pipeline stage a span can observe).
+fn seal_span(tracer: &Tracer, span: &Option<Arc<TraceSpan>>) {
+    if let Some(s) = span {
+        s.stamp("ack_write");
+        tracer.complete(s);
+    }
+}
+
+fn response_writer_loop(stream: TcpStream, rx: &Receiver<Reply>, tracer: &Tracer) {
     let mut w = BufWriter::new(stream);
-    while let Ok(resp) = rx.recv() {
+    while let Ok((resp, span)) = rx.recv() {
         if write_frame(&mut w, &encode_response(&resp)).is_err() {
             return;
         }
+        seal_span(tracer, &span);
         // Opportunistically coalesce whatever else is queued into one
         // flush.
-        while let Ok(more) = rx.try_recv() {
+        while let Ok((more, span2)) = rx.try_recv() {
             if write_frame(&mut w, &encode_response(&more)).is_err() {
                 return;
             }
+            seal_span(tracer, &span2);
         }
         if w.flush().is_err() {
             return;
@@ -585,9 +823,15 @@ fn commit_batch(sh: &Arc<Shared>, ctx: &mut ThreadCtx, lane: &Lane, batch: Vec<S
                 req_id,
                 durable,
                 resp,
+                trace,
             } => {
+                // The batch is sealed: `batch_seal` closes the
+                // queue-wait + batch-hold stage for every traced op.
+                if let Some(s) = &trace {
+                    s.stamp("batch_seal");
+                }
                 ops.push(op);
-                writes.push((req_id, durable, resp));
+                writes.push((req_id, durable, resp, trace));
             }
             Submission::Barrier(gate) => barriers.push(gate),
         }
@@ -604,10 +848,20 @@ fn commit_batch(sh: &Arc<Shared>, ctx: &mut ThreadCtx, lane: &Lane, batch: Vec<S
         return;
     }
 
-    let durable_acks = writes.iter().filter(|(_, durable, _)| *durable).count() as u64;
+    let durable_acks = writes.iter().filter(|(_, durable, _, _)| *durable).count() as u64;
     let span = sh.obs.batch_start(ctx.clock.now(), sh.dev.stats());
-    match sh.store.apply_batch(ctx, &ops) {
+    let applied = {
+        let spans: Vec<Option<&TraceSpan>> =
+            writes.iter().map(|(_, _, _, t)| t.as_deref()).collect();
+        sh.store.apply_batch_traced(ctx, &ops, &spans)
+    };
+    match applied {
         Ok(outcomes) => {
+            for (_, _, _, trace) in &writes {
+                if let Some(s) = trace {
+                    s.stamp("fence_complete");
+                }
+            }
             sh.obs.batch_end(
                 span,
                 ctx.clock.now(),
@@ -619,7 +873,7 @@ fn commit_batch(sh: &Arc<Shared>, ctx: &mut ThreadCtx, lane: &Lane, batch: Vec<S
             // Acks strictly after the batch's fence (`apply_batch` has
             // returned): an injected crash at that fence unwinds above
             // and never reaches this loop.
-            for ((req_id, durable, resp), (op, existed)) in
+            for ((req_id, durable, resp, trace), (op, existed)) in
                 writes.iter().zip(ops.iter().zip(outcomes))
             {
                 if !*durable {
@@ -635,7 +889,7 @@ fn commit_batch(sh: &Arc<Shared>, ctx: &mut ThreadCtx, lane: &Lane, batch: Vec<S
                         }
                     }
                 };
-                let _ = resp.send(r);
+                let _ = resp.send((r, trace.clone()));
             }
             for gate in barriers {
                 gate.arrive(None);
@@ -643,12 +897,15 @@ fn commit_batch(sh: &Arc<Shared>, ctx: &mut ThreadCtx, lane: &Lane, batch: Vec<S
         }
         Err(e) => {
             let msg = format!("{e:?}");
-            for (req_id, durable, resp) in writes {
+            for (req_id, durable, resp, trace) in writes {
                 if durable {
-                    let _ = resp.send(Response::Err {
-                        req_id,
-                        message: msg.clone(),
-                    });
+                    let _ = resp.send((
+                        Response::Err {
+                            req_id,
+                            message: msg.clone(),
+                        },
+                        trace,
+                    ));
                 }
             }
             for gate in barriers {

@@ -1,0 +1,115 @@
+//! Minimal plain-HTTP metrics sidecar.
+//!
+//! Serves the same live snapshot the STATS request returns, over HTTP/1.1
+//! so stock scrapers need no custom protocol:
+//!
+//! * `GET /metrics` — Prometheus text exposition (including the
+//!   `chameleon_win_*` windowed-telemetry and `chameleon_trace_stage_*`
+//!   metrics).
+//! * `GET /snapshot.json` — the full JSON snapshot, windowed ring
+//!   included (what `repro top` polls).
+//!
+//! Deliberately tiny: requests are parsed just enough to route the path,
+//! every response closes the connection, and the accept loop polls the
+//! server's stop flag so shutdown needs no extra signaling. One thread
+//! handles requests serially — a metrics endpoint scraped a few times a
+//! second, not a data path.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use pmem_sim::ThreadCtx;
+
+use crate::engine::Shared;
+
+/// Binds `addr` (port 0 for ephemeral) and spawns the sidecar thread.
+/// Returns the resolved address and the thread handle (joined by the
+/// server's shutdown path; the loop exits once the stop flag is set).
+pub(crate) fn start(sh: Arc<Shared>, addr: &str) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let handle = thread::Builder::new()
+        .name("kvs-http".to_owned())
+        .spawn(move || serve(&sh, &listener))?;
+    Ok((local, handle))
+}
+
+fn serve(sh: &Arc<Shared>, listener: &TcpListener) {
+    let mut ctx = sh.sidecar_ctx();
+    while !sh.stopping() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = handle_conn(sh, &mut ctx, stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle_conn(sh: &Arc<Shared>, ctx: &mut ThreadCtx, stream: TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    // A stalled client must not wedge the (single) sidecar thread.
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers up to the blank line; nothing in them changes the
+    // response (no keep-alive, no content negotiation).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let path = target.split('?').next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_owned(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                sh.obs_snapshot(ctx).to_prometheus(),
+            ),
+            "/snapshot.json" => (
+                "200 OK",
+                "application/json",
+                sh.obs_snapshot(ctx).to_pretty_json(),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /metrics or /snapshot.json\n".to_owned(),
+            ),
+        }
+    };
+
+    let mut w = stream;
+    write!(
+        w,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body.as_bytes())?;
+    w.flush()?;
+    let _ = w.shutdown(Shutdown::Both);
+    Ok(())
+}

@@ -42,6 +42,7 @@
 //! ```
 
 mod engine;
+mod http;
 pub mod proto;
 
 pub use engine::{KvServer, ServerConfig};

@@ -16,6 +16,7 @@
 //!   STATS  (0x05) := fmt:u8            (0 = JSON, 1 = Prometheus)
 //!   MODE   (0x06) := mode:u8           (0 = Normal, 1 = WriteIntensive,
 //!                                       0xFF = query current mode)
+//!   TRACE  (0x07) := max:u32           (newest completed spans to return)
 //! response := status:u8 req_id:u64 body
 //!   OK        (0x00) :=
 //!   VALUE     (0x01) := vlen:u32 value[vlen]
@@ -25,11 +26,14 @@
 //!   MODE      (0x05) := mode:u8
 //!   RETRY     (0x06) :=                 (lane queue full; resubmit)
 //!   ERR       (0x07) := len:u32 utf8[len]
+//!   TRACE     (0x08) := len:u32 text[len]   (trace-payload JSON)
 //! ```
 //!
 //! `flags` bit 0 on PUT/DELETE marks the write *durable*: its ack is
-//! withheld until the group-commit fence that persists it. All other flag
-//! bits must be zero.
+//! withheld until the group-commit fence that persists it. Bit 1 marks
+//! the request *traced*: the server force-samples it into a trace span
+//! regardless of its sampling rate, readable back via TRACE. All other
+//! flag bits must be zero.
 //!
 //! Decoding is strict: unknown opcodes, oversized lengths, short or
 //! trailing bytes all yield [`ProtoError`] — the server closes the
@@ -47,6 +51,8 @@ pub const MAX_FRAME: usize = MAX_VALUE + 64;
 
 /// PUT/DELETE flag bit: withhold the ack until the write is fenced.
 pub const FLAG_DURABLE: u8 = 0x01;
+/// PUT/DELETE flag bit: force-sample this request into a trace span.
+pub const FLAG_TRACE: u8 = 0x02;
 
 /// A malformed or oversized frame. Fatal to the connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,11 +93,13 @@ pub enum Request {
         key: u64,
         value: Vec<u8>,
         durable: bool,
+        traced: bool,
     },
     Delete {
         req_id: u64,
         key: u64,
         durable: bool,
+        traced: bool,
     },
     Sync {
         req_id: u64,
@@ -104,6 +112,12 @@ pub enum Request {
         req_id: u64,
         arg: ModeArg,
     },
+    /// Fetch the newest `max` completed trace spans plus a journal tail,
+    /// as trace-payload JSON (see `chameleon_obs::trace`).
+    Trace {
+        req_id: u64,
+        max: u32,
+    },
 }
 
 impl Request {
@@ -114,7 +128,8 @@ impl Request {
             | Request::Delete { req_id, .. }
             | Request::Sync { req_id }
             | Request::Stats { req_id, .. }
-            | Request::Mode { req_id, .. } => req_id,
+            | Request::Mode { req_id, .. }
+            | Request::Trace { req_id, .. } => req_id,
         }
     }
 }
@@ -122,14 +137,39 @@ impl Request {
 /// A decoded server response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
-    Ok { req_id: u64 },
-    Value { req_id: u64, value: Vec<u8> },
-    NotFound { req_id: u64 },
-    Deleted { req_id: u64 },
-    Stats { req_id: u64, text: String },
-    Mode { req_id: u64, write_intensive: bool },
-    Retry { req_id: u64 },
-    Err { req_id: u64, message: String },
+    Ok {
+        req_id: u64,
+    },
+    Value {
+        req_id: u64,
+        value: Vec<u8>,
+    },
+    NotFound {
+        req_id: u64,
+    },
+    Deleted {
+        req_id: u64,
+    },
+    Stats {
+        req_id: u64,
+        text: String,
+    },
+    Mode {
+        req_id: u64,
+        write_intensive: bool,
+    },
+    Retry {
+        req_id: u64,
+    },
+    Err {
+        req_id: u64,
+        message: String,
+    },
+    /// Trace-payload JSON (spans + journal tail).
+    Trace {
+        req_id: u64,
+        text: String,
+    },
 }
 
 impl Response {
@@ -142,7 +182,8 @@ impl Response {
             | Response::Stats { req_id, .. }
             | Response::Mode { req_id, .. }
             | Response::Retry { req_id }
-            | Response::Err { req_id, .. } => req_id,
+            | Response::Err { req_id, .. }
+            | Response::Trace { req_id, .. } => req_id,
         }
     }
 }
@@ -153,6 +194,7 @@ const OP_DELETE: u8 = 0x03;
 const OP_SYNC: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
 const OP_MODE: u8 = 0x06;
+const OP_TRACE: u8 = 0x07;
 
 const ST_OK: u8 = 0x00;
 const ST_VALUE: u8 = 0x01;
@@ -162,6 +204,7 @@ const ST_STATS: u8 = 0x04;
 const ST_MODE: u8 = 0x05;
 const ST_RETRY: u8 = 0x06;
 const ST_ERR: u8 = 0x07;
+const ST_TRACE: u8 = 0x08;
 
 /// Strict little-endian cursor over one frame payload.
 struct Cursor<'a> {
@@ -227,11 +270,15 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_flags(flags: u8) -> Result<bool, ProtoError> {
-    if flags & !FLAG_DURABLE != 0 {
+fn decode_flags(flags: u8) -> Result<(bool, bool), ProtoError> {
+    if flags & !(FLAG_DURABLE | FLAG_TRACE) != 0 {
         return Err(ProtoError("reserved flag bits set"));
     }
-    Ok(flags & FLAG_DURABLE != 0)
+    Ok((flags & FLAG_DURABLE != 0, flags & FLAG_TRACE != 0))
+}
+
+fn encode_flags(durable: bool, traced: bool) -> u8 {
+    (if durable { FLAG_DURABLE } else { 0 }) | (if traced { FLAG_TRACE } else { 0 })
 }
 
 /// Decodes one request payload (the bytes after the length prefix).
@@ -245,7 +292,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             key: c.u64()?,
         },
         OP_PUT => {
-            let durable = decode_flags(c.u8()?)?;
+            let (durable, traced) = decode_flags(c.u8()?)?;
             let key = c.u64()?;
             let vlen = c.u32()? as usize;
             if vlen > MAX_VALUE {
@@ -257,14 +304,16 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 key,
                 value,
                 durable,
+                traced,
             }
         }
         OP_DELETE => {
-            let durable = decode_flags(c.u8()?)?;
+            let (durable, traced) = decode_flags(c.u8()?)?;
             Request::Delete {
                 req_id,
                 key: c.u64()?,
                 durable,
+                traced,
             }
         }
         OP_SYNC => Request::Sync { req_id },
@@ -285,6 +334,10 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             };
             Request::Mode { req_id, arg }
         }
+        OP_TRACE => Request::Trace {
+            req_id,
+            max: c.u32()?,
+        },
         _ => return Err(ProtoError("unknown opcode")),
     };
     c.finish()?;
@@ -305,10 +358,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             key,
             value,
             durable,
+            traced,
         } => {
             out.push(OP_PUT);
             out.extend_from_slice(&req_id.to_le_bytes());
-            out.push(if *durable { FLAG_DURABLE } else { 0 });
+            out.push(encode_flags(*durable, *traced));
             out.extend_from_slice(&key.to_le_bytes());
             out.extend_from_slice(&(value.len() as u32).to_le_bytes());
             out.extend_from_slice(value);
@@ -317,10 +371,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             req_id,
             key,
             durable,
+            traced,
         } => {
             out.push(OP_DELETE);
             out.extend_from_slice(&req_id.to_le_bytes());
-            out.push(if *durable { FLAG_DURABLE } else { 0 });
+            out.push(encode_flags(*durable, *traced));
             out.extend_from_slice(&key.to_le_bytes());
         }
         Request::Sync { req_id } => {
@@ -343,6 +398,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 ModeArg::WriteIntensive => 1,
                 ModeArg::Query => 0xFF,
             });
+        }
+        Request::Trace { req_id, max } => {
+            out.push(OP_TRACE);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&max.to_le_bytes());
         }
     }
     out
@@ -399,6 +459,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 .to_owned();
             Response::Err { req_id, message }
         }
+        ST_TRACE => {
+            let len = c.u32()? as usize;
+            if len > MAX_FRAME {
+                return Err(ProtoError("trace text too large"));
+            }
+            let text = std::str::from_utf8(c.bytes(len)?)
+                .map_err(|_| ProtoError("trace text not utf-8"))?
+                .to_owned();
+            Response::Trace { req_id, text }
+        }
         _ => return Err(ProtoError("unknown status")),
     };
     c.finish()?;
@@ -450,6 +520,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(&req_id.to_le_bytes());
             out.extend_from_slice(&(message.len() as u32).to_le_bytes());
             out.extend_from_slice(message.as_bytes());
+        }
+        Response::Trace { req_id, text } => {
+            out.push(ST_TRACE);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
         }
     }
     out
@@ -506,17 +582,20 @@ mod tests {
                 key: 7,
                 value: b"v".to_vec(),
                 durable: true,
+                traced: false,
             },
             Request::Put {
                 req_id: 3,
                 key: 8,
                 value: Vec::new(),
                 durable: false,
+                traced: true,
             },
             Request::Delete {
                 req_id: 4,
                 key: 9,
                 durable: true,
+                traced: true,
             },
             Request::Sync { req_id: 5 },
             Request::Stats {
@@ -527,6 +606,7 @@ mod tests {
                 req_id: 7,
                 arg: ModeArg::Query,
             },
+            Request::Trace { req_id: 8, max: 64 },
         ];
         for req in reqs {
             let wire = encode_request(&req);
@@ -557,6 +637,10 @@ mod tests {
                 req_id: 8,
                 message: "boom".to_owned(),
             },
+            Response::Trace {
+                req_id: 9,
+                text: "{\"spans\":[],\"events\":[]}".to_owned(),
+            },
         ];
         for resp in resps {
             let wire = encode_response(&resp);
@@ -571,6 +655,7 @@ mod tests {
             key: 2,
             value: b"abc".to_vec(),
             durable: false,
+            traced: false,
         });
         for cut in 0..wire.len() {
             assert!(decode_request(&wire[..cut]).is_err(), "cut at {cut}");
@@ -594,9 +679,22 @@ mod tests {
     fn reserved_flag_bits_are_rejected() {
         let mut wire = vec![OP_DELETE];
         wire.extend_from_slice(&1u64.to_le_bytes());
-        wire.push(0x02);
+        wire.push(0x04);
         wire.extend_from_slice(&2u64.to_le_bytes());
         assert!(decode_request(&wire).is_err());
+    }
+
+    #[test]
+    fn trace_flag_round_trips_on_writes() {
+        for (durable, traced) in [(false, false), (true, false), (false, true), (true, true)] {
+            let req = Request::Delete {
+                req_id: 1,
+                key: 2,
+                durable,
+                traced,
+            };
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
     }
 
     #[test]

@@ -12,18 +12,23 @@ use proptest::prelude::*;
 /// Builds one request from unconstrained draws (the discriminant picks
 /// the variant; surplus fields are ignored).
 fn make_request(disc: u8, req_id: u64, key: u64, value: Vec<u8>, flag: bool) -> Request {
-    match disc % 6 {
+    // A second independent draw, distilled from bits the variant doesn't
+    // otherwise consume, exercises the durable × traced flag grid.
+    let flag2 = disc & 0x80 != 0;
+    match disc % 7 {
         0 => Request::Get { req_id, key },
         1 => Request::Put {
             req_id,
             key,
             value,
             durable: flag,
+            traced: flag2,
         },
         2 => Request::Delete {
             req_id,
             key,
             durable: flag,
+            traced: flag2,
         },
         3 => Request::Sync { req_id },
         4 => Request::Stats {
@@ -34,7 +39,7 @@ fn make_request(disc: u8, req_id: u64, key: u64, value: Vec<u8>, flag: bool) -> 
                 StatsFormat::Json
             },
         },
-        _ => Request::Mode {
+        5 => Request::Mode {
             req_id,
             arg: match key % 3 {
                 0 => ModeArg::Normal,
@@ -42,12 +47,16 @@ fn make_request(disc: u8, req_id: u64, key: u64, value: Vec<u8>, flag: bool) -> 
                 _ => ModeArg::Query,
             },
         },
+        _ => Request::Trace {
+            req_id,
+            max: key as u32,
+        },
     }
 }
 
 fn make_response(disc: u8, req_id: u64, value: Vec<u8>, flag: bool) -> Response {
     let text = || String::from_utf8_lossy(&value).into_owned();
-    match disc % 8 {
+    match disc % 9 {
         0 => Response::Ok { req_id },
         1 => Response::Value { req_id, value },
         2 => Response::NotFound { req_id },
@@ -61,9 +70,13 @@ fn make_response(disc: u8, req_id: u64, value: Vec<u8>, flag: bool) -> Response 
             write_intensive: flag,
         },
         6 => Response::Retry { req_id },
-        _ => Response::Err {
+        7 => Response::Err {
             req_id,
             message: text(),
+        },
+        _ => Response::Trace {
+            req_id,
+            text: text(),
         },
     }
 }

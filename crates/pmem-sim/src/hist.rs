@@ -153,6 +153,41 @@ impl Histogram {
         }
     }
 
+    /// Returns the histogram of samples recorded since `prev` was
+    /// captured, where `prev` is an earlier clone of `self`. Bucket
+    /// counts, total, and sum subtract exactly, so quantiles of the
+    /// delta describe only the new samples — this is what feeds the
+    /// per-window latency series. Exact min/max are not recoverable
+    /// from a subtraction, so they are approximated by the bounds of
+    /// the lowest/highest non-empty delta bucket.
+    pub fn delta(&self, prev: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        let mut lo = None;
+        let mut hi = None;
+        for (idx, (a, b)) in self.counts.iter().zip(&prev.counts).enumerate() {
+            let d = a.saturating_sub(*b);
+            out.counts[idx] = d;
+            if d > 0 {
+                if lo.is_none() {
+                    lo = Some(idx);
+                }
+                hi = Some(idx);
+            }
+        }
+        out.total = self.total.saturating_sub(prev.total);
+        out.sum = self.sum.saturating_sub(prev.sum);
+        if out.total > 0 {
+            // Bucketed approximations; quantile() clamps to max, so
+            // keep max consistent with the occupied buckets.
+            out.min = lo
+                .map(|i| Self::bucket_upper_bound(i.saturating_sub(1)).saturating_add(1))
+                .unwrap_or(0)
+                .min(self.max);
+            out.max = hi.map(Self::bucket_upper_bound).unwrap_or(0).min(self.max);
+        }
+        out
+    }
+
     /// Dumps the CDF as `(value, cumulative_fraction)` points, one per
     /// non-empty bucket — the series plotted in Figs. 11/13.
     pub fn cdf(&self) -> Vec<(u64, f64)> {
@@ -340,6 +375,50 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!(a.mean() > 0.0); // saturated, not wrapped to ~0
+    }
+
+    #[test]
+    fn delta_describes_only_new_samples() {
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let prev = h.clone();
+        for v in [10_000u64, 20_000, 30_000, 40_000] {
+            h.record(v);
+        }
+        let d = h.delta(&prev);
+        assert_eq!(d.count(), 4);
+        // All delta samples live in the 10k..40k region.
+        assert!(d.quantile(0.0) >= 9_000, "min-ish {}", d.quantile(0.0));
+        let p50 = d.quantile(0.5);
+        assert!((19_000..=21_000).contains(&p50), "p50 {p50}");
+        assert!(d.max() >= 40_000 && d.max() <= 41_500, "max {}", d.max());
+        assert!((d.mean() - 25_000.0).abs() / 25_000.0 < 0.01);
+    }
+
+    #[test]
+    fn delta_of_identical_histograms_is_empty() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let d = h.delta(&h.clone());
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.quantile(0.99), 0);
+        assert_eq!(d.max(), 0);
+        assert_eq!(d.min(), 0);
+    }
+
+    #[test]
+    fn delta_from_empty_equals_original_counts() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 7);
+        }
+        let d = h.delta(&Histogram::new());
+        assert_eq!(d.count(), h.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(d.quantile(q), h.quantile(q), "quantile {q}");
+        }
     }
 
     #[test]
