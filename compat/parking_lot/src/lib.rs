@@ -91,6 +91,39 @@ impl Condvar {
             std::ptr::write(guard, reacquired);
         }
     }
+
+    /// Like [`Condvar::wait`], but gives up after `timeout`. Returns a
+    /// [`WaitTimeoutResult`] whose `timed_out()` reports whether the wait
+    /// ended by timeout rather than notification. Spurious wakeups are
+    /// possible either way — callers must re-check their predicate.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        // Same guard-ownership bridge as `wait` above; `wait_timeout`
+        // does not unwind (poison mapped below).
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let (reacquired, res) = self
+                .0
+                .wait_timeout(owned, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            std::ptr::write(guard, reacquired);
+            WaitTimeoutResult(res.timed_out())
+        }
+    }
+}
+
+/// Result of a timed condvar wait; mirrors `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
 }
 
 /// A reader-writer lock with `parking_lot`'s panic-free API.
@@ -157,6 +190,35 @@ mod tests {
         }
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn wait_for_wakes_on_notify() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = std::sync::Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            *pair2.0.lock() = true;
+            pair2.1.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut g = lock.lock();
+        while !*g {
+            let res = cv.wait_for(&mut g, std::time::Duration::from_secs(5));
+            if res.timed_out() {
+                break;
+            }
+        }
+        assert!(*g, "notification should arrive well within the timeout");
+        t.join().unwrap();
     }
 
     #[test]

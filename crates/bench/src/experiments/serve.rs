@@ -22,8 +22,9 @@ use std::time::{Duration, Instant};
 
 use chameleon_obs::{ServerObs, TraceConfig};
 use chameleondb::{ChameleonConfig, ChameleonDb};
+use kvclient::openloop::{self, OpenLoopConfig, OpenLoopReport};
 use kvclient::Client;
-use kvserver::{KvServer, ServerConfig};
+use kvserver::{IoModel, KvServer, ServerConfig};
 use pmem_sim::{Histogram, PmemDevice};
 use serde::Serialize;
 
@@ -415,4 +416,279 @@ pub fn bench(opts: &Opts) {
         );
     }
     write_json(opts, "serve_bench", &vec![&batch1, &group]);
+
+    if opts.conns > 0 {
+        connection_scaling(opts);
+    }
+    if opts.open_loop {
+        open_loop_sweep(opts);
+    }
+}
+
+/// One measured configuration of the connection-scaling comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConnScaleRow {
+    pub model: String,
+    pub conns: usize,
+    /// Total service threads the server ran (acceptor + I/O + committers
+    /// + sampler) — the number the reactor holds constant.
+    pub server_threads: usize,
+    pub offered_per_sec: u64,
+    pub offered: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub retries: u64,
+    pub errors: u64,
+    pub unanswered: u64,
+    /// Coordinated-omission-free latency (from each request's scheduled
+    /// send time), microseconds.
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub max_us: f64,
+}
+
+/// Drives `conns` connections at `rate` req/s from a few generator
+/// threads and merges what they saw.
+fn drive_open_loop(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    rate: u64,
+    duration: Duration,
+    gen_threads: usize,
+) -> OpenLoopReport {
+    let gen_threads = gen_threads.clamp(1, conns);
+    let reports: Vec<OpenLoopReport> = thread::scope(|s| {
+        let handles: Vec<_> = (0..gen_threads)
+            .map(|t| {
+                // Distribute remainders so every connection is driven.
+                let conns_here = conns / gen_threads + usize::from(t < conns % gen_threads);
+                let rate_here = (rate / gen_threads as u64).max(1);
+                let cfg = OpenLoopConfig {
+                    conns: conns_here,
+                    rate_per_sec: rate_here,
+                    duration,
+                    get_fraction: 0.5,
+                    max_outstanding: 64,
+                    seed: 0x9E3779B97F4A7C15 ^ ((t as u64 + 1) << 32),
+                    ..OpenLoopConfig::default()
+                };
+                s.spawn(move || openloop::run(addr, &cfg).expect("open-loop run"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut merged = reports.into_iter();
+    let mut total = merged.next().expect("at least one generator");
+    for r in merged {
+        total.merge(&r);
+    }
+    total
+}
+
+fn scale_row(
+    model: &str,
+    cfg: ServerConfig,
+    conns: usize,
+    rate: u64,
+    duration: Duration,
+    gen_threads: usize,
+) -> ConnScaleRow {
+    let dev = PmemDevice::optane(1 << 30);
+    let store = new_store(&dev);
+    let obs = Arc::new(ServerObs::new());
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&dev),
+        Arc::clone(&store),
+        Arc::clone(&obs),
+        cfg,
+    )
+    .expect("serve-bench: bind failed");
+    let server_threads = server.thread_count();
+    let report = drive_open_loop(server.local_addr(), conns, rate, duration, gen_threads);
+    server.shutdown().expect("serve-bench: dirty shutdown");
+    ConnScaleRow {
+        model: model.into(),
+        conns,
+        server_threads,
+        offered_per_sec: rate,
+        offered: report.offered,
+        completed: report.completed,
+        shed: report.shed,
+        retries: report.retries,
+        errors: report.errors,
+        unanswered: report.unanswered,
+        p50_us: report.latency.median() as f64 / 1e3,
+        p99_us: report.latency.quantile(0.99) as f64 / 1e3,
+        max_us: report.latency.max() as f64 / 1e3,
+    }
+}
+
+fn print_scale_rows(rows: &[&ConnScaleRow]) {
+    println!("  model      conns  srv-thr  offered/s  completed      shed   p50        p99");
+    for r in rows {
+        println!(
+            "  {:<9} {:>6}  {:>7}  {:>9}  {:>9}  {:>8}  {:>8.1}us {:>8.1}us",
+            r.model,
+            r.conns,
+            r.server_threads,
+            r.offered_per_sec,
+            r.completed,
+            r.shed,
+            r.p50_us,
+            r.p99_us,
+        );
+    }
+}
+
+/// The tentpole measurement: the reactor at `--conns` connections versus
+/// the thread-per-connection baseline at 16, same offered load, latency
+/// measured open-loop (no coordinated omission).
+fn connection_scaling(opts: &Opts) {
+    header("serve-bench: connection scaling (reactor vs thread-per-connection)");
+    let conns = opts.conns;
+    let (rate, duration) = if opts.quick {
+        (2_000u64, Duration::from_secs(1))
+    } else {
+        (5_000u64, Duration::from_secs(2))
+    };
+    println!(
+        "  offered load {rate} req/s (50% durable put / 50% get) for {duration:?}, open-loop\n"
+    );
+
+    let threaded = scale_row(
+        "threaded",
+        ServerConfig {
+            io: IoModel::Threaded,
+            ..ServerConfig::default()
+        },
+        16,
+        rate,
+        duration,
+        2,
+    );
+    let reactor = scale_row(
+        "reactor",
+        ServerConfig {
+            io: IoModel::Reactor { workers: 4 },
+            ..ServerConfig::default()
+        },
+        conns,
+        rate,
+        duration,
+        4,
+    );
+    print_scale_rows(&[&threaded, &reactor]);
+    println!(
+        "\n  reactor served {}x the connections with {} service threads (threaded at {} conns would need ~{})",
+        conns / 16,
+        reactor.server_threads,
+        conns,
+        conns + threaded.server_threads - 16,
+    );
+
+    // Acceptance: a fixed thread pool, and a tail no worse than the
+    // 16-connection threaded baseline at the same offered load. The
+    // latency bound is deliberately loose — wall-clock on a shared
+    // machine — and exists to catch catastrophic regressions, not to
+    // benchmark noise.
+    assert!(
+        reactor.server_threads <= 16,
+        "reactor at {} conns used {} service threads (want <= 16)",
+        conns,
+        reactor.server_threads
+    );
+    assert!(
+        reactor.completed > 0,
+        "reactor completed no requests at {conns} connections"
+    );
+    assert!(
+        reactor.p99_us <= threaded.p99_us * 10.0 + 10_000.0,
+        "reactor p99 {}us at {} conns catastrophically worse than threaded {}us at 16",
+        reactor.p99_us,
+        conns,
+        threaded.p99_us
+    );
+
+    if let Some(dir) = &opts.out_dir {
+        let d = dir.join("pr7_reactor");
+        std::fs::create_dir_all(&d).expect("create pr7_reactor dir");
+        let path = d.join("connection_scaling.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&vec![&threaded, &reactor]).expect("serialize scaling"),
+        )
+        .expect("write scaling artifact");
+        println!("  [artifact] {}", path.display());
+    }
+}
+
+/// Offered-load sweep: latency and shed rate as the schedule outruns the
+/// store, the honest way (shed requests counted, never delayed).
+fn open_loop_sweep(opts: &Opts) {
+    header("serve-bench: open-loop latency vs offered load (reactor)");
+    let conns = if opts.conns > 0 { opts.conns } else { 64 };
+    let (rates, duration): (&[u64], Duration) = if opts.quick {
+        (&[1_000, 4_000], Duration::from_secs(1))
+    } else {
+        (&[2_000, 5_000, 10_000, 20_000], Duration::from_secs(2))
+    };
+    println!("  {conns} connections, 50% durable put / 50% get, latency from scheduled send\n");
+
+    let dev = PmemDevice::optane(1 << 30);
+    let store = new_store(&dev);
+    let obs = Arc::new(ServerObs::new());
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&dev),
+        Arc::clone(&store),
+        Arc::clone(&obs),
+        ServerConfig {
+            io: IoModel::Reactor { workers: 4 },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve-bench: bind failed");
+    let server_threads = server.thread_count();
+
+    let mut rows = Vec::new();
+    for &rate in rates {
+        let report = drive_open_loop(server.local_addr(), conns, rate, duration, 4);
+        rows.push(ConnScaleRow {
+            model: "reactor".into(),
+            conns,
+            server_threads,
+            offered_per_sec: rate,
+            offered: report.offered,
+            completed: report.completed,
+            shed: report.shed,
+            retries: report.retries,
+            errors: report.errors,
+            unanswered: report.unanswered,
+            p50_us: report.latency.median() as f64 / 1e3,
+            p99_us: report.latency.quantile(0.99) as f64 / 1e3,
+            max_us: report.latency.max() as f64 / 1e3,
+        });
+    }
+    server.shutdown().expect("serve-bench: dirty shutdown");
+    print_scale_rows(&rows.iter().collect::<Vec<_>>());
+    for r in &rows {
+        assert!(
+            r.completed > 0,
+            "no completions at offered load {}",
+            r.offered_per_sec
+        );
+    }
+
+    if let Some(dir) = &opts.out_dir {
+        let d = dir.join("pr7_reactor");
+        std::fs::create_dir_all(&d).expect("create pr7_reactor dir");
+        let path = d.join("open_loop_sweep.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&rows).expect("serialize sweep"),
+        )
+        .expect("write sweep artifact");
+        println!("  [artifact] {}", path.display());
+    }
 }

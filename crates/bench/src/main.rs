@@ -133,6 +133,7 @@ fn usage() {
     eprintln!(
         "usage: repro <experiment> [--keys N] [--ops N] [--threads N] [--out DIR | --no-out] [--quick]\n\
          \x20                       [--obs-json PATH] [--progress] [--port N] [--trace N] [--http-port N]\n\
+         \x20                       [--conns N] [--open-loop]   (serve-bench: connection scaling / load sweep)\n\
          experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
                       table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs crash\n\
                       serve serve-bench trace-dump top all"

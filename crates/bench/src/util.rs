@@ -32,6 +32,14 @@ pub struct Opts {
     /// `/snapshot.json`). `repro serve` only starts the sidecar when this
     /// is set; `repro top` polls it (default 7879 when unset).
     pub http_port: Option<u16>,
+    /// Connection-scaling target for `repro serve-bench`: run the
+    /// reactor at this many concurrent connections against the threaded
+    /// baseline at 16 (0 = skip the scaling phase).
+    pub conns: usize,
+    /// Add the open-loop latency-vs-offered-load sweep to
+    /// `repro serve-bench` (coordinated-omission-free; see
+    /// `kvclient::openloop`).
+    pub open_loop: bool,
 }
 
 impl Default for Opts {
@@ -47,6 +55,8 @@ impl Default for Opts {
             port: 7878,
             trace: 0,
             http_port: None,
+            conns: 0,
+            open_loop: false,
         }
     }
 }
@@ -111,6 +121,14 @@ impl Opts {
                             .map_err(|e| format!("--http-port: {e}"))?,
                     );
                 }
+                "--conns" => {
+                    opts.conns = it
+                        .next()
+                        .ok_or("--conns needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--conns: {e}"))?;
+                }
+                "--open-loop" => opts.open_loop = true,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -321,6 +339,23 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
+        assert!(Opts::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn parse_conns_and_open_loop() {
+        let o = Opts::parse(&[]).unwrap();
+        assert_eq!(o.conns, 0);
+        assert!(!o.open_loop);
+        let args: Vec<String> = ["--conns", "1000", "--open-loop"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = Opts::parse(&args).unwrap();
+        assert_eq!(o.conns, 1000);
+        assert!(o.open_loop);
+        assert!(Opts::parse(&["--conns".to_string()]).is_err());
+        let bad: Vec<String> = ["--conns", "many"].iter().map(|s| s.to_string()).collect();
         assert!(Opts::parse(&bad).is_err());
     }
 

@@ -70,6 +70,11 @@ pub struct ServerObs {
     pub retries: AtomicU64,
     /// Connections dropped for an undecodable frame.
     pub protocol_errors: AtomicU64,
+    /// Connections shed because the client stopped reading its replies
+    /// (bounded response queue overflowed).
+    pub slow_consumer_disconnects: AtomicU64,
+    /// Connections shed for exceeding the idle/half-open timeout.
+    pub idle_disconnects: AtomicU64,
     /// Non-durable writes acked at enqueue (before their batch's fence).
     pub early_acks: AtomicU64,
     /// Batches committed.
@@ -171,6 +176,14 @@ impl ServerObs {
                 (
                     "protocol_errors",
                     self.protocol_errors.load(Ordering::Relaxed),
+                ),
+                (
+                    "slow_consumer_disconnects",
+                    self.slow_consumer_disconnects.load(Ordering::Relaxed),
+                ),
+                (
+                    "idle_disconnects",
+                    self.idle_disconnects.load(Ordering::Relaxed),
                 ),
                 ("early_acks", self.early_acks.load(Ordering::Relaxed)),
                 ("batches", self.batches.load(Ordering::Relaxed)),

@@ -18,6 +18,14 @@ use kvserver::proto::{decode_response, encode_request, read_frame, write_frame};
 pub use kvserver::proto::{ModeArg, Request, Response, StatsFormat};
 use pmem_sim::Histogram;
 
+pub mod openloop;
+
+/// Most out-of-order responses [`Client::recv_for`] will stash before
+/// concluding the connection's pipelining discipline is broken. Bounds
+/// client memory: responses for abandoned req-ids would otherwise
+/// accumulate forever.
+pub const DEFAULT_STASH_CAP: usize = 4096;
+
 /// Client-observed wall-clock latency per blocking operation, recorded
 /// from just before the request frame is written until its response is
 /// matched. The server's own histograms measure simulated device time on
@@ -102,8 +110,10 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
-    /// Responses read while waiting for a different `req_id`.
+    /// Responses read while waiting for a different `req_id`; bounded by
+    /// `stash_cap`.
     stashed: HashMap<u64, Response>,
+    stash_cap: usize,
     lat: ClientLatencies,
 }
 
@@ -118,8 +128,17 @@ impl Client {
             writer: BufWriter::new(stream),
             next_id: 1,
             stashed: HashMap::new(),
+            stash_cap: DEFAULT_STASH_CAP,
             lat: ClientLatencies::default(),
         })
+    }
+
+    /// Overrides the out-of-order response stash bound (default
+    /// [`DEFAULT_STASH_CAP`]). A `recv_for` that would stash more than
+    /// this many responses fails with [`io::ErrorKind::InvalidData`]
+    /// instead of growing without limit.
+    pub fn set_stash_cap(&mut self, cap: usize) {
+        self.stash_cap = cap;
     }
 
     /// Client-observed latency histograms accumulated so far on this
@@ -155,7 +174,7 @@ impl Client {
     }
 
     /// Reads the next response off the wire, whatever its id.
-    fn recv_any(&mut self) -> io::Result<Response> {
+    pub fn recv_any(&mut self) -> io::Result<Response> {
         self.flush()?;
         let payload = read_frame(&mut self.reader)?
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
@@ -172,6 +191,15 @@ impl Client {
             let resp = self.recv_any()?;
             if resp.req_id() == req_id {
                 return Ok(resp);
+            }
+            if self.stashed.len() >= self.stash_cap {
+                // Either the caller abandoned a huge number of req-ids or
+                // the server is answering ids we never asked about;
+                // growing forever would turn a protocol bug into an OOM.
+                return Err(bad_data(
+                    "response stash overflow: too many out-of-order responses held \
+                     while waiting (see Client::set_stash_cap)",
+                ));
             }
             self.stashed.insert(resp.req_id(), resp);
         }

@@ -1,56 +1,58 @@
-//! The server engine: acceptor, per-connection reader/writer threads,
-//! bounded per-shard submission lanes, and group-commit committers.
+//! The server engine: poll(2)-driven acceptor, reactor I/O workers (or
+//! the legacy per-connection threads), bounded per-shard submission
+//! lanes, and group-commit committers.
 //!
 //! # Threading model
 //!
-//! ```text
-//! acceptor ──spawns──▶ conn reader ──try_send──▶ lane queue ──▶ committer
-//!                       │    ▲                                   │
-//!                       │    └── GET/STATS/MODE served inline    │
-//!                       ▼                                        │
-//!                  conn writer ◀───────── acks after fence ──────┘
+//! Default ([`IoModel::Reactor`]):
 //!
-//! sampler ── every telemetry_interval ──▶ WindowedSeries ring
-//! http sidecar ── GET /metrics, /snapshot.json ──▶ live snapshot
+//! ```text
+//! acceptor ──poll──▶ hands socket to worker (round-robin)
+//!
+//! I/O worker (×N) ──poll over owned conns + wake pipe──┐
+//!   │ reads → frame reassembly → decode                │
+//!   │ GET/STATS/MODE/TRACE served inline               │
+//!   │ PUT/DELETE/SYNC ──try_send──▶ lane queue ──▶ committer
+//!   │                                                  │
+//!   └── flush bounded per-conn outq ◀── encoded acks ──┘
+//!                        (committer posts to the owning worker's
+//!                         inbox + wake pipe, after the fence)
+//!
+//! sampler ── condvar, one tick per telemetry_interval ──▶ ring
+//! http sidecar ── poll([listener, wake]) ──▶ /metrics, /snapshot.json
 //! ```
 //!
-//! * One **reader thread per connection** decodes frames. GETs run inline
-//!   on the lock-free read path; STATS/MODE/TRACE are served inline too.
-//!   Writes are routed by key shard to one of `lanes` bounded queues — a
-//!   full queue answers `RETRY` instead of blocking the reader
-//!   (backpressure).
-//! * One **writer thread per connection** drains a response channel, so
-//!   inline replies and later durable acks interleave freely; the client
-//!   matches them by `req_id`.
-//! * One **committer thread per lane** owns a `ThreadCtx` (and therefore
-//!   a log writer). It drains its queue into a batch of at most
-//!   `max_batch` ops, holding the batch open at most `max_hold`, appends
-//!   the whole batch through [`ChameleonDb::apply_batch`] — one persist
-//!   fence at the tail — and only then releases the durable acks. With
-//!   `max_batch == 1` this degenerates to fence-per-op (the baseline the
-//!   bench compares against).
-//! * An optional **sampler thread** ticks once per `telemetry_interval`,
-//!   subtracting the previous tick's cumulative state to produce one
-//!   [`Window`](chameleon_obs::Window) per interval (ops/sec, latency
-//!   quantiles, stalls, batches, media bytes, fences) in a bounded
-//!   [`WindowedSeries`] ring exported through STATS and `/metrics`.
-//! * An optional **HTTP sidecar** (see [`crate::http`]) serves the same
-//!   snapshot as plain-HTTP `GET /metrics` (Prometheus) and
-//!   `GET /snapshot.json` for scrapers and `repro top`.
+//! * The **acceptor** blocks in `poll` on the listener plus a wake pipe —
+//!   no sleep loop. Each accepted socket is made nonblocking and handed
+//!   to one of `workers` reactor threads by round-robin.
+//! * Each **I/O worker** owns its connections outright: per-connection
+//!   read buffers with partial-frame state machines (see
+//!   [`crate::conn::FrameBuf`]), inline dispatch of read-path requests
+//!   through the lock-free epoch-pinned view, and a **bounded**
+//!   per-connection response queue (`resp_queue_cap` bytes) drained on
+//!   writability. A client that stops reading its replies overflows the
+//!   bound and is disconnected (`slow_consumer_disconnects`); a client
+//!   that goes silent past `idle_timeout` is swept (`idle_disconnects`).
+//! * One **committer thread per lane** drains batches of at most
+//!   `max_batch` ops held at most `max_hold`, appends the whole batch via
+//!   [`ChameleonDb::apply_batch`] — one persist fence at the tail — and
+//!   only then releases the durable acks, encoded and posted back to the
+//!   owning worker through its wake pipe.
+//! * [`IoModel::Threaded`] keeps PR 4's two-threads-per-connection model
+//!   (now with the same bounded response queues) as the measured
+//!   baseline for the reactor's connection-scaling experiments.
+//! * The **sampler** waits on a condvar with `telemetry_interval`
+//!   timeout (no sleep-polling) and ticks a [`DeltaTracker`] window into
+//!   the [`WindowedSeries`] ring.
 //!
 //! # Request tracing
 //!
-//! A [`Tracer`] samples one request in `trace.sample_every` (the wire
-//! trace flag forces a sample regardless of rate). A sampled request
-//! carries its span through the pipeline and is stamped at each stage
-//! boundary: `decode` → `lane_enqueue` (reader) → `batch_seal`
-//! (committer drain) → `engine_append`/`engine_fence` (inside
-//! [`ChameleonDb::apply_batch`]) → `fence_complete` (committer, post
-//! fence) → `ack_write` (writer thread, after the ack frame is written),
-//! where the span completes. Stage durations are gaps between
-//! consecutive stamps, so they sum exactly to the span total. Completed
-//! spans land in a bounded ring served by the TRACE request and
-//! exportable as Chrome `trace_event` JSON via `repro trace-dump`.
+//! Unchanged from the threaded model: `decode` → `lane_enqueue` →
+//! `batch_seal` → `engine_append`/`engine_fence` → `fence_complete` →
+//! `ack_write`, except the final `ack_write` stamp now lands when the
+//! response frame is fully written to the socket (reactor) or flushed by
+//! the writer thread (threaded) — the span still seals exactly when the
+//! bytes hit the wire.
 //!
 //! # Durability contract
 //!
@@ -61,10 +63,12 @@
 //! SYNC is a barrier across *all* lanes: it is acked once every lane has
 //! fenced everything submitted before it.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -75,18 +79,30 @@ use chameleon_obs::{
     WindowedSeries,
 };
 use chameleondb::{BatchOp, ChameleonDb, Mode};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use pmem_sim::{CostModel, PmemDevice, ThreadCtx};
 
 use crate::proto::{
-    decode_request, encode_response, read_frame, write_frame, ModeArg, Request, Response,
-    StatsFormat,
+    decode_request, encode_response, read_frame, ModeArg, Request, Response, StatsFormat,
 };
+use crate::reactor::{self, WakePipe, WorkerShared};
 
-/// A response plus the trace span (if any) that rides with it to the
-/// writer thread, which stamps `ack_write` and completes the span once
-/// the frame is on the wire.
-type Reply = (Response, Option<Arc<TraceSpan>>);
+/// How the front end multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// PR 4's model: one reader + one writer thread per connection.
+    /// Kept as the measured baseline; does not scale past a few hundred
+    /// connections.
+    Threaded,
+    /// A fixed pool of nonblocking I/O workers multiplexing all
+    /// connections via `poll(2)` (see [`crate::reactor`]). Thread count
+    /// is `workers + lanes + acceptor (+ sampler + sidecar)` regardless
+    /// of connection count.
+    Reactor {
+        /// Number of I/O worker threads (≥ 1).
+        workers: usize,
+    },
+}
 
 /// Tuning knobs for the service layer.
 #[derive(Debug, Clone)]
@@ -113,6 +129,15 @@ pub struct ServerConfig {
     /// Bind address for the plain-HTTP metrics sidecar (`/metrics`,
     /// `/snapshot.json`); `None` runs no sidecar.
     pub http_addr: Option<String>,
+    /// Connection multiplexing model.
+    pub io: IoModel,
+    /// Most unsent response bytes a single connection may queue before
+    /// it is shed as a slow consumer.
+    pub resp_queue_cap: usize,
+    /// A connection silent (no bytes read) this long is disconnected —
+    /// a dead or half-open peer must not pin a slot forever. `None`
+    /// disables the sweep.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +152,9 @@ impl Default for ServerConfig {
             telemetry_interval: Duration::from_secs(1),
             window_cap: 120,
             http_addr: None,
+            io: IoModel::Reactor { workers: 4 },
+            resp_queue_cap: 4 << 20,
+            idle_timeout: Some(Duration::from_secs(300)),
         }
     }
 }
@@ -141,13 +169,93 @@ impl ServerConfig {
             ..Self::default()
         }
     }
+
+    /// Reactor I/O worker count (0 under [`IoModel::Threaded`]).
+    pub fn io_workers(&self) -> usize {
+        match self.io {
+            IoModel::Threaded => 0,
+            IoModel::Reactor { workers } => workers,
+        }
+    }
+}
+
+/// Encodes a response as a complete wire frame (length prefix included),
+/// ready to hand to a writer thread or a reactor connection queue.
+pub(crate) fn frame_of(resp: &Response) -> Vec<u8> {
+    let payload = encode_response(resp);
+    debug_assert!(payload.len() <= crate::proto::MAX_FRAME);
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Shared write-side state of one threaded-model connection: the bounded
+/// response accounting and the doom switch that sheds a slow consumer.
+pub(crate) struct ConnState {
+    /// Unsent response bytes: incremented at send, decremented by the
+    /// writer thread once bytes reach the socket.
+    queued: AtomicUsize,
+    cap: usize,
+    obs: Arc<ServerObs>,
+    /// A clone of the connection's stream, used only to shut it down.
+    stream: TcpStream,
+    doomed: AtomicBool,
+}
+
+/// Where a response goes: the connection's writer thread (threaded
+/// model) or the reactor worker owning the connection. Responses are
+/// encoded at the send site so the byte bound applies uniformly.
+#[derive(Clone)]
+pub(crate) enum ReplyTx {
+    Threaded {
+        tx: Sender<(Vec<u8>, Option<Arc<TraceSpan>>)>,
+        state: Arc<ConnState>,
+    },
+    Reactor {
+        worker: Arc<WorkerShared>,
+        conn_id: u64,
+    },
+}
+
+impl ReplyTx {
+    /// Sends one response toward the wire. Never blocks. If the
+    /// connection's bounded response queue would overflow (threaded
+    /// model: accounted here; reactor: accounted by the owning worker),
+    /// the reply is dropped and the connection shed as a slow consumer.
+    pub(crate) fn send(&self, resp: &Response, span: Option<Arc<TraceSpan>>) {
+        let frame = frame_of(resp);
+        match self {
+            ReplyTx::Threaded { tx, state } => {
+                if state.doomed.load(Ordering::Acquire) {
+                    return;
+                }
+                let after = state.queued.fetch_add(frame.len(), Ordering::AcqRel) + frame.len();
+                if after > state.cap {
+                    state.queued.fetch_sub(frame.len(), Ordering::AcqRel);
+                    if !state.doomed.swap(true, Ordering::AcqRel) {
+                        ServerObs::bump(&state.obs.slow_consumer_disconnects);
+                        // Unblocks both the reader (EOF) and the writer
+                        // (write error); the connection tears down via
+                        // its normal exit path.
+                        let _ = state.stream.shutdown(Shutdown::Both);
+                    }
+                    return;
+                }
+                let _ = tx.send((frame, span));
+            }
+            ReplyTx::Reactor { worker, conn_id } => {
+                worker.post_completion(*conn_id, frame, span);
+            }
+        }
+    }
 }
 
 /// Countdown released once every lane has fenced past the barrier.
 struct SyncGate {
     remaining: AtomicUsize,
     req_id: u64,
-    resp: Mutex<Option<Sender<Reply>>>,
+    resp: Mutex<Option<ReplyTx>>,
 }
 
 impl SyncGate {
@@ -164,7 +272,7 @@ impl SyncGate {
                         message: m.to_owned(),
                     },
                 };
-                let _ = tx.send((resp, None));
+                tx.send(&resp, None);
             }
         }
     }
@@ -176,7 +284,7 @@ enum Submission {
         req_id: u64,
         /// Ack after the fence (`true`) or already acked at enqueue.
         durable: bool,
-        resp: Sender<Reply>,
+        resp: ReplyTx,
         /// Sampled requests carry their span to the committer for the
         /// batch-seal / engine / fence-complete stamps.
         trace: Option<Arc<TraceSpan>>,
@@ -187,24 +295,37 @@ enum Submission {
 struct Lane {
     /// Taken (dropped) at shutdown so the committer sees disconnect after
     /// draining the queue.
-    tx: Mutex<Option<SyncSender<Submission>>>,
+    tx: Mutex<Option<mpsc::SyncSender<Submission>>>,
     /// Approximate queued submissions (sampled into the queue-depth
     /// histogram at each batch drain).
     depth: AtomicUsize,
 }
 
 pub(crate) struct Shared {
-    store: Arc<ChameleonDb>,
+    pub(crate) store: Arc<ChameleonDb>,
     dev: Arc<PmemDevice>,
-    obs: Arc<ServerObs>,
-    tracer: Arc<Tracer>,
+    pub(crate) obs: Arc<ServerObs>,
+    pub(crate) tracer: Arc<Tracer>,
     windows: Arc<WindowedSeries>,
     lanes: Vec<Lane>,
-    cfg: ServerConfig,
+    pub(crate) cfg: ServerConfig,
     stop: AtomicBool,
     /// Set by [`KvServer::abort`]: committers drop queued work unapplied.
-    discard: AtomicBool,
-    conns: Mutex<Vec<TcpStream>>,
+    pub(crate) discard: AtomicBool,
+    /// Final shutdown phase: committers have drained, reactor workers
+    /// flush what they hold and exit.
+    pub(crate) drained: AtomicBool,
+    /// Reactor I/O workers (empty under [`IoModel::Threaded`]).
+    pub(crate) workers: Vec<Arc<WorkerShared>>,
+    accept_wake: WakePipe,
+    pub(crate) http_wake: WakePipe,
+    /// Pairs with `stop_cv`: sleepers (the sampler) wait here instead of
+    /// sleep-polling the stop flag.
+    stop_mu: Mutex<()>,
+    stop_cv: Condvar,
+    /// Threaded model only: live streams by connection id, for shutdown.
+    /// Entries are removed when their connection exits (no leak).
+    conns: Mutex<HashMap<usize, TcpStream>>,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
     conn_seq: AtomicUsize,
 }
@@ -214,21 +335,24 @@ impl Shared {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// A simulation context with a thread id no connection reader will
-    /// reuse (allocated from the same sequence).
+    /// A simulation context with a thread id no committer, reactor
+    /// worker, or connection reader will reuse (allocated from the same
+    /// sequence as connection ids).
     pub(crate) fn sidecar_ctx(&self) -> ThreadCtx {
-        let id = self.cfg.lanes + self.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let id =
+            self.cfg.lanes + self.cfg.io_workers() + self.conn_seq.fetch_add(1, Ordering::Relaxed);
         ThreadCtx::for_thread(Arc::clone(&self.cfg.cost), id)
     }
 
     /// The full observability snapshot served by STATS and the HTTP
-    /// sidecar: store + server + trace counter sections, the windowed
-    /// telemetry ring, and per-trace-stage aggregates.
+    /// sidecar: store + server (+ reactor) + trace counter sections, the
+    /// windowed telemetry ring, and per-trace-stage aggregates.
     pub(crate) fn obs_snapshot(&self, ctx: &mut ThreadCtx) -> ObsSnapshot {
-        let mut snap = self.store.obs_snapshot_with(
-            ctx.clock.now(),
-            vec![self.obs.section(), self.tracer.section()],
-        );
+        let mut sections = vec![self.obs.section(), self.tracer.section()];
+        if let Some(sec) = reactor::section(&self.workers) {
+            sections.push(sec);
+        }
+        let mut snap = self.store.obs_snapshot_with(ctx.clock.now(), sections);
         snap.windows = self.windows.windows();
         snap.trace_stages = self.tracer.stage_summaries();
         snap
@@ -239,6 +363,7 @@ impl Shared {
 pub struct KvServer {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     committers: Vec<JoinHandle<()>>,
     sampler: Option<JoinHandle<()>>,
     http: Option<JoinHandle<()>>,
@@ -248,7 +373,8 @@ pub struct KvServer {
 
 impl KvServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// acceptor, one committer per lane, the telemetry sampler, and (if
+    /// acceptor, the reactor I/O workers (or nothing, under the threaded
+    /// model), one committer per lane, the telemetry sampler, and (if
     /// configured) the HTTP metrics sidecar.
     pub fn start(
         addr: &str,
@@ -259,9 +385,20 @@ impl KvServer {
     ) -> io::Result<Self> {
         assert!(cfg.lanes >= 1, "need at least one commit lane");
         assert!(cfg.max_batch >= 1, "need at least batch-of-1");
+        if let IoModel::Reactor { workers } = cfg.io {
+            assert!(workers >= 1, "need at least one reactor worker");
+        }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        // std listens with backlog 128; a reactor built for thousands of
+        // concurrent clients must also survive thousands of concurrent
+        // *connects*, so widen the accept backlog (re-listen is legal on
+        // Linux and only updates the queue length).
+        unsafe {
+            use std::os::fd::AsRawFd;
+            libc::listen(listener.as_raw_fd(), 4096);
+        }
 
         let mut lanes = Vec::with_capacity(cfg.lanes);
         let mut receivers = Vec::with_capacity(cfg.lanes);
@@ -273,6 +410,9 @@ impl KvServer {
             });
             receivers.push(rx);
         }
+        let workers = (0..cfg.io_workers())
+            .map(|i| WorkerShared::new(i).map(Arc::new))
+            .collect::<io::Result<Vec<_>>>()?;
         let tracer = Arc::new(Tracer::new(cfg.trace));
         let windows = Arc::new(WindowedSeries::new(cfg.window_cap));
         let shared = Arc::new(Shared {
@@ -285,7 +425,13 @@ impl KvServer {
             cfg,
             stop: AtomicBool::new(false),
             discard: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            drained: AtomicBool::new(false),
+            workers,
+            accept_wake: WakePipe::new()?,
+            http_wake: WakePipe::new()?,
+            stop_mu: Mutex::new(()),
+            stop_cv: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
             conn_handles: Mutex::new(Vec::new()),
             conn_seq: AtomicUsize::new(0),
         });
@@ -298,6 +444,18 @@ impl KvServer {
                 thread::Builder::new()
                     .name(format!("kvs-commit-{i}"))
                     .spawn(move || committer_loop(&sh, i, rx))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let worker_handles = shared
+            .workers
+            .iter()
+            .map(|w| {
+                let sh = Arc::clone(&shared);
+                let w2 = Arc::clone(w);
+                thread::Builder::new()
+                    .name(format!("kvs-io-{}", w2.idx))
+                    .spawn(move || reactor::worker_loop(&sh, &w2))
             })
             .collect::<io::Result<Vec<_>>>()?;
 
@@ -331,6 +489,7 @@ impl KvServer {
         Ok(Self {
             shared,
             acceptor: Some(acceptor),
+            workers: worker_handles,
             committers,
             sampler,
             http,
@@ -360,9 +519,20 @@ impl KvServer {
         Arc::clone(&self.shared.windows)
     }
 
-    /// Graceful shutdown: stop accepting, shut down live connections,
-    /// drain every lane queue (committing what was accepted), then take a
-    /// final checkpoint. Returns an error listing any panicked threads.
+    /// Total service threads this server runs (acceptor + I/O workers +
+    /// committers + sampler + sidecar) — constant in the connection
+    /// count under the reactor model.
+    pub fn thread_count(&self) -> usize {
+        1 + self.workers.len()
+            + self.committers.len()
+            + usize::from(self.sampler.is_some())
+            + usize::from(self.http.is_some())
+    }
+
+    /// Graceful shutdown: stop accepting, drain every lane queue
+    /// (committing what was accepted), flush the final acks to their
+    /// connections, then take a final checkpoint. Returns an error
+    /// listing any panicked threads.
     pub fn shutdown(mut self) -> Result<(), String> {
         let panics = self.stop_threads(false);
         let mut ctx = ThreadCtx::for_thread(Arc::clone(&self.shared.cfg.cost), 0);
@@ -384,6 +554,14 @@ impl KvServer {
     fn stop_threads(&mut self, _aborting: bool) -> Vec<String> {
         let sh = &self.shared;
         sh.stop.store(true, Ordering::SeqCst);
+        // Wake every sleeper through its own mechanism — no thread in
+        // the server sleep-polls the stop flag.
+        {
+            let _g = sh.stop_mu.lock();
+        }
+        sh.stop_cv.notify_all();
+        sh.accept_wake.wake();
+        sh.http_wake.wake();
         let mut panics = Vec::new();
         let join = |h: JoinHandle<()>, what: &str, panics: &mut Vec<String>| {
             if h.join().is_err() {
@@ -399,62 +577,135 @@ impl KvServer {
         if let Some(h) = self.http.take() {
             join(h, "http sidecar", &mut panics);
         }
-        // Unblock readers; their writer threads exit once every pending
-        // submission holding a response sender has been resolved.
-        for conn in sh.conns.lock().drain(..) {
+        // Threaded model: unblock readers; their writer threads exit once
+        // every pending submission holding a ReplyTx has been resolved.
+        for (_, conn) in sh.conns.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         for h in sh.conn_handles.lock().drain(..) {
             join(h, "connection", &mut panics);
         }
+        // Committers drain their queues (posting final acks to the
+        // reactor workers, which are still running) and exit on channel
+        // disconnect.
         for lane in &sh.lanes {
             drop(lane.tx.lock().take());
         }
         for (i, h) in self.committers.drain(..).enumerate() {
             join(h, &format!("committer {i}"), &mut panics);
         }
+        // Only now may the workers go: every ack that will ever exist is
+        // in an inbox. Workers flush best-effort and close their conns.
+        sh.drained.store(true, Ordering::SeqCst);
+        for w in &sh.workers {
+            w.wake.wake();
+        }
+        for (i, h) in self.workers.drain(..).enumerate() {
+            join(h, &format!("io worker {i}"), &mut panics);
+        }
         panics
     }
 }
 
+/// Accepts connections with `poll` (listener + wake pipe — zero wakeups
+/// while idle) and hands each socket to its owner: a reactor worker
+/// (round-robin) or a fresh reader/writer thread pair.
 fn acceptor_loop(sh: &Arc<Shared>, listener: TcpListener) {
-    while !sh.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nodelay(true);
-                let _ = stream.set_nonblocking(false);
-                if let Ok(clone) = stream.try_clone() {
-                    sh.conns.lock().push(clone);
-                }
-                let conn_id = sh.conn_seq.fetch_add(1, Ordering::Relaxed);
-                let sh2 = Arc::clone(sh);
-                let spawned = thread::Builder::new()
-                    .name(format!("kvs-conn-{conn_id}"))
-                    .spawn(move || connection_loop(&sh2, stream, conn_id));
-                match spawned {
-                    Ok(h) => sh.conn_handles.lock().push(h),
-                    Err(_) => continue,
-                }
+    let lfd = listener.as_raw_fd();
+    while !sh.stopping() {
+        let mut pfds = [
+            libc::pollfd {
+                fd: lfd,
+                events: libc::POLLIN,
+                revents: 0,
+            },
+            libc::pollfd {
+                fd: sh.accept_wake.read_fd(),
+                events: libc::POLLIN,
+                revents: 0,
+            },
+        ];
+        let n = unsafe { libc::poll(pfds.as_mut_ptr(), 2, -1) };
+        if n < 0 {
+            continue; // EINTR
+        }
+        sh.accept_wake.drain();
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => accept_one(sh, stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn accept_one(sh: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    ServerObs::bump(&sh.obs.connections);
+    let conn_id = sh.conn_seq.fetch_add(1, Ordering::Relaxed);
+    if !sh.workers.is_empty() {
+        if stream.set_nonblocking(true).is_err() {
+            ServerObs::bump(&sh.obs.disconnects);
+            return;
+        }
+        sh.workers[conn_id % sh.workers.len()].post_conn(conn_id as u64, stream);
+        return;
+    }
+    // Threaded model. Sweep finished connection threads first so the
+    // handle list tracks live connections, not connection history.
+    {
+        let mut handles = sh.conn_handles.lock();
+        let mut live = Vec::with_capacity(handles.len());
+        for h in handles.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
             }
-            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+        *handles = live;
+    }
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(sh.cfg.idle_timeout);
+    if let Ok(clone) = stream.try_clone() {
+        sh.conns.lock().insert(conn_id, clone);
+    }
+    let sh2 = Arc::clone(sh);
+    let spawned = thread::Builder::new()
+        .name(format!("kvs-conn-{conn_id}"))
+        .spawn(move || connection_loop(&sh2, stream, conn_id));
+    match spawned {
+        Ok(h) => sh.conn_handles.lock().push(h),
+        Err(_) => {
+            sh.conns.lock().remove(&conn_id);
+            ServerObs::bump(&sh.obs.disconnects);
         }
     }
 }
 
 /// Once per telemetry interval: subtract the previous tick's cumulative
 /// op/stall histograms, device snapshot, and service counters to produce
-/// one [`chameleon_obs::Window`] for the ring.
+/// one [`chameleon_obs::Window`] for the ring. Sleeps on a condvar, so
+/// shutdown wakes it immediately and an idle server costs one wakeup per
+/// interval, not one per 10 ms.
 fn sampler_loop(sh: &Arc<Shared>) {
     let mut tracker = DeltaTracker::new();
     let mut last = Instant::now();
-    while !sh.stop.load(Ordering::SeqCst) {
-        thread::sleep(Duration::from_millis(10));
+    loop {
+        {
+            let mut g = sh.stop_mu.lock();
+            if sh.stopping() {
+                return;
+            }
+            let _ = sh.stop_cv.wait_for(&mut g, sh.cfg.telemetry_interval);
+        }
+        if sh.stopping() {
+            return;
+        }
         let elapsed = last.elapsed();
         if elapsed < sh.cfg.telemetry_interval {
-            continue;
+            continue; // spurious wakeup
         }
         last = Instant::now();
         let obs = sh.store.obs();
@@ -469,37 +720,99 @@ fn sampler_loop(sh: &Arc<Shared>) {
     }
 }
 
+/// Threaded-model connection: a reader thread (this function) plus a
+/// writer thread draining the bounded response channel.
 fn connection_loop(sh: &Arc<Shared>, stream: TcpStream, conn_id: usize) {
     let obs = &sh.obs;
-    ServerObs::bump(&obs.connections);
-    // Committers own thread ids 0..lanes (one log writer each);
-    // connection readers get ids above that range.
-    let mut ctx = ThreadCtx::for_thread(Arc::clone(&sh.cfg.cost), sh.cfg.lanes + conn_id);
-    let (resp_tx, resp_rx) = mpsc::channel::<Reply>();
-    let writer = match stream.try_clone() {
-        Ok(ws) => {
-            let tracer = Arc::clone(&sh.tracer);
-            thread::Builder::new()
-                .name(format!("kvs-send-{conn_id}"))
-                .spawn(move || response_writer_loop(ws, &resp_rx, &tracer))
-        }
-        Err(_) => {
+    // Committers own thread ids 0..lanes, reactor workers the next
+    // io_workers ids; connection readers and the sidecar share the
+    // sequence above that.
+    let mut ctx = ThreadCtx::for_thread(
+        Arc::clone(&sh.cfg.cost),
+        sh.cfg.lanes + sh.cfg.io_workers() + conn_id,
+    );
+    let (writer_stream, doom_stream) = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => {
             ServerObs::bump(&obs.disconnects);
+            sh.conns.lock().remove(&conn_id);
             return;
         }
     };
+    let state = Arc::new(ConnState {
+        queued: AtomicUsize::new(0),
+        cap: sh.cfg.resp_queue_cap,
+        obs: Arc::clone(&sh.obs),
+        stream: doom_stream,
+        doomed: AtomicBool::new(false),
+    });
+    let (tx, rx) = mpsc::channel::<(Vec<u8>, Option<Arc<TraceSpan>>)>();
+    let writer = {
+        let tracer = Arc::clone(&sh.tracer);
+        let state2 = Arc::clone(&state);
+        thread::Builder::new()
+            .name(format!("kvs-send-{conn_id}"))
+            .spawn(move || threaded_writer_loop(writer_stream, &rx, &tracer, &state2))
+    };
+    let reply = ReplyTx::Threaded { tx, state };
     let mut reader = BufReader::new(stream);
-    serve_requests(sh, &mut ctx, &mut reader, &resp_tx);
+    serve_requests(sh, &mut ctx, &mut reader, &reply);
     ServerObs::bump(&obs.disconnects);
-    drop(resp_tx);
+    drop(reply);
     if let Ok(h) = writer {
         let _ = h.join();
     }
-    // The acceptor tracks a clone of every stream (for shutdown), so
-    // dropping ours would leave the TCP connection established; shut it
-    // down explicitly — after the writer has flushed any final error —
-    // so the peer sees EOF.
+    // Shut the stream down explicitly — after the writer has flushed any
+    // final error — so the peer sees EOF, then drop our registry entry
+    // (the map must track live connections only).
     let _ = reader.get_ref().shutdown(Shutdown::Both);
+    sh.conns.lock().remove(&conn_id);
+}
+
+/// Stamps `ack_write` and completes the span once its response frame has
+/// been written (the final pipeline stage a span can observe).
+pub(crate) fn seal_span(tracer: &Tracer, span: &Option<Arc<TraceSpan>>) {
+    if let Some(s) = span {
+        s.stamp("ack_write");
+        tracer.complete(s);
+    }
+}
+
+/// Writer thread of one threaded-model connection: drains encoded
+/// frames, coalescing bursts into one flush, and returns the written
+/// bytes to the connection's response budget.
+fn threaded_writer_loop(
+    stream: TcpStream,
+    rx: &Receiver<(Vec<u8>, Option<Arc<TraceSpan>>)>,
+    tracer: &Tracer,
+    state: &ConnState,
+) {
+    let mut w = BufWriter::new(stream);
+    while let Ok((frame, span)) = rx.recv() {
+        let mut round = frame.len();
+        if w.write_all(&frame).is_err() {
+            return;
+        }
+        seal_span(tracer, &span);
+        // Opportunistically coalesce whatever else is queued into one
+        // flush.
+        while let Ok((more, span2)) = rx.try_recv() {
+            round += more.len();
+            if w.write_all(&more).is_err() {
+                return;
+            }
+            seal_span(tracer, &span2);
+        }
+        let flushed = w.flush();
+        // Credit the budget only after the bytes actually left for the
+        // socket: while this thread is blocked in `flush` against a
+        // wedged client, sends keep charging the budget and the cap
+        // trips (slow-consumer disconnect) instead of memory growing.
+        state.queued.fetch_sub(round, Ordering::AcqRel);
+        if flushed.is_err() {
+            return;
+        }
+    }
 }
 
 /// Starts a span for one write: the wire trace flag forces a sample,
@@ -517,12 +830,10 @@ fn span_for_write(sh: &Shared, op: &'static str, key: u64, forced: bool) -> Opti
     span
 }
 
-fn serve_requests(
-    sh: &Arc<Shared>,
-    ctx: &mut ThreadCtx,
-    reader: &mut impl Read,
-    resp_tx: &Sender<Reply>,
-) {
+/// Threaded-model request loop: blocking frame reads off one connection,
+/// dispatched through the same [`handle_request`] the reactor workers
+/// use.
+fn serve_requests(sh: &Arc<Shared>, ctx: &mut ThreadCtx, reader: &mut impl Read, reply: &ReplyTx) {
     let obs = &sh.obs;
     let mut valbuf = Vec::new();
     loop {
@@ -530,122 +841,136 @@ fn serve_requests(
             Ok(Some(p)) => p,
             Ok(None) => return,
             Err(e) => {
-                if e.kind() == ErrorKind::InvalidData {
-                    ServerObs::bump(&obs.protocol_errors);
+                match e.kind() {
+                    ErrorKind::InvalidData => ServerObs::bump(&obs.protocol_errors),
+                    // The blocking read timed out: the peer has been
+                    // silent past `idle_timeout`.
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                        ServerObs::bump(&obs.idle_disconnects)
+                    }
+                    _ => {}
                 }
                 return;
             }
         };
-        let req = match decode_request(&payload) {
-            Ok(r) => r,
+        match decode_request(&payload) {
+            Ok(req) => {
+                ServerObs::bump(&obs.requests);
+                handle_request(sh, ctx, req, reply, &mut valbuf);
+            }
             Err(e) => {
                 ServerObs::bump(&obs.protocol_errors);
-                let _ = resp_tx.send((
-                    Response::Err {
+                reply.send(
+                    &Response::Err {
                         req_id: 0,
                         message: e.to_string(),
                     },
                     None,
-                ));
+                );
                 return;
             }
-        };
-        ServerObs::bump(&obs.requests);
-        match req {
-            Request::Get { req_id, key } => {
-                ServerObs::bump(&obs.gets);
-                let span = sh.tracer.sample("get", key);
-                if let Some(s) = &span {
-                    s.stamp("decode");
-                }
-                valbuf.clear();
-                let resp = match sh.store.get_traced(ctx, key, &mut valbuf, span.as_deref()) {
-                    Ok(true) => Response::Value {
-                        req_id,
-                        value: valbuf.clone(),
-                    },
-                    Ok(false) => Response::NotFound { req_id },
-                    Err(e) => Response::Err {
-                        req_id,
-                        message: format!("{e:?}"),
-                    },
-                };
-                let _ = resp_tx.send((resp, span));
+        }
+    }
+}
+
+/// Dispatches one decoded request. Shared by the threaded reader threads
+/// and the reactor workers: GET/STATS/MODE/TRACE answer inline through
+/// `reply`, PUT/DELETE/SYNC route to the commit lanes (their acks come
+/// back through the same `reply` after the fence).
+pub(crate) fn handle_request(
+    sh: &Arc<Shared>,
+    ctx: &mut ThreadCtx,
+    req: Request,
+    reply: &ReplyTx,
+    valbuf: &mut Vec<u8>,
+) {
+    let obs = &sh.obs;
+    match req {
+        Request::Get { req_id, key } => {
+            ServerObs::bump(&obs.gets);
+            let span = sh.tracer.sample("get", key);
+            if let Some(s) = &span {
+                s.stamp("decode");
             }
-            Request::Put {
-                req_id,
+            valbuf.clear();
+            let resp = match sh.store.get_traced(ctx, key, valbuf, span.as_deref()) {
+                Ok(true) => Response::Value {
+                    req_id,
+                    value: valbuf.clone(),
+                },
+                Ok(false) => Response::NotFound { req_id },
+                Err(e) => Response::Err {
+                    req_id,
+                    message: format!("{e:?}"),
+                },
+            };
+            reply.send(&resp, span);
+        }
+        Request::Put {
+            req_id,
+            key,
+            value,
+            durable,
+            traced,
+        } => {
+            ServerObs::bump(&obs.puts);
+            let span = span_for_write(sh, "put", key, traced);
+            submit_write(
+                sh,
+                BatchOp::Put { key, value },
                 key,
-                value,
+                req_id,
                 durable,
-                traced,
-            } => {
-                ServerObs::bump(&obs.puts);
-                let span = span_for_write(sh, "put", key, traced);
-                submit_write(
-                    sh,
-                    BatchOp::Put { key, value },
-                    key,
+                span,
+                reply,
+            );
+        }
+        Request::Delete {
+            req_id,
+            key,
+            traced,
+            ..
+        } => {
+            ServerObs::bump(&obs.deletes);
+            let span = span_for_write(sh, "delete", key, traced);
+            // Deletes are always acked post-commit: the outcome
+            // (existed or not) is only known once the batch applies.
+            submit_write(sh, BatchOp::Delete { key }, key, req_id, true, span, reply);
+        }
+        Request::Sync { req_id } => {
+            ServerObs::bump(&obs.syncs);
+            submit_barrier(sh, req_id, reply);
+        }
+        Request::Stats { req_id, format } => {
+            ServerObs::bump(&obs.stats_reqs);
+            let snap = sh.obs_snapshot(ctx);
+            let text = match format {
+                StatsFormat::Json => snap.to_pretty_json(),
+                StatsFormat::Prometheus => snap.to_prometheus(),
+            };
+            reply.send(&Response::Stats { req_id, text }, None);
+        }
+        Request::Trace { req_id, max } => {
+            ServerObs::bump(&obs.trace_reqs);
+            let spans = sh.tracer.spans(max as usize);
+            let events = sh.store.obs().journal().tail(64);
+            let text = encode_trace_payload(&spans, &events);
+            reply.send(&Response::Trace { req_id, text }, None);
+        }
+        Request::Mode { req_id, arg } => {
+            ServerObs::bump(&obs.mode_reqs);
+            match arg {
+                ModeArg::Normal => sh.store.set_mode(Mode::Normal),
+                ModeArg::WriteIntensive => sh.store.set_mode(Mode::WriteIntensive),
+                ModeArg::Query => {}
+            }
+            reply.send(
+                &Response::Mode {
                     req_id,
-                    durable,
-                    span,
-                    resp_tx,
-                );
-            }
-            Request::Delete {
-                req_id,
-                key,
-                traced,
-                ..
-            } => {
-                ServerObs::bump(&obs.deletes);
-                let span = span_for_write(sh, "delete", key, traced);
-                // Deletes are always acked post-commit: the outcome
-                // (existed or not) is only known once the batch applies.
-                submit_write(
-                    sh,
-                    BatchOp::Delete { key },
-                    key,
-                    req_id,
-                    true,
-                    span,
-                    resp_tx,
-                );
-            }
-            Request::Sync { req_id } => {
-                ServerObs::bump(&obs.syncs);
-                submit_barrier(sh, req_id, resp_tx);
-            }
-            Request::Stats { req_id, format } => {
-                ServerObs::bump(&obs.stats_reqs);
-                let snap = sh.obs_snapshot(ctx);
-                let text = match format {
-                    StatsFormat::Json => snap.to_pretty_json(),
-                    StatsFormat::Prometheus => snap.to_prometheus(),
-                };
-                let _ = resp_tx.send((Response::Stats { req_id, text }, None));
-            }
-            Request::Trace { req_id, max } => {
-                ServerObs::bump(&obs.trace_reqs);
-                let spans = sh.tracer.spans(max as usize);
-                let events = sh.store.obs().journal().tail(64);
-                let text = encode_trace_payload(&spans, &events);
-                let _ = resp_tx.send((Response::Trace { req_id, text }, None));
-            }
-            Request::Mode { req_id, arg } => {
-                ServerObs::bump(&obs.mode_reqs);
-                match arg {
-                    ModeArg::Normal => sh.store.set_mode(Mode::Normal),
-                    ModeArg::WriteIntensive => sh.store.set_mode(Mode::WriteIntensive),
-                    ModeArg::Query => {}
-                }
-                let _ = resp_tx.send((
-                    Response::Mode {
-                        req_id,
-                        write_intensive: sh.store.mode() == Mode::WriteIntensive,
-                    },
-                    None,
-                ));
-            }
+                    write_intensive: sh.store.mode() == Mode::WriteIntensive,
+                },
+                None,
+            );
         }
     }
 }
@@ -659,7 +984,7 @@ fn submit_write(
     req_id: u64,
     durable: bool,
     span: Option<Arc<TraceSpan>>,
-    resp_tx: &Sender<Reply>,
+    reply: &ReplyTx,
 ) {
     let lane = &sh.lanes[sh.store.shard_of_key(key) % sh.cfg.lanes];
     // Stamp before the send: once the committer can see the submission
@@ -672,7 +997,7 @@ fn submit_write(
         op,
         req_id,
         durable,
-        resp: resp_tx.clone(),
+        resp: reply.clone(),
         trace: span.clone(),
     };
     // Count before sending so the committer's decrement (which follows
@@ -688,7 +1013,7 @@ fn submit_write(
                 ServerObs::bump(&sh.obs.early_acks);
                 // The span rides with the early ack; the committer's
                 // later stamps land after completion and are dropped.
-                let _ = resp_tx.send((Response::Ok { req_id }, span));
+                reply.send(&Response::Ok { req_id }, span);
             }
         }
         Err(TrySendError::Full(_)) => {
@@ -697,31 +1022,31 @@ fn submit_write(
             if let Some(s) = &span {
                 s.annotate("retry");
             }
-            let _ = resp_tx.send((Response::Retry { req_id }, span));
+            reply.send(&Response::Retry { req_id }, span);
         }
         Err(TrySendError::Disconnected(_)) => {
             lane.depth.fetch_sub(1, Ordering::Relaxed);
             if let Some(s) = &span {
                 s.annotate("shutdown");
             }
-            let _ = resp_tx.send((
-                Response::Err {
+            reply.send(
+                &Response::Err {
                     req_id,
                     message: "server shutting down".to_owned(),
                 },
                 span,
-            ));
+            );
         }
     }
 }
 
 /// Posts a SYNC barrier to every lane; the last lane to fence past it
 /// sends the ack.
-fn submit_barrier(sh: &Arc<Shared>, req_id: u64, resp_tx: &Sender<Reply>) {
+fn submit_barrier(sh: &Arc<Shared>, req_id: u64, reply: &ReplyTx) {
     let gate = Arc::new(SyncGate {
         remaining: AtomicUsize::new(sh.cfg.lanes),
         req_id,
-        resp: Mutex::new(Some(resp_tx.clone())),
+        resp: Mutex::new(Some(reply.clone())),
     });
     for lane in &sh.lanes {
         lane.depth.fetch_add(1, Ordering::Relaxed);
@@ -734,36 +1059,6 @@ fn submit_barrier(sh: &Arc<Shared>, req_id: u64, resp_tx: &Sender<Reply>) {
         if !sent {
             lane.depth.fetch_sub(1, Ordering::Relaxed);
             gate.arrive(Some("server shutting down"));
-        }
-    }
-}
-
-/// Stamps `ack_write` and completes the span once its response frame has
-/// been written (the final pipeline stage a span can observe).
-fn seal_span(tracer: &Tracer, span: &Option<Arc<TraceSpan>>) {
-    if let Some(s) = span {
-        s.stamp("ack_write");
-        tracer.complete(s);
-    }
-}
-
-fn response_writer_loop(stream: TcpStream, rx: &Receiver<Reply>, tracer: &Tracer) {
-    let mut w = BufWriter::new(stream);
-    while let Ok((resp, span)) = rx.recv() {
-        if write_frame(&mut w, &encode_response(&resp)).is_err() {
-            return;
-        }
-        seal_span(tracer, &span);
-        // Opportunistically coalesce whatever else is queued into one
-        // flush.
-        while let Ok((more, span2)) = rx.try_recv() {
-            if write_frame(&mut w, &encode_response(&more)).is_err() {
-                return;
-            }
-            seal_span(tracer, &span2);
-        }
-        if w.flush().is_err() {
-            return;
         }
     }
 }
@@ -802,8 +1097,8 @@ fn committer_loop(sh: &Arc<Shared>, lane_idx: usize, rx: Receiver<Submission>) {
             }
         }
         if sh.discard.load(Ordering::SeqCst) {
-            // Aborting: drop the batch unapplied and unacked (response
-            // senders just disconnect). Keep draining so senders never
+            // Aborting: drop the batch unapplied and unacked (the reply
+            // handles just go away). Keep draining so senders never
             // block.
             continue;
         }
@@ -889,7 +1184,7 @@ fn commit_batch(sh: &Arc<Shared>, ctx: &mut ThreadCtx, lane: &Lane, batch: Vec<S
                         }
                     }
                 };
-                let _ = resp.send((r, trace.clone()));
+                resp.send(&r, trace.clone());
             }
             for gate in barriers {
                 gate.arrive(None);
@@ -899,13 +1194,13 @@ fn commit_batch(sh: &Arc<Shared>, ctx: &mut ThreadCtx, lane: &Lane, batch: Vec<S
             let msg = format!("{e:?}");
             for (req_id, durable, resp, trace) in writes {
                 if durable {
-                    let _ = resp.send((
-                        Response::Err {
+                    resp.send(
+                        &Response::Err {
                             req_id,
                             message: msg.clone(),
                         },
                         trace,
-                    ));
+                    );
                 }
             }
             for gate in barriers {

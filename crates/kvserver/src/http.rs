@@ -10,13 +10,15 @@
 //!   included (what `repro top` polls).
 //!
 //! Deliberately tiny: requests are parsed just enough to route the path,
-//! every response closes the connection, and the accept loop polls the
-//! server's stop flag so shutdown needs no extra signaling. One thread
-//! handles requests serially — a metrics endpoint scraped a few times a
-//! second, not a data path.
+//! every response closes the connection, and the accept loop blocks in
+//! `poll` on the listener plus the server's shutdown wake pipe — zero
+//! wakeups while idle, immediate exit at shutdown. One thread handles
+//! requests serially — a metrics endpoint scraped a few times a second,
+//! not a data path.
 
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -40,15 +42,33 @@ pub(crate) fn start(sh: Arc<Shared>, addr: &str) -> io::Result<(SocketAddr, Join
 
 fn serve(sh: &Arc<Shared>, listener: &TcpListener) {
     let mut ctx = sh.sidecar_ctx();
+    let lfd = listener.as_raw_fd();
     while !sh.stopping() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = handle_conn(sh, &mut ctx, stream);
+        let mut pfds = [
+            libc::pollfd {
+                fd: lfd,
+                events: libc::POLLIN,
+                revents: 0,
+            },
+            libc::pollfd {
+                fd: sh.http_wake.read_fd(),
+                events: libc::POLLIN,
+                revents: 0,
+            },
+        ];
+        let n = unsafe { libc::poll(pfds.as_mut_ptr(), 2, -1) };
+        if n < 0 {
+            continue; // EINTR
+        }
+        sh.http_wake.drain();
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = handle_conn(sh, &mut ctx, stream);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(2)),
         }
     }
 }

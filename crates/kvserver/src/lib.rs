@@ -1,18 +1,26 @@
-//! kvserver: a concurrent TCP service layer over [`chameleondb`] with
-//! group-commit durability.
+//! kvserver: an event-driven TCP service layer over [`chameleondb`]
+//! with group-commit durability.
 //!
-//! Three pieces (DESIGN.md §5):
+//! Four pieces (DESIGN.md §5):
 //!
 //! * [`proto`] — the length-prefixed binary wire protocol: pipelined
 //!   requests matched to streamed responses by `req_id`.
-//! * [`KvServer`] — acceptor + per-connection reader/writer threads over
-//!   bounded per-shard submission lanes.
+//! * The **reactor** ([`IoModel::Reactor`], the default) — an acceptor
+//!   plus a small fixed pool of nonblocking I/O workers multiplexing
+//!   all connections via `poll(2)`: per-connection partial-frame state
+//!   machines ([`conn::FrameBuf`]), inline lock-free GETs, and bounded
+//!   per-connection response queues with slow-consumer disconnect.
+//!   Thread count is constant in the connection count.
+//!   [`IoModel::Threaded`] keeps the older two-threads-per-connection
+//!   model as a measured baseline.
 //! * The **group-commit engine** — one committer per lane drains its
 //!   queue into batches, appends each batch through
 //!   [`chameleondb::ChameleonDb::apply_batch`] under a single persist
 //!   fence, and releases durable acks only after that fence. On the
 //!   simulated Optane device this amortizes both the fence and the
-//!   256-byte-block read-modify-write cost across the batch.
+//!   256-byte-block read-modify-write cost across the batch. Acks are
+//!   encoded and posted back to the owning I/O worker via its wake
+//!   pipe.
 //!
 //! # Example
 //!
@@ -41,8 +49,10 @@
 //! server.shutdown().unwrap();
 //! ```
 
+pub mod conn;
 mod engine;
 mod http;
 pub mod proto;
+mod reactor;
 
-pub use engine::{KvServer, ServerConfig};
+pub use engine::{IoModel, KvServer, ServerConfig};
