@@ -420,6 +420,9 @@ impl PmemLsm {
                     ManifestRecord::Del { off } => {
                         reg.remove(&off);
                     }
+                    // GC audit records belong to ChameleonDB's value-log
+                    // collector; this baseline never emits or folds them.
+                    ManifestRecord::Gc { .. } => {}
                 }
             }
             reg.values().copied().collect()

@@ -9,9 +9,11 @@
 //! and the in-flight op. Every Nth point also injects a second crash
 //! during recovery's own replay.
 //!
-//! The full campaign runs both compaction schemes; `--quick` runs a
-//! strided slice of the Direct-scheme matrix (the bounded CI mode). Any
-//! invariant violation fails the process with exit code 1.
+//! The full campaign runs both compaction schemes plus a GC slice
+//! (16KB extents + churn so copy-forward relocation, index repoints and
+//! extent reclaims land inside the fence window); `--quick` runs strided
+//! slices of the Direct-scheme and GC matrices (the bounded CI mode).
+//! Any invariant violation fails the process with exit code 1.
 
 use integration::crashmat::{self, CrashMatrixReport, MatrixConfig};
 
@@ -20,17 +22,24 @@ use crate::util::{header, write_json, Opts};
 pub fn run(opts: &Opts) -> Vec<CrashMatrixReport> {
     header("Crash matrix: enumerated fence-point fault injection");
     let configs: Vec<MatrixConfig> = if opts.quick {
-        vec![MatrixConfig::quick(chameleondb::CompactionScheme::Direct)]
+        vec![
+            MatrixConfig::quick(chameleondb::CompactionScheme::Direct),
+            MatrixConfig::quick_gc(chameleondb::CompactionScheme::Direct),
+        ]
     } else {
         vec![
             MatrixConfig::full(chameleondb::CompactionScheme::Direct),
             MatrixConfig::full(chameleondb::CompactionScheme::LevelByLevel),
+            MatrixConfig::full_gc(chameleondb::CompactionScheme::Direct),
         ]
     };
 
     let mut reports = Vec::new();
     for cfg in &configs {
-        let scheme = format!("{:?}", cfg.scheme);
+        let mut scheme = format!("{:?}", cfg.scheme);
+        if cfg.gc {
+            scheme.push_str("_gc");
+        }
         println!(
             "\n  scheme {scheme}: {} keys, every {} of the fence stream, nested crash every {} points",
             cfg.keys, cfg.stride, cfg.nested_every

@@ -2,6 +2,7 @@
 
 pub mod ablate;
 pub mod bg_maint;
+pub mod churn;
 pub mod crash;
 pub mod fig01;
 pub mod fig02;

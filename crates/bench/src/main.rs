@@ -4,13 +4,15 @@
 //! [--out DIR | --no-out] [--quick] [--obs-json PATH] [--progress]`
 //!
 //! Experiments: `fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//! table4 ablate-abi ablate-loadfactor ablate-ratio obs bg-maint crash serve
-//! serve-bench all`.
+//! table4 ablate-abi ablate-loadfactor ablate-ratio obs bg-maint crash churn
+//! serve serve-bench all`.
 //! `table2`/`table3` are printed by `fig11`/`fig13`; `fig3` by `table4`.
 //! `obs` exercises the observability layer and honors `--obs-json` /
 //! `--progress`. `crash` runs the crash-matrix fault-injection campaign
 //! (`--quick` for the bounded CI slice) and exits nonzero on any
-//! acknowledged-write violation. `serve` runs the kvserver TCP front-end
+//! acknowledged-write violation. `churn` runs the sustained-overwrite GC
+//! survival campaign (footprint bound, flat put tail, restart gap vs
+//! Dram-Hash) and exits nonzero on any violation. `serve` runs the kvserver TCP front-end
 //! on `--port` until SIGINT/SIGTERM; `serve-bench` measures group commit
 //! against fence-per-put over TCP loopback. `trace-dump` drives a
 //! force-traced workload against a running server and exports Chrome
@@ -88,6 +90,9 @@ fn main() {
         "crash" => {
             exp::crash::run(&opts);
         }
+        "churn" => {
+            exp::churn::run(&opts);
+        }
         "serve" => {
             exp::serve::serve(&opts);
         }
@@ -135,7 +140,7 @@ fn usage() {
          \x20                       [--obs-json PATH] [--progress] [--port N] [--trace N] [--http-port N]\n\
          \x20                       [--conns N] [--open-loop]   (serve-bench: connection scaling / load sweep)\n\
          experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
-                      table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs crash\n\
+                      table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs crash churn\n\
                       serve serve-bench trace-dump top all"
     );
 }

@@ -23,17 +23,21 @@ pub enum Stage {
     AbiDump,
     /// ABI rebuilt from the upper levels (DRAM writes, Pmem reads).
     AbiRebuild,
+    /// Value-log garbage collection: copy-forward relocation plus index
+    /// repointing and extent reclamation.
+    Gc,
 }
 
 impl Stage {
     /// All stages, export order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Flush,
         Stage::WimMerge,
         Stage::MidCompaction,
         Stage::LastCompaction,
         Stage::AbiDump,
         Stage::AbiRebuild,
+        Stage::Gc,
     ];
 
     /// Stable snake_case name used in exports and labels.
@@ -45,6 +49,7 @@ impl Stage {
             Stage::LastCompaction => "last_compaction",
             Stage::AbiDump => "abi_dump",
             Stage::AbiRebuild => "abi_rebuild",
+            Stage::Gc => "gc",
         }
     }
 
@@ -56,6 +61,7 @@ impl Stage {
             Stage::LastCompaction => 3,
             Stage::AbiDump => 4,
             Stage::AbiRebuild => 5,
+            Stage::Gc => 6,
         }
     }
 }
@@ -111,7 +117,7 @@ impl StageAgg {
 /// the owning shard's lock, so this only needs to be data-race-free, not
 /// ordered.
 pub(crate) struct StageTable {
-    slots: [StageSlot; 6],
+    slots: [StageSlot; 7],
 }
 
 #[derive(Default)]

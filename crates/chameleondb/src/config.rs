@@ -57,6 +57,44 @@ impl Default for BgConfig {
     }
 }
 
+/// Value-log garbage-collection configuration.
+///
+/// Like [`BgConfig`] this is *not* part of the persisted config blob: a
+/// store can be recovered with GC on or off regardless of how it ran
+/// before — extent state lives in the log itself.
+#[derive(Debug, Clone)]
+pub struct GcConfig {
+    /// Master switch. When false the log grows as a pure appender (the
+    /// pre-GC behaviour) and dead bytes are only counted, not reclaimed.
+    pub enabled: bool,
+    /// Space-amplification trigger: a GC pass is queued when
+    /// `footprint > space_amp_target × live bytes` (and the other gates
+    /// below pass). The default 2.0 bounds the log at twice its live set.
+    pub space_amp_target: f64,
+    /// Never trigger below this many in-use extents — a small log's
+    /// amplification ratio is noise.
+    pub min_extents: u64,
+    /// Only sealed extents whose dead fraction (`dead / appended`) is at
+    /// least this are relocation candidates; fuller extents cost more
+    /// copy-forward bandwidth per byte reclaimed.
+    pub min_dead_ratio: f64,
+    /// Upper bound on extents relocated by one GC pass, so a single pass
+    /// cannot monopolize the maintenance pool.
+    pub max_extents_per_pass: usize,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            space_amp_target: 2.0,
+            min_extents: 4,
+            min_dead_ratio: 0.25,
+            max_extents_per_pass: 8,
+        }
+    }
+}
+
 /// Configuration of a [`crate::ChameleonDb`].
 ///
 /// [`ChameleonConfig::paper`] reproduces Table 1 exactly; the scaled
@@ -111,6 +149,8 @@ pub struct ChameleonConfig {
     pub obs: ObsConfig,
     /// Background maintenance pipeline (not part of the persisted blob).
     pub bg: BgConfig,
+    /// Value-log garbage collection (not part of the persisted blob).
+    pub gc: GcConfig,
 }
 
 impl ChameleonConfig {
@@ -142,6 +182,7 @@ impl ChameleonConfig {
             use_abi_for_get: true,
             obs: ObsConfig::off(),
             bg: BgConfig::default(),
+            gc: GcConfig::default(),
         }
     }
 
@@ -211,6 +252,23 @@ impl ChameleonConfig {
             }
             if self.bg.frozen_queue_cap == 0 {
                 return Err("bg.frozen_queue_cap must be >= 1".into());
+            }
+        }
+        if self.gc.enabled {
+            if self.gc.space_amp_target < 1.1 {
+                return Err(format!(
+                    "gc.space_amp_target must be >= 1.1, got {}",
+                    self.gc.space_amp_target
+                ));
+            }
+            if !(0.0..=1.0).contains(&self.gc.min_dead_ratio) {
+                return Err(format!(
+                    "gc.min_dead_ratio must be in 0..=1, got {}",
+                    self.gc.min_dead_ratio
+                ));
+            }
+            if self.gc.max_extents_per_pass == 0 {
+                return Err("gc.max_extents_per_pass must be >= 1".into());
             }
         }
         Ok(())

@@ -48,7 +48,7 @@ mod shard;
 mod store;
 mod view;
 
-pub use config::{BgConfig, ChameleonConfig, CompactionScheme};
+pub use config::{BgConfig, ChameleonConfig, CompactionScheme, GcConfig};
 pub use manifest::{Manifest, ManifestRecord, Superblock, LEVEL_DUMPED};
 pub use metrics::{StoreMetrics, StoreMetricsSnapshot};
 pub use mode::{GpmConfig, Mode, ModeChange};

@@ -18,6 +18,18 @@ use std::collections::VecDeque;
 use kvapi::{KvError, Result};
 use parking_lot::{Condvar, Mutex};
 
+/// A queued maintenance request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Job {
+    /// Run the flush / merge / compaction chain for one shard's frozen
+    /// MemTable.
+    Shard(usize),
+    /// Run a value-log GC pass (copy-forward relocation + reclaim). At
+    /// most one is queued or running at a time — the store dedupes with
+    /// its `gc_pending` flag.
+    Gc,
+}
+
 /// Why the pipeline stopped doing useful work. The first failure poisons
 /// the pipeline: queued requests are discarded and every later stalled
 /// put or drain surfaces an error (or re-raises the panic, once).
@@ -33,8 +45,8 @@ pub(crate) enum MaintFailure {
 
 #[derive(Default)]
 struct MaintState {
-    /// Shard indices with a frozen MemTable awaiting processing.
-    queue: VecDeque<usize>,
+    /// Maintenance requests awaiting processing.
+    queue: VecDeque<Job>,
     /// Queued plus currently-processing requests.
     pending: usize,
     /// Accept no new work; workers exit once the queue is empty.
@@ -73,24 +85,25 @@ impl Maint {
         self.enabled
     }
 
-    /// Queues a maintenance request for `shard` and wakes a worker.
-    /// Dropped silently once shutdown/poisoning began — the frozen table
-    /// stays readable in the view, and the next stalled put on the shard
-    /// surfaces the recorded failure.
-    pub fn enqueue(&self, shard: usize) {
+    /// Queues a maintenance request and wakes a worker. Dropped silently
+    /// once shutdown/poisoning began — a frozen table stays readable in
+    /// the view, and the next stalled put on the shard surfaces the
+    /// recorded failure. Returns whether the job was accepted.
+    pub fn enqueue(&self, job: Job) -> bool {
         let mut st = self.state.lock();
         if st.stop || st.discard {
-            return;
+            return false;
         }
-        st.queue.push_back(shard);
+        st.queue.push_back(job);
         st.pending += 1;
         self.work_cv.notify_one();
+        true
     }
 
-    /// Blocks until a request is available (returning its shard) or the
-    /// pipeline is shut down (returning `None`). Under `discard`, queued
-    /// requests are dropped instead of returned.
-    pub fn next_job(&self) -> Option<usize> {
+    /// Blocks until a request is available or the pipeline is shut down
+    /// (returning `None`). Under `discard`, queued requests are dropped
+    /// instead of returned.
+    pub fn next_job(&self) -> Option<Job> {
         let mut st = self.state.lock();
         loop {
             if st.discard && !st.queue.is_empty() {
@@ -101,8 +114,8 @@ impl Maint {
                     self.idle_cv.notify_all();
                 }
             }
-            if let Some(shard) = st.queue.pop_front() {
-                return Some(shard);
+            if let Some(job) = st.queue.pop_front() {
+                return Some(job);
             }
             if st.stop {
                 return None;

@@ -40,6 +40,19 @@ pub enum ManifestRecord {
         /// Start offset of the freed table's region.
         off: u64,
     },
+    /// A value-log GC pass committed: every live entry of `extent` was
+    /// relocated and every index reference repointed, so the extent may
+    /// be reclaimed. A point-in-time audit record — it carries no live
+    /// state (the log's own extent-state table is authoritative), so
+    /// replay drops it and rewrite snapshots never include it.
+    Gc {
+        /// Data-extent index that was emptied.
+        extent: u64,
+        /// Live entries relocated out of it.
+        relocated: u64,
+        /// Bytes copied forward.
+        bytes: u64,
+    },
 }
 
 impl ManifestRecord {
@@ -63,6 +76,17 @@ impl ManifestRecord {
                 out[0..8].copy_from_slice(&word0.to_le_bytes());
                 out[16..24].copy_from_slice(&off.to_le_bytes());
             }
+            ManifestRecord::Gc {
+                extent,
+                relocated,
+                bytes,
+            } => {
+                let word0 = 3u64 << 56;
+                out[0..8].copy_from_slice(&word0.to_le_bytes());
+                out[8..16].copy_from_slice(&extent.to_le_bytes());
+                out[16..24].copy_from_slice(&relocated.to_le_bytes());
+                out[24..32].copy_from_slice(&bytes.to_le_bytes());
+            }
         }
         out
     }
@@ -84,6 +108,11 @@ impl ManifestRecord {
             })),
             2 => Ok(Some(ManifestRecord::Del {
                 off: u64::from_le_bytes(buf[16..24].try_into().expect("record bytes")),
+            })),
+            3 => Ok(Some(ManifestRecord::Gc {
+                extent: u64::from_le_bytes(buf[8..16].try_into().expect("record bytes")),
+                relocated: u64::from_le_bytes(buf[16..24].try_into().expect("record bytes")),
+                bytes: u64::from_le_bytes(buf[24..32].try_into().expect("record bytes")),
             })),
             _ => Err(KvError::Corrupt("manifest record kind")),
         }
@@ -245,6 +274,8 @@ impl Manifest {
                         |r| !matches!(r, ManifestRecord::Add { region, .. } if region.off == off),
                     );
                 }
+                // GC commits are point-in-time audit events, not live state.
+                ManifestRecord::Gc { .. } => {}
             }
         }
         let manifest = Self {
@@ -579,5 +610,28 @@ mod tests {
         let rec = add(5, LEVEL_DUMPED, 9, 2048);
         let decoded = ManifestRecord::decode(&rec.encode()).unwrap().unwrap();
         assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn gc_records_roundtrip_and_replay_drops_them() {
+        let rec = ManifestRecord::Gc {
+            extent: 7,
+            relocated: 42,
+            bytes: 12345,
+        };
+        let decoded = ManifestRecord::decode(&rec.encode()).unwrap().unwrap();
+        assert_eq!(decoded, rec);
+
+        let (dev, sb_off, regions, mut ctx) = setup();
+        let sb = sb_for(PRegion { off: 0, len: 0 }, regions);
+        sb.write(&dev, &mut ctx, sb_off);
+        let m = Manifest::create(Arc::clone(&dev), sb_off, regions);
+        m.append(&mut ctx, &[add(1, 0, 7, 4096), rec], Vec::new)
+            .unwrap();
+        dev.crash();
+        let sb = Superblock::read(&dev, &mut ctx, sb_off).unwrap();
+        let (_m2, live) = Manifest::open(Arc::clone(&dev), &mut ctx, sb_off, &sb).unwrap();
+        // The GC audit record does not survive into the live table set.
+        assert_eq!(live, vec![add(1, 0, 7, 4096)]);
     }
 }

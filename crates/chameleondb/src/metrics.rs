@@ -45,6 +45,20 @@ pub struct StoreMetrics {
     /// Puts that waited because their shard's frozen-MemTable queue was at
     /// capacity (background-maintenance backpressure).
     pub write_stalls: AtomicU64,
+    /// Value-log GC passes completed.
+    pub gc_runs: AtomicU64,
+    /// Live entries relocated by GC copy-forward.
+    pub gc_relocated_entries: AtomicU64,
+    /// Bytes appended by GC copy-forward.
+    pub gc_relocated_bytes: AtomicU64,
+    /// Extents returned to the free list by GC.
+    pub gc_reclaimed_extents: AtomicU64,
+    /// Dead-byte credits dropped because the index slot was stale — the
+    /// extent its location word named was garbage-collected (and possibly
+    /// reused) after the version was superseded but before the merge that
+    /// finally dropped its slot. The bytes already left the accounting
+    /// when the extent was reclaimed, so the credit must not land.
+    pub stale_credit_skips: AtomicU64,
 }
 
 macro_rules! snapshot_fields {
@@ -79,6 +93,11 @@ impl StoreMetrics {
             degraded_gets,
             view_publishes,
             write_stalls,
+            gc_runs,
+            gc_relocated_entries,
+            gc_relocated_bytes,
+            gc_reclaimed_extents,
+            stale_credit_skips,
         )
     }
 
@@ -110,6 +129,11 @@ pub struct StoreMetricsSnapshot {
     pub degraded_gets: u64,
     pub view_publishes: u64,
     pub write_stalls: u64,
+    pub gc_runs: u64,
+    pub gc_relocated_entries: u64,
+    pub gc_relocated_bytes: u64,
+    pub gc_reclaimed_extents: u64,
+    pub stale_credit_skips: u64,
 }
 
 impl StoreMetricsSnapshot {
@@ -162,6 +186,11 @@ impl StoreMetricsSnapshot {
             ("degraded_gets", self.degraded_gets),
             ("view_publishes", self.view_publishes),
             ("write_stalls", self.write_stalls),
+            ("gc_runs", self.gc_runs),
+            ("gc_relocated_entries", self.gc_relocated_entries),
+            ("gc_relocated_bytes", self.gc_relocated_bytes),
+            ("gc_reclaimed_extents", self.gc_reclaimed_extents),
+            ("stale_credit_skips", self.stale_credit_skips),
         ]
     }
 }
@@ -192,6 +221,11 @@ impl std::ops::Sub for StoreMetricsSnapshot {
             degraded_gets: self.degraded_gets - earlier.degraded_gets,
             view_publishes: self.view_publishes - earlier.view_publishes,
             write_stalls: self.write_stalls - earlier.write_stalls,
+            gc_runs: self.gc_runs - earlier.gc_runs,
+            gc_relocated_entries: self.gc_relocated_entries - earlier.gc_relocated_entries,
+            gc_relocated_bytes: self.gc_relocated_bytes - earlier.gc_relocated_bytes,
+            gc_reclaimed_extents: self.gc_reclaimed_extents - earlier.gc_reclaimed_extents,
+            stale_credit_skips: self.stale_credit_skips - earlier.stale_credit_skips,
         }
     }
 }
@@ -255,12 +289,12 @@ mod tests {
     fn counters_flatten_every_field() {
         let s = StoreMetricsSnapshot {
             puts: 7,
-            write_stalls: 9,
+            stale_credit_skips: 9,
             ..Default::default()
         };
         let c = s.counters();
-        assert_eq!(c.len(), 19);
+        assert_eq!(c.len(), 24);
         assert_eq!(c[0], ("puts", 7));
-        assert_eq!(*c.last().unwrap(), ("write_stalls", 9));
+        assert_eq!(*c.last().unwrap(), ("stale_credit_skips", 9));
     }
 }

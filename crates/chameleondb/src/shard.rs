@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use chameleon_obs::{EventKind, Obs, Stage};
 use kvapi::{KvError, Result};
+use kvlog::StorageLog;
 use kvsync::ViewCell;
 use kvtables::{SharedTable, Slot, TableBuilder};
 use pmem_sim::{PmemDevice, ThreadCtx};
@@ -50,6 +51,9 @@ pub(crate) struct ShardEnv<'a> {
     /// `checkpoint_seq` past them — after a crash the slots would point at
     /// zeroed log bytes and replay would skip the lost entries.
     pub sync_log: &'a dyn Fn(&mut ThreadCtx) -> Result<()>,
+    /// The value log, for dead-byte crediting when maintenance drops the
+    /// last read-path reference to an entry.
+    pub log: &'a Arc<StorageLog>,
 }
 
 /// One shard's writer-owned state: the live MemTable, the Auxiliary
@@ -346,7 +350,16 @@ impl ShardMut {
             // Additive in-place merge: readers on the current view find
             // these keys in its (still intact) frozen table first, so the
             // newest version stays visible throughout.
-            self.abi.insert_bulk(ctx, slot)?;
+            if let Some(old) = self.abi.insert_bulk(ctx, slot)? {
+                // The ABI is the only read-path structure that referenced
+                // the overwritten version (upper tables are shadows of ABI
+                // content, retired before the ABI's covering entry is):
+                // credit it exactly once — validated, because a version
+                // already shadowed by a newer MemTable entry may have had
+                // its extent garbage-collected while its ABI slot waited
+                // for this overwrite.
+                crate::store::credit_dead_slot(env.log, ctx, env.metrics, slot.hash, old);
+            }
         }
         self.abi.note_seq(max_seq);
         // Every merged entry has seq > checkpoint_seq (older ones were
@@ -495,7 +508,13 @@ impl ShardMut {
         self.uppers[0].push(TableHandle::new(table, env.dev));
         let max_seq = table_in.max_seq();
         for slot in slots {
-            self.abi.insert_bulk(ctx, slot)?;
+            if let Some(old) = self.abi.insert_bulk(ctx, slot)? {
+                // See merge_table_into_abi: an ABI overwrite retires the
+                // overwritten version's only read-path reference —
+                // validated against the log in case GC reclaimed the
+                // shadowed version's extent first.
+                crate::store::credit_dead_slot(env.log, ctx, env.metrics, slot.hash, old);
+            }
         }
         self.abi.note_seq(max_seq);
         // The flush is committed: the single publish below retires the
@@ -698,7 +717,7 @@ impl ShardMut {
         }
         let last_level = (env.cfg.levels - 1) as u32;
         let seq = self.next_table_seq();
-        let table = b.build(env.dev, ctx, self.id, last_level, seq)?;
+        let (table, drops) = b.build_and_drops(env.dev, ctx, self.id, last_level, seq)?;
         let mut records = vec![ManifestRecord::Add {
             shard: self.id,
             level: last_level as u8,
@@ -718,6 +737,19 @@ impl ShardMut {
         (env.commit)(ctx, &records)?;
         for t in olds {
             t.doom();
+        }
+        // Entries the merge dropped — older versions shadowed by a newer
+        // one (always from a dumped table or the old last level; the ABI
+        // streams first) and pruned tombstones (from any input) — lose
+        // their only read-path reference here, for the first time:
+        // mid-level tables are shadows of ABI content, credited at their
+        // ABI overwrite and excluded from this merge's inputs. Credit them
+        // now that the new table is committed — validated, because a
+        // version can sit shadowed in the old last level across many GC
+        // passes, and GC (which resolves by the newest version) may have
+        // reclaimed its extent long before this merge dropped its slot.
+        for old in drops {
+            crate::store::credit_dead_slot(env.log, ctx, env.metrics, old.hash, old.loc);
         }
         self.checkpoint_seq = self.checkpoint_seq.max(table.header().max_log_seq);
         self.last = Some(TableHandle::new(table, env.dev));

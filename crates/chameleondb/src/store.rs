@@ -3,11 +3,12 @@
 use std::collections::HashMap;
 use std::ops::Deref;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use chameleon_obs::{CounterSection, EventKind, Obs, ObsSnapshot, OpKind, TraceSpan};
-use kvapi::{hash64, CrashRecover, KvError, KvStore, Result};
+use chameleon_obs::{CounterSection, EventKind, Obs, ObsSnapshot, OpKind, Stage, TraceSpan};
+use kvapi::{hash64, CrashRecover, KvError, KvStore, LogSpaceStats, Result};
 use kvlog::{EntryMeta, LogWriter, StorageLog, ENTRY_HEADER};
 use kvsync::{EpochDomain, ViewCell};
 use kvtables::{FixedHashTable, Slot};
@@ -15,7 +16,7 @@ use parking_lot::Mutex;
 use pmem_sim::{CostModel, PRegion, PmemDevice, ThreadCtx};
 
 use crate::config::ChameleonConfig;
-use crate::maint::{raise, Maint, MaintFailure};
+use crate::maint::{raise, Job, Maint, MaintFailure};
 use crate::manifest::{Manifest, ManifestRecord, Superblock, LEVEL_DUMPED};
 use crate::metrics::{StoreMetrics, StoreMetricsSnapshot};
 use crate::mode::{Mode, ModeController};
@@ -56,6 +57,9 @@ impl MetaLog {
                     ManifestRecord::Del { off } => {
                         reg.remove(&off);
                     }
+                    // GC commits are point-in-time audit records; they
+                    // never alter the live-table set.
+                    ManifestRecord::Gc { .. } => {}
                 }
             }
             reg.values().copied().collect()
@@ -97,6 +101,10 @@ pub struct StoreInner {
     obs: Obs,
     /// Background-maintenance coordination (queue, backpressure, drain).
     maint: Maint,
+    /// At most one GC pass queued or running (set at trigger, cleared
+    /// when the pass finishes), so a burst of puts over the space-amp
+    /// target schedules one pass, not one per put.
+    gc_pending: AtomicBool,
     shard_shift: u32,
 }
 
@@ -117,10 +125,11 @@ impl std::fmt::Debug for ChameleonDb {
     }
 }
 
-/// The maintenance worker loop: pop a shard index, run one maintenance
-/// pass for it, signal stalled puts. Errors and panics (including an
-/// injected `CrashPoint`) poison the pipeline; the payload is re-raised
-/// on the next foreground thread that drains or stalls.
+/// The maintenance worker loop: pop a job (a shard's frozen-MemTable
+/// chain, or a value-log GC pass), run it, signal stalled puts. Errors
+/// and panics (including an injected `CrashPoint`) poison the pipeline;
+/// the payload is re-raised on the next foreground thread that drains or
+/// stalls.
 fn worker_loop(inner: &StoreInner, worker: usize) {
     // Workers get thread ids above the foreground range so their epoch
     // pins and log-writer choices never collide with client threads.
@@ -128,10 +137,16 @@ fn worker_loop(inner: &StoreInner, worker: usize) {
         Arc::new(CostModel::default()),
         inner.cfg.max_threads + worker,
     );
-    while let Some(shard_idx) = inner.maint.next_job() {
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            inner.maintain_shard(shard_idx, &mut ctx)
+    while let Some(job) = inner.maint.next_job() {
+        let result = catch_unwind(AssertUnwindSafe(|| match job {
+            Job::Shard(shard_idx) => inner.maintain_shard(shard_idx, &mut ctx),
+            Job::Gc => inner.gc_once(&mut ctx),
         }));
+        if matches!(job, Job::Gc) {
+            // Allow the next trigger whether the pass succeeded or not;
+            // a poisoned pipeline rejects the enqueue anyway.
+            inner.gc_pending.store(false, Ordering::Release);
+        }
         let failure = match result {
             Ok(Ok(())) => None,
             Ok(Err(e)) => Some(MaintFailure::Err(e)),
@@ -149,7 +164,7 @@ fn worker_loop(inner: &StoreInner, worker: usize) {
                 let _guard = inner.shards[i].lock();
                 cv.notify_all();
             }
-        } else {
+        } else if let Job::Shard(shard_idx) = job {
             let _guard = inner.shards[shard_idx].lock();
             inner.maint.shard_cvs[shard_idx].notify_all();
         }
@@ -259,6 +274,7 @@ impl ChameleonDb {
             mode,
             obs,
             maint,
+            gc_pending: AtomicBool::new(false),
         }))
     }
 
@@ -344,6 +360,16 @@ impl ChameleonDb {
 
         // Single log scan: recovers the append cursor and collects the
         // newest version of every entry above its shard's checkpoint.
+        // Sealed extents whose recorded max sequence is at or below every
+        // shard's checkpoint hold nothing worth replaying — their entries
+        // are all covered by persisted tables — so the scan skips their
+        // contents entirely (the restart-gap optimisation the per-extent
+        // seal summaries exist for).
+        let skip_seq_floor = shards
+            .iter()
+            .map(|s| s.checkpoint_seq)
+            .min()
+            .unwrap_or_default();
         let shard_shift = 64 - cfg.shards.trailing_zeros();
         let nshards = cfg.shards;
         let cfg_obs = cfg.obs;
@@ -355,11 +381,12 @@ impl ChameleonDb {
             }
         };
         let mut pending: HashMap<u64, EntryMeta> = HashMap::new();
-        let log = StorageLog::reopen_with(
+        let log = StorageLog::reopen_scan(
             Arc::clone(&dev),
             sb.log_region,
             cfg.log.clone(),
             ctx,
+            skip_seq_floor,
             |meta| {
                 let hash = hash64(meta.key);
                 let shard = shard_of(hash);
@@ -399,6 +426,7 @@ impl ChameleonDb {
             mode: ModeController::new(Mode::Normal, Default::default()),
             obs: Obs::new(cfg_obs, nshards),
             maint,
+            gc_pending: AtomicBool::new(false),
         };
         // Re-admit un-checkpointed entries through the normal insert path
         // (without re-logging them). This may trigger flushes/compactions,
@@ -412,6 +440,7 @@ impl ChameleonDb {
             let env = ShardEnv {
                 dev: &store.dev,
                 cfg: &store.cfg,
+                log: &store.log,
                 metrics: &store.metrics,
                 mode: &store.mode,
                 obs: &store.obs,
@@ -545,6 +574,22 @@ impl StoreInner {
                 ],
             },
         ];
+        let space = self.log.space_stats();
+        let (scanned, skipped) = self.log.recovery_scan_stats();
+        sections.push(CounterSection {
+            name: "log",
+            counters: vec![
+                ("appended_bytes", space.appended_bytes),
+                ("live_bytes", space.live_bytes),
+                ("dead_bytes", space.dead_bytes),
+                ("footprint_bytes", space.footprint_bytes),
+                ("space_amp_milli", space.space_amp_milli()),
+                ("live_ratio_milli", space.live_ratio_milli()),
+                ("in_use_extents", self.log.in_use_extents()),
+                ("recovery_extents_scanned", scanned),
+                ("recovery_extents_skipped", skipped),
+            ],
+        });
         sections.extend(extra);
         self.obs
             .snapshot(now, sections, self.dev.stats().snapshot())
@@ -592,6 +637,302 @@ impl StoreInner {
         let mut shard = self.shards[shard_idx].lock();
         shard.process_one_frozen(&env, ctx)?;
         Ok(())
+    }
+
+    /// Value-log space accounting (appended / live / dead / footprint).
+    pub fn space_stats(&self) -> LogSpaceStats {
+        self.log.space_stats()
+    }
+
+    /// Checks the GC trigger — space amplification above the configured
+    /// target, with enough in-use extents for collection to matter — and
+    /// schedules at most one pass (deduplicated by `gc_pending`). The
+    /// check itself is pure reads: the put path never gains a fence from
+    /// it. The pass runs on the worker pool, inline when the pipeline is
+    /// disabled, and to completion (drain) in synchronous lock-step mode.
+    fn maybe_trigger_gc(&self, ctx: &mut ThreadCtx) -> Result<()> {
+        let gc = &self.cfg.gc;
+        if !gc.enabled || self.writers.is_empty() {
+            return Ok(());
+        }
+        if self.log.in_use_extents() < gc.min_extents {
+            return Ok(());
+        }
+        let amp = self.log.space_stats().space_amp_milli();
+        if (amp as f64) < gc.space_amp_target * 1000.0 {
+            return Ok(());
+        }
+        if self.gc_pending.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        if self.maint.enabled() {
+            if !self.maint.enqueue(Job::Gc) {
+                self.gc_pending.store(false, Ordering::Release);
+            } else if self.cfg.bg.synchronous {
+                self.maint.drain()?;
+            }
+            Ok(())
+        } else {
+            let res = self.gc_once(ctx);
+            self.gc_pending.store(false, Ordering::Release);
+            res
+        }
+    }
+
+    /// One GC pass: rank sealed extents by dead bytes, take the deadest
+    /// few above the dead-ratio floor, and copy-forward each in turn.
+    fn gc_once(&self, ctx: &mut ThreadCtx) -> Result<()> {
+        let gc = &self.cfg.gc;
+        let cands: Vec<u64> = self
+            .log
+            .gc_candidates(1)
+            .into_iter()
+            .filter(|&(_, dead, appended)| dead as f64 >= appended as f64 * gc.min_dead_ratio)
+            .take(gc.max_extents_per_pass)
+            .map(|(idx, _, _)| idx)
+            .collect();
+        if cands.is_empty() {
+            return Ok(());
+        }
+        let span = self
+            .obs
+            .span_start(Stage::Gc, ctx.clock.now(), self.dev.stats());
+        StoreMetrics::bump(&self.metrics.gc_runs);
+        for idx in cands {
+            let (relocated, bytes) = self.gc_extent(ctx, idx)?;
+            self.metrics
+                .gc_relocated_entries
+                .fetch_add(relocated, Ordering::Relaxed);
+            self.metrics
+                .gc_relocated_bytes
+                .fetch_add(bytes, Ordering::Relaxed);
+            StoreMetrics::bump(&self.metrics.gc_reclaimed_extents);
+        }
+        self.obs.span_end(span, ctx.clock.now(), self.dev.stats());
+        Ok(())
+    }
+
+    /// Copy-forward GC of one sealed extent.
+    ///
+    /// Per shard (under its mutex): fence every log writer so all
+    /// index-referenced entries are durable, then for each of the
+    /// extent's entries that the read path still resolves, append a
+    /// sequence-preserving copy, fence the copies, and repoint every
+    /// index reference — volatile tables with release stores, persistent
+    /// tables with unfenced 8-byte slot rewrites under one batched fence
+    /// — then republish the shard view.
+    ///
+    /// Entries the read path no longer resolves are superseded by a newer
+    /// version that the writer fence just made durable; their remaining
+    /// stale slots (older upper/dumped levels) are never dereferenced —
+    /// before or after a crash, some newer structure shadows them — so GC
+    /// neither copies nor repoints them.
+    ///
+    /// Commit order for crash safety: relocations are fenced before any
+    /// persistent slot points at them, the Gced state (which recovery
+    /// answers by re-zeroing the extent) is persisted only after every
+    /// repoint is durable, and the manifest's GC record lands after that.
+    /// A crash anywhere leaves each reference pointing at one complete
+    /// copy — old or new, never neither. The emptied extent is then
+    /// quarantined behind the reader epoch (`synchronize`) before its
+    /// bytes are zeroed, because a reader pinned before the repoint may
+    /// still hold the old offset.
+    fn gc_extent(&self, ctx: &mut ThreadCtx, idx: u64) -> Result<(u64, u64)> {
+        let entries = self.log.extent_entries(ctx, idx)?;
+        let mut groups: Vec<Vec<(EntryMeta, Vec<u8>)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for e in entries {
+            let shard_idx = self.shard_of(hash64(e.0.key));
+            groups[shard_idx].push(e);
+        }
+        let mut relocated = 0u64;
+        let mut moved_bytes = 0u64;
+        for (shard_idx, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = self.shards[shard_idx].lock();
+            // With the shard locked no new version of any of its keys can
+            // be appended, so after this fence "the read path resolves a
+            // different location" implies "a newer durable version
+            // exists" — the invariant that makes skipping superseded
+            // entries crash-safe.
+            self.sync_writers(ctx)?;
+            let mut moves: Vec<(u64, u64, u64)> = Vec::new();
+            {
+                let writer = &self.writers[ctx.thread_id % self.writers.len()];
+                let mut w = writer.lock();
+                for (meta, value) in &group {
+                    let hash = hash64(meta.key);
+                    let old_loc = meta.loc();
+                    if !self.gc_resolves(&shard, ctx, hash, old_loc) {
+                        continue;
+                    }
+                    let new = w.append_copy(ctx, meta, value)?;
+                    relocated += 1;
+                    moved_bytes += new.size();
+                    moves.push((hash, old_loc, new.loc()));
+                }
+                // Relocated copies must be durable before any persistent
+                // slot points at them.
+                w.flush(ctx)?;
+            }
+            if moves.is_empty() {
+                continue;
+            }
+            let mut persisted = false;
+            for &(hash, old_loc, new_loc) in &moves {
+                shard.memtable.repoint(ctx, hash, old_loc, new_loc);
+                for t in &shard.frozen {
+                    t.repoint(ctx, hash, old_loc, new_loc);
+                }
+                if let Some(t) = &shard.in_flight {
+                    t.repoint(ctx, hash, old_loc, new_loc);
+                }
+                shard.abi.repoint(ctx, hash, old_loc, new_loc);
+                for t in shard.uppers.iter().flatten() {
+                    persisted |= t
+                        .table()
+                        .repoint_slot(&self.dev, ctx, hash, old_loc, new_loc);
+                }
+                for t in &shard.dumped {
+                    persisted |= t
+                        .table()
+                        .repoint_slot(&self.dev, ctx, hash, old_loc, new_loc);
+                }
+                if let Some(t) = &shard.last {
+                    persisted |= t
+                        .table()
+                        .repoint_slot(&self.dev, ctx, hash, old_loc, new_loc);
+                }
+            }
+            if persisted {
+                self.dev.fence(ctx);
+            }
+            // Republish so readers arriving from here on resolve the new
+            // locations; readers pinned earlier drain in the synchronize
+            // below, before the old bytes vanish.
+            self.views[shard_idx].publish(Arc::new(shard.snapshot_view()));
+            StoreMetrics::bump(&self.metrics.view_publishes);
+        }
+        self.log.finish_gc(ctx, idx);
+        self.meta.commit(
+            ctx,
+            &[ManifestRecord::Gc {
+                extent: idx,
+                relocated,
+                bytes: moved_bytes,
+            }],
+        )?;
+        self.epochs.synchronize();
+        self.log.reclaim_extent(ctx, idx);
+        Ok((relocated, moved_bytes))
+    }
+
+    /// Whether the shard's read path currently resolves `hash` to exactly
+    /// `old_loc`, mirroring `ShardView::get`'s probe order: MemTable,
+    /// frozen tables (newest first), the ABI — or the degraded upper walk
+    /// while the ABI is stale — then dumped tables (newest first) and the
+    /// last level.
+    fn gc_resolves(&self, shard: &ShardMut, ctx: &mut ThreadCtx, hash: u64, old_loc: u64) -> bool {
+        if let Some(s) = shard.memtable.get(ctx, hash) {
+            return s.location() == old_loc;
+        }
+        for t in shard.frozen.iter().rev() {
+            if let Some(s) = t.get(ctx, hash) {
+                return s.location() == old_loc;
+            }
+        }
+        if let Some(t) = &shard.in_flight {
+            if let Some(s) = t.get(ctx, hash) {
+                return s.location() == old_loc;
+            }
+        }
+        if shard.abi_valid && self.cfg.use_abi_for_get {
+            if let Some(s) = shard.abi.get(ctx, hash) {
+                return s.location() == old_loc;
+            }
+        } else {
+            let mut tables: Vec<_> = shard.uppers.iter().flatten().collect();
+            tables.sort_by_key(|t| std::cmp::Reverse(t.table().header().table_seq));
+            for t in tables {
+                if let Some(s) = t.table().get(&self.dev, ctx, hash) {
+                    return s.location() == old_loc;
+                }
+            }
+        }
+        for t in shard.dumped.iter().rev() {
+            if let Some(s) = t.table().get(&self.dev, ctx, hash) {
+                return s.location() == old_loc;
+            }
+        }
+        if let Some(t) = &shard.last {
+            if let Some(s) = t.table().get(&self.dev, ctx, hash) {
+                return s.location() == old_loc;
+            }
+        }
+        false
+    }
+
+    /// Test oracle: walks every shard's read path and sums the on-log
+    /// size of each *resident* referenced entry — slots whose location
+    /// word still names a matching entry in an in-use extent. Slots left
+    /// stale by GC (the shadowed version's extent was reclaimed before a
+    /// merge dropped the slot) are excluded, exactly as dead-byte
+    /// crediting excludes them. On a store whose accounting never crossed
+    /// a crash, `audit_live_bytes + dead == appended` — the exactly-once
+    /// dead-byte crediting invariant.
+    #[doc(hidden)]
+    pub fn audit_live_bytes(&self, ctx: &mut ThreadCtx) -> u64 {
+        let mut total = 0u64;
+        for shard in &self.shards {
+            let s = shard.lock();
+            let mut refs: Vec<(u64, u64)> = Vec::new();
+            for t in std::iter::once(&s.memtable)
+                .chain(s.frozen.iter())
+                .chain(s.in_flight.iter())
+            {
+                refs.extend(t.iter().into_iter().map(|sl| (sl.hash, sl.loc)));
+            }
+            if s.abi_valid {
+                refs.extend(s.abi.iter().into_iter().map(|sl| (sl.hash, sl.loc)));
+            } else {
+                // Degraded shard: the newest upper-level version per hash
+                // is what the ABI would mirror.
+                let mut newest: HashMap<u64, (u64, u64)> = HashMap::new();
+                for t in s.uppers.iter().flatten() {
+                    let seq = t.table().header().table_seq;
+                    for sl in t.table().iter_entries(&self.dev, ctx) {
+                        let e = newest.entry(sl.hash).or_insert((seq, sl.loc));
+                        if seq > e.0 {
+                            *e = (seq, sl.loc);
+                        }
+                    }
+                }
+                refs.extend(newest.into_iter().map(|(hash, (_, loc))| (hash, loc)));
+            }
+            for t in &s.dumped {
+                refs.extend(
+                    t.table()
+                        .iter_entries(&self.dev, ctx)
+                        .into_iter()
+                        .map(|sl| (sl.hash, sl.loc)),
+                );
+            }
+            if let Some(t) = &s.last {
+                refs.extend(
+                    t.table()
+                        .iter_entries(&self.dev, ctx)
+                        .into_iter()
+                        .map(|sl| (sl.hash, sl.loc)),
+                );
+            }
+            drop(s);
+            for (hash, loc) in refs {
+                total += resident_entry_bytes(&self.log, ctx, hash, loc).unwrap_or(0);
+            }
+        }
+        total
     }
 
     #[inline]
@@ -683,6 +1024,7 @@ impl StoreInner {
         ShardEnv {
             dev: &self.dev,
             cfg: &self.cfg,
+            log: &self.log,
             metrics: &self.metrics,
             mode: &self.mode,
             obs: &self.obs,
@@ -717,6 +1059,10 @@ impl StoreInner {
         let hash = hash64(key);
         let shard_idx = self.shard_of(hash);
         self.write_slot_hashed(ctx, hash, shard_idx, key, value, tombstone)?;
+        // Checked after the shard lock is released: the trigger itself is
+        // pure reads (no fence on the put path); an actual pass runs on
+        // the worker pool (or inline when the pipeline is disabled).
+        self.maybe_trigger_gc(ctx)?;
         Ok(shard_idx)
     }
 
@@ -758,7 +1104,7 @@ impl StoreInner {
             while shard.memtable.is_full(shard.load_threshold) {
                 if shard.pending_frozen() < self.cfg.bg.frozen_queue_cap {
                     shard.freeze_memtable(&env);
-                    self.maint.enqueue(shard_idx);
+                    self.maint.enqueue(Job::Shard(shard_idx));
                     if self.cfg.bg.synchronous {
                         // Lock-step mode (crash matrix): wait for the
                         // worker to finish this table *before* our own
@@ -819,8 +1165,10 @@ impl StoreInner {
             shard.insert(&env, ctx, slot, meta.seq)?
         };
         if let Some(old) = old {
-            let (_, hint) = kvlog::unpack_loc(old);
-            self.log.note_dead((ENTRY_HEADER + hint) as u64);
+            // A MemTable overwrite is the only reference the old entry
+            // ever had (a loc lives in exactly one read-path structure);
+            // credit its extent exactly once.
+            credit_dead_word(&self.log, ctx, old);
         }
         Ok(())
     }
@@ -855,9 +1203,13 @@ impl StoreInner {
         let shard_idx = self.shard_of(hash);
         // Lock-free hit path: one epoch pin plus one atomic view load — no
         // per-shard mutex, so readers never serialize against each other or
-        // against an in-progress flush/compaction on the same shard.
+        // against an in-progress flush/compaction on the same shard. The
+        // pin must stay held across the log read below, not just the view
+        // walk: GC quarantines an emptied extent until every pre-repoint
+        // pin drains, so a location word resolved under this pin is
+        // readable for as long as the pin lives — and no longer.
+        let pin = self.epochs.pin(ctx.thread_id);
         let found = {
-            let pin = self.epochs.pin(ctx.thread_id);
             let view = self.views[shard_idx].load(&pin);
             if view.degraded(self.cfg.use_abi_for_get) {
                 StoreMetrics::bump(&self.metrics.degraded_gets);
@@ -904,6 +1256,7 @@ impl StoreInner {
                 }
             }
         };
+        drop(pin);
         let elapsed = ctx.clock.now() - start;
         self.obs.record_op(shard_idx, OpKind::Get, elapsed);
         if let Some(change) = self.mode.record_get_latency(elapsed) {
@@ -948,6 +1301,7 @@ impl StoreInner {
             )
         };
         self.write_slot_hashed(ctx, hash, shard_idx, key, &[], true)?;
+        self.maybe_trigger_gc(ctx)?;
         self.obs.record_op(
             shard_idx,
             OpKind::Delete,
@@ -995,7 +1349,101 @@ fn config_blob(cfg: &ChameleonConfig) -> [u8; 128] {
     blob[40..48].copy_from_slice(&cfg.seed.to_le_bytes());
     blob[48..56].copy_from_slice(&cfg.load_factor.0.to_bits().to_le_bytes());
     blob[56..64].copy_from_slice(&cfg.load_factor.1.to_bits().to_le_bytes());
+    blob[64..72].copy_from_slice(&cfg.log.extent_bytes.to_le_bytes());
     blob
+}
+
+/// On-log size of the entry a location word points at. The hint bits
+/// carry the value length for all but oversized values; saturated hints
+/// fall back to reading the entry header.
+fn entry_bytes(log: &StorageLog, ctx: &mut ThreadCtx, word: u64) -> u64 {
+    let (off, hint) = kvlog::unpack_loc(word);
+    if kvlog::loc_hint_saturated(word) {
+        log.entry_size_at(ctx, off)
+            .unwrap_or((ENTRY_HEADER + hint) as u64)
+    } else {
+        (ENTRY_HEADER + hint) as u64
+    }
+}
+
+/// Credits the entry behind a superseded location word as dead, against
+/// both the global counter and its extent. Call sites are chosen so every
+/// entry is credited exactly once — at the single moment the last
+/// read-path reference to it disappears (see DESIGN.md §6).
+///
+/// Only for words that are provably fresh: a MemTable overwrite displaces
+/// the version that was the newest until this very put, which GC keeps
+/// repointed (under the same shard lock) for as long as it lives. Words
+/// read back from persistent tables may be stale — use
+/// [`credit_dead_slot`] there.
+pub(crate) fn credit_dead_word(log: &StorageLog, ctx: &mut ThreadCtx, word: u64) {
+    let (off, _) = kvlog::unpack_loc(word);
+    let bytes = entry_bytes(log, ctx, word);
+    log.note_dead_at(off, bytes);
+}
+
+/// Credits a superseded slot as dead after verifying its location word
+/// still names a resident entry.
+///
+/// A version that stopped being the newest keeps its index slot until a
+/// merge finally drops it (ABI overwrite, last-level compaction). In the
+/// gap, extent GC — which resolves liveness by the *newest* version —
+/// may have declared the entry dead, reclaimed its extent, and reused
+/// the space. The slot then points into an extent whose bytes already
+/// left the accounting wholesale at reclaim: crediting it again would
+/// inflate `dead_bytes` past `appended_bytes`, zero the live estimate,
+/// and drive GC into a thrash loop. So the word is checked against the
+/// log first; mismatches are dropped and counted in
+/// `stale_credit_skips`.
+pub(crate) fn credit_dead_slot(
+    log: &StorageLog,
+    ctx: &mut ThreadCtx,
+    metrics: &StoreMetrics,
+    hash: u64,
+    word: u64,
+) {
+    match resident_entry_bytes(log, ctx, hash, word) {
+        Some(bytes) => {
+            let (off, _) = kvlog::unpack_loc(word);
+            log.note_dead_at(off, bytes);
+        }
+        None => StoreMetrics::bump(&metrics.stale_credit_skips),
+    }
+}
+
+/// The on-log size of the entry `word` points at, or `None` when the
+/// word is stale: its extent no longer holds data (Free, or Gced and
+/// fully accounted), or the header at its offset disagrees with the slot
+/// (key hash, tombstone flag, or size hint) because the extent was
+/// reclaimed and the space reused.
+pub(crate) fn resident_entry_bytes(
+    log: &StorageLog,
+    ctx: &mut ThreadCtx,
+    hash: u64,
+    word: u64,
+) -> Option<u64> {
+    let (off, hint) = kvlog::unpack_loc(word);
+    let idx = log.extent_index(off)?;
+    if !matches!(
+        log.extent_state(idx),
+        kvlog::ExtentState::Active | kvlog::ExtentState::Sealed
+    ) {
+        return None;
+    }
+    let meta = log.entry_meta_at(ctx, off).ok()?;
+    if meta.seq == 0
+        || meta.seq > log.last_seq()
+        || hash64(meta.key) != hash
+        || meta.tombstone != (word & kvtables::TOMBSTONE_BIT != 0)
+    {
+        return None;
+    }
+    let hint_ok = if kvlog::loc_hint_saturated(word) {
+        meta.vlen >= hint
+    } else {
+        meta.vlen == hint
+    };
+    hint_ok.then_some((ENTRY_HEADER + meta.vlen) as u64)
 }
 
 impl KvStore for ChameleonDb {
@@ -1599,5 +2047,184 @@ mod tests {
         })
         .unwrap();
         assert!(db.approx_len() >= 4 * 5000);
+    }
+
+    /// Small extents + lock-step maintenance so GC passes run (and
+    /// finish) deterministically inside the churn loop.
+    fn gc_cfg() -> ChameleonConfig {
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.log = kvlog::LogConfig {
+            capacity: 2 << 20,
+            batch_bytes: 512,
+            max_value: 8 << 10,
+            extent_bytes: 16 << 10,
+        };
+        cfg.bg.synchronous = true;
+        cfg
+    }
+
+    #[test]
+    fn gc_keeps_footprint_bounded_under_churn() {
+        let db = new_store(gc_cfg());
+        let mut c = ctx();
+        let (keys, rounds) = (200u64, 150u64);
+        for r in 0..rounds {
+            for k in 0..keys {
+                db.put(&mut c, k, &[r as u8; 64]).unwrap();
+            }
+        }
+        db.drain_maintenance().unwrap();
+        let m = db.metrics();
+        assert!(m.gc_runs > 0, "GC never ran");
+        assert!(m.gc_reclaimed_extents > 0, "GC reclaimed no extents");
+        assert!(m.gc_relocated_entries > 0, "GC relocated nothing");
+        let s = db.space_stats();
+        // The overwrite volume exceeded the raw log capacity (127 data
+        // extents): only extent recycling made the workload fit at all.
+        assert!(
+            m.gc_reclaimed_extents > 127,
+            "turnover below capacity — recycling unproven: {m:?} {s:?}"
+        );
+        assert!(
+            s.footprint_bytes <= (2 << 20) / 4,
+            "footprint not bounded by GC: {s:?}"
+        );
+        // Every key reads back at its final round's value.
+        let mut out = Vec::new();
+        for k in 0..keys {
+            assert!(db.get(&mut c, k, &mut out).unwrap(), "key {k} lost by GC");
+            assert_eq!(out, [(rounds - 1) as u8; 64], "key {k} stale after GC");
+        }
+    }
+
+    /// The exactly-once dead-byte crediting invariant: on a store whose
+    /// accounting never crossed a crash, the bytes referenced by the read
+    /// path plus the credited dead bytes account for every appended byte —
+    /// across overwrites, deletes, re-puts, flushes, WIM merges, dumps and
+    /// both compaction kinds.
+    #[test]
+    fn dead_byte_accounting_reconciles_exactly() {
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.gc.enabled = false; // isolate crediting from reclamation
+        let db = new_store(cfg);
+        let mut c = ctx();
+        fill(&db, &mut c, 3000);
+        for k in 0..3000u64 {
+            db.put(&mut c, k, &(k + 1).to_le_bytes()).unwrap();
+        }
+        for k in 0..1000u64 {
+            db.delete(&mut c, k).unwrap();
+        }
+        for k in 0..500u64 {
+            db.put(&mut c, k, &(k + 2).to_le_bytes()).unwrap();
+        }
+        db.checkpoint(&mut c).unwrap();
+        for k in 1500..3000u64 {
+            db.put(&mut c, k, &(k + 3).to_le_bytes()).unwrap();
+        }
+        db.drain_maintenance().unwrap();
+        let s = db.space_stats();
+        let live = db.audit_live_bytes(&mut c);
+        assert_eq!(
+            live + s.dead_bytes,
+            s.appended_bytes,
+            "dead-byte crediting out of balance: audited live {live}, {s:?}"
+        );
+        assert!(s.dead_bytes > 0, "workload produced no dead bytes");
+    }
+
+    /// Same reconciliation with GC enabled: relocation appends live copies
+    /// and `finish_gc` settles each collected extent, so the global
+    /// invariant must survive arbitrary interleaving of churn and passes.
+    #[test]
+    fn dead_byte_accounting_reconciles_across_gc() {
+        let db = new_store(gc_cfg());
+        let mut c = ctx();
+        for r in 0..60u64 {
+            for k in 0..300u64 {
+                db.put(&mut c, k, &[r as u8; 48]).unwrap();
+            }
+            if r % 7 == 3 {
+                for k in 0..50u64 {
+                    db.delete(&mut c, k).unwrap();
+                }
+            }
+        }
+        db.drain_maintenance().unwrap();
+        assert!(db.metrics().gc_runs > 0, "GC never ran");
+        let s = db.space_stats();
+        let live = db.audit_live_bytes(&mut c);
+        assert_eq!(
+            live + s.dead_bytes,
+            s.appended_bytes,
+            "accounting drifted across GC: audited live {live}, {s:?}"
+        );
+    }
+
+    #[test]
+    fn churn_with_gc_survives_crash_and_recovery() {
+        let dev = PmemDevice::optane(512 << 20);
+        let cfg = gc_cfg();
+        let mut db = ChameleonDb::create(Arc::clone(&dev), cfg).unwrap();
+        let mut c = ctx();
+        let (keys, rounds) = (200u64, 100u64);
+        for r in 0..rounds {
+            for k in 0..keys {
+                db.put(&mut c, k, &[r as u8; 64]).unwrap();
+            }
+        }
+        assert!(db.metrics().gc_reclaimed_extents > 0, "GC never reclaimed");
+        db.sync(&mut c).unwrap();
+        db.crash_and_recover(&mut c).unwrap();
+        let mut out = Vec::new();
+        for k in 0..keys {
+            assert!(db.get(&mut c, k, &mut out).unwrap(), "key {k} lost");
+            assert_eq!(out, [(rounds - 1) as u8; 64], "key {k} stale");
+        }
+        // The recycled log keeps working: more churn, another readback.
+        for r in 0..40u64 {
+            for k in 0..keys {
+                db.put(&mut c, k, &[100 + r as u8; 64]).unwrap();
+            }
+        }
+        for k in 0..keys {
+            assert!(db.get(&mut c, k, &mut out).unwrap(), "key {k} lost (2)");
+            assert_eq!(out, [139u8; 64], "key {k} stale (2)");
+        }
+    }
+
+    /// Per-extent max-seq summaries: a checkpointed store's recovery scan
+    /// must skip extents wholly below the checkpoint floor instead of
+    /// decoding them.
+    #[test]
+    fn recovery_skips_fully_checkpointed_extents() {
+        let dev = PmemDevice::optane(512 << 20);
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.log = kvlog::LogConfig {
+            capacity: 4 << 20,
+            batch_bytes: 512,
+            max_value: 8 << 10,
+            extent_bytes: 16 << 10,
+        };
+        cfg.gc.enabled = false; // keep the sealed-extent layout simple
+        let db = ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap();
+        let mut c = ctx();
+        for k in 0..2000u64 {
+            db.put(&mut c, k, &[k as u8; 64]).unwrap();
+        }
+        db.checkpoint(&mut c).unwrap();
+        drop(db);
+        dev.crash();
+        let db = ChameleonDb::recover(Arc::clone(&dev), cfg, &mut c).unwrap();
+        let (scanned, skipped) = db.log().recovery_scan_stats();
+        assert!(
+            skipped > scanned,
+            "checkpointed extents were rescanned: scanned {scanned}, skipped {skipped}"
+        );
+        let mut out = Vec::new();
+        for k in 0..2000u64 {
+            assert!(db.get(&mut c, k, &mut out).unwrap(), "key {k} lost");
+            assert_eq!(out, [k as u8; 64]);
+        }
     }
 }

@@ -111,6 +111,15 @@ pub struct MatrixConfig {
     pub scheme: CompactionScheme,
     /// Simulated device capacity.
     pub device_bytes: usize,
+    /// Value-log GC slice: shrink the log to 16KB extents and add the
+    /// churn phase below, so copy-forward GC passes run inside the
+    /// enumerated fence window (torn relocations, repoints, commits and
+    /// reclaims all become crash points).
+    pub gc: bool,
+    /// Overwrite rounds of the churn phase (0 = skip the phase). Each
+    /// round re-puts the first quarter of the key space, building up the
+    /// dead bytes GC needs.
+    pub churn: u64,
 }
 
 impl MatrixConfig {
@@ -122,6 +131,8 @@ impl MatrixConfig {
             nested_every: 4,
             scheme,
             device_bytes: 64 << 20,
+            gc: false,
+            churn: 0,
         }
     }
 
@@ -131,6 +142,25 @@ impl MatrixConfig {
             stride: 9,
             nested_every: 3,
             ..Self::full(scheme)
+        }
+    }
+
+    /// Exhaustive GC slice: small extents + churn so value-log GC runs
+    /// under the crash enumeration.
+    pub fn full_gc(scheme: CompactionScheme) -> Self {
+        Self {
+            gc: true,
+            churn: 16,
+            ..Self::full(scheme)
+        }
+    }
+
+    /// Bounded GC slice for CI.
+    pub fn quick_gc(scheme: CompactionScheme) -> Self {
+        Self {
+            gc: true,
+            churn: 16,
+            ..Self::quick(scheme)
         }
     }
 }
@@ -179,8 +209,31 @@ pub fn store_config(scheme: CompactionScheme) -> ChameleonConfig {
     }
 }
 
+/// Store geometry for one matrix run: the GC slice shrinks the log to
+/// 16KB extents (2MB capacity) so the workload's dead bytes span enough
+/// sealed extents for copy-forward GC to trigger mid-script.
+pub fn store_config_for(cfg: &MatrixConfig) -> ChameleonConfig {
+    let mut sc = store_config(cfg.scheme);
+    if cfg.gc {
+        sc.log = LogConfig {
+            capacity: 2 << 20,
+            batch_bytes: 512,
+            max_value: 8 << 10,
+            extent_bytes: 16 << 10,
+        };
+    }
+    sc
+}
+
 /// Builds the deterministic mixed workload for `keys` unique keys.
 pub fn build_script(keys: u64) -> Vec<WlOp> {
+    build_script_churn(keys, 0)
+}
+
+/// Like [`build_script`], with `churn` overwrite rounds spliced in after
+/// the overwrite/delete phase (the GC matrix uses this to accumulate
+/// mostly-dead sealed extents).
+pub fn build_script_churn(keys: u64, churn: u64) -> Vec<WlOp> {
     let n = keys.max(64);
     let mut s = Vec::new();
     // Phase 1: unique load — crosses flushes and upper/last compactions.
@@ -196,6 +249,16 @@ pub fn build_script(keys: u64) -> Vec<WlOp> {
         s.push(WlOp::Del(k));
     }
     s.push(WlOp::Sync);
+    // Phase 2b (GC matrix): repeated overwrites of a fixed key set build
+    // dead bytes until value-log GC passes fire under the enumeration.
+    for _ in 0..churn {
+        for k in 0..n / 4 {
+            s.push(WlOp::Put(k));
+        }
+    }
+    if churn > 0 {
+        s.push(WlOp::Sync);
+    }
     // Phase 3: Write-Intensive Mode — MemTables merge into the ABI.
     s.push(WlOp::SetMode(Mode::WriteIntensive));
     for k in n..n + n / 2 {
@@ -404,15 +467,26 @@ impl CrashMatrixReport {
 /// Crash-free run of the full script; returns the total fence count
 /// (the matrix size) and validates the workload itself end to end.
 pub fn dry_run(cfg: &MatrixConfig, script: &[WlOp]) -> u64 {
+    dry_run_with_metrics(cfg, script).0
+}
+
+/// [`dry_run`] plus the store's final metrics snapshot, so callers can
+/// assert the workload actually crossed the stages they care about (the
+/// GC matrix checks `gc_runs > 0` — an enumeration that never GCs would
+/// silently test nothing new).
+pub fn dry_run_with_metrics(
+    cfg: &MatrixConfig,
+    script: &[WlOp],
+) -> (u64, chameleondb::StoreMetricsSnapshot) {
     let dev = PmemDevice::optane(cfg.device_bytes);
-    let db = ChameleonDb::create(Arc::clone(&dev), store_config(cfg.scheme))
+    let db = ChameleonDb::create(Arc::clone(&dev), store_config_for(cfg))
         .expect("crash matrix: create failed in dry run");
     let mut ctx = ThreadCtx::with_default_cost();
     let completed = Cell::new(0);
     let synced = Cell::new(0);
     exec(&db, &mut ctx, script, &completed, &synced)
         .expect("crash matrix: workload failed in dry run");
-    dev.fence_count()
+    (dev.fence_count(), db.metrics())
 }
 
 /// Runs one crash point: arm at fence `k`, crash, (maybe) crash again
@@ -425,7 +499,7 @@ pub fn run_point(
     nested_offset: Option<u64>,
 ) -> PointOutcome {
     let dev = PmemDevice::optane(cfg.device_bytes);
-    let store_cfg = store_config(cfg.scheme);
+    let store_cfg = store_config_for(cfg);
     dev.arm_crash_at_fence(k);
 
     let completed = Cell::new(0u64);
@@ -643,7 +717,7 @@ fn intersect(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
 /// Runs the whole matrix. `progress(done, total)` is called after each
 /// tested point (pass `|_, _| {}` to ignore).
 pub fn run_matrix(cfg: &MatrixConfig, mut progress: impl FnMut(u64, u64)) -> CrashMatrixReport {
-    let script = build_script(cfg.keys);
+    let script = build_script_churn(cfg.keys, cfg.churn);
     let model = build_model(&script);
     let total_fences = dry_run(cfg, &script);
     let stride = cfg.stride.max(1);
@@ -681,11 +755,15 @@ pub fn run_matrix(cfg: &MatrixConfig, mut progress: impl FnMut(u64, u64)) -> Cra
         .map(|(stage, points)| StagePoints { stage, points })
         .collect();
     stages.sort_by_key(|s| std::cmp::Reverse(s.points));
+    let mut scheme = match cfg.scheme {
+        CompactionScheme::Direct => "direct".to_string(),
+        CompactionScheme::LevelByLevel => "level_by_level".to_string(),
+    };
+    if cfg.gc {
+        scheme.push_str("_gc");
+    }
     CrashMatrixReport {
-        scheme: match cfg.scheme {
-            CompactionScheme::Direct => "direct".into(),
-            CompactionScheme::LevelByLevel => "level_by_level".into(),
-        },
+        scheme,
         workload_ops: script.len() as u64,
         total_fences,
         points_tested,

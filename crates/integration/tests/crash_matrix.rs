@@ -44,6 +44,64 @@ fn bounded_matrix_level_by_level_scheme_has_no_violations() {
     );
 }
 
+/// GC slice of the matrix: small extents + churn make value-log GC
+/// passes (copy-forward relocation, index repoints, Gc manifest commits,
+/// extent reclaims) run inside the enumerated fence window, so torn GC
+/// commits become crash points. The dry run must prove GC actually fired
+/// — otherwise the slice silently tests nothing new.
+#[test]
+fn bounded_matrix_gc_slice_has_no_violations() {
+    let cfg = MatrixConfig::quick_gc(CompactionScheme::Direct);
+    let script = crashmat::build_script_churn(cfg.keys, cfg.churn);
+    let (_, metrics) = crashmat::dry_run_with_metrics(&cfg, &script);
+    assert!(
+        metrics.gc_runs > 0 && metrics.gc_reclaimed_extents > 0,
+        "GC matrix workload never ran GC: {metrics:?}"
+    );
+    let report = crashmat::run_matrix(&cfg, |_, _| {});
+    assert!(
+        report.violations.is_empty(),
+        "GC crash matrix violations: {:#?}",
+        report.violations
+    );
+}
+
+/// Torn-GC-commit regression: a dense (stride-1) enumeration of a
+/// churn-heavy workload whose fence stream is dominated by GC passes.
+/// Crashing at every fence inside copy-forward relocation, index
+/// repointing, the Gced-state persist, the manifest Gc commit and the
+/// extent reclaim must always recover each reference to one complete
+/// entry — old location or new, never neither.
+#[test]
+fn torn_gc_commits_recover_to_old_or_new_location() {
+    let cfg = MatrixConfig {
+        keys: 64,
+        stride: 1,
+        nested_every: 0,
+        scheme: CompactionScheme::Direct,
+        device_bytes: 64 << 20,
+        gc: true,
+        churn: 200,
+    };
+    let report = crashmat::run_matrix(&cfg, |_, _| {});
+    assert!(
+        report.violations.is_empty(),
+        "torn GC commit violations: {:#?}",
+        report.violations
+    );
+    let gc_points: u64 = report
+        .stages
+        .iter()
+        .filter(|s| s.stage == "gc")
+        .map(|s| s.points)
+        .sum();
+    assert!(
+        gc_points > 0,
+        "no crash point landed inside a GC pass: {:?}",
+        report.stages
+    );
+}
+
 /// Regression: the allocator must rebuild its free list from the gaps
 /// between live regions on recovery. The legacy bump-past-high-water reset
 /// leaked every hole left by pre-crash compactions, so repeated
@@ -104,6 +162,7 @@ fn wim_merged_entries_survive_flush_then_crash() {
             capacity: 8 << 20,
             batch_bytes: 512,
             max_value: 4096,
+            ..kvlog::LogConfig::default()
         },
         ..chameleondb::ChameleonConfig::with_shards(1)
     };

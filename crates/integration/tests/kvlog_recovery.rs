@@ -15,7 +15,8 @@ fn small_cfg() -> LogConfig {
     LogConfig {
         capacity: 8 << 20,
         batch_bytes: 128,
-        max_value: 1 << 20,
+        max_value: 4096,
+        extent_bytes: EXTENT,
     }
 }
 
@@ -126,7 +127,8 @@ fn extent_boundary_entries_recover_and_resume_on_boundaries() {
     let cfg = LogConfig {
         capacity: 32 << 20,
         batch_bytes: 128,
-        max_value: EXTENT as usize,
+        max_value: (EXTENT / 2) as usize,
+        extent_bytes: EXTENT,
     };
     let vlen = (EXTENT / 4) as usize - ENTRY_HEADER;
     let appends: Vec<(u64, usize, bool)> = (0..10u64).map(|k| (k, vlen, false)).collect();
@@ -156,14 +158,15 @@ fn extent_boundary_entries_recover_and_resume_on_boundaries() {
     drop(log);
     dev.crash();
     let log = StorageLog::reopen(Arc::clone(&dev), region, cfg.clone(), &mut ctx).unwrap();
-    assert_eq!(
-        log.bytes_used() % EXTENT,
-        0,
-        "reopen must resume on an extent boundary"
-    );
     assert_eq!(log.last_seq(), 5);
     let mut w = log.writer();
-    w.append(&mut ctx, 99, b"tail", false).unwrap();
+    let meta = w.append(&mut ctx, 99, b"tail", false).unwrap();
+    assert_eq!(
+        (meta.off - region.off) % log.extent_bytes(),
+        0,
+        "reopen must resume on an extent boundary (got off {})",
+        meta.off
+    );
     w.flush(&mut ctx).unwrap();
     let mut seen = Vec::new();
     log.scan(&mut ctx, |meta| seen.push((meta.seq, meta.key)))

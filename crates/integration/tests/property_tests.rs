@@ -190,4 +190,160 @@ proptest! {
             prop_assert_eq!(&out, v);
         }
     }
+
+    /// Random put/delete interleavings with value-log GC firing throughout
+    /// (small extents, 256B values, lock-step passes): no live entry is
+    /// ever lost, no deleted key resurrects, every resolvable location
+    /// word reads back the right entry, and the dead-byte accounting
+    /// reconciles exactly at the end.
+    #[test]
+    fn gc_interleavings_never_lose_or_resurrect(
+        ops in proptest::collection::vec((0u64..120, 0u8..8), 200..600),
+    ) {
+        let dev = PmemDevice::optane(256 << 20);
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.log = LogConfig {
+            capacity: 2 << 20,
+            batch_bytes: 512,
+            max_value: 8 << 10,
+            extent_bytes: 16 << 10,
+        };
+        cfg.bg.synchronous = true;
+        let db = ChameleonDb::create(Arc::clone(&dev), cfg).unwrap();
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut ctx = ThreadCtx::with_default_cost();
+        let mut out = Vec::new();
+        for (i, (key, op)) in ops.iter().enumerate() {
+            match op {
+                0..=5 => {
+                    let mut v = vec![0u8; 256];
+                    v[..8].copy_from_slice(&(key * 131 + i as u64).to_le_bytes());
+                    db.put(&mut ctx, *key, &v).unwrap();
+                    model.insert(*key, v);
+                }
+                6 => {
+                    let expected = model.remove(key).is_some();
+                    prop_assert_eq!(db.delete(&mut ctx, *key).unwrap(), expected);
+                }
+                _ => {
+                    let got = db.get(&mut ctx, *key, &mut out).unwrap();
+                    prop_assert_eq!(got, model.contains_key(key));
+                    if got {
+                        prop_assert_eq!(&out, model.get(key).unwrap());
+                    }
+                }
+            }
+        }
+        db.drain_maintenance().unwrap();
+        // Full sweep over the key space: exactly the model's live keys
+        // survive, each at its newest value, through every relocation.
+        for k in 0..120u64 {
+            let got = db.get(&mut ctx, k, &mut out).unwrap();
+            prop_assert!(
+                got == model.contains_key(&k),
+                "key {} liveness wrong (got {}, model {})",
+                k,
+                got,
+                model.contains_key(&k)
+            );
+            if got {
+                prop_assert!(&out == model.get(&k).unwrap(), "key {} stale", k);
+            }
+        }
+        // Exactly-once dead-byte crediting (crash-free run): referenced
+        // bytes plus credited dead bytes account for every resident byte.
+        let s = db.space_stats();
+        let live = db.audit_live_bytes(&mut ctx);
+        prop_assert!(
+            live + s.dead_bytes == s.appended_bytes,
+            "accounting drift: live {} + dead {} != appended {}",
+            live,
+            s.dead_bytes,
+            s.appended_bytes
+        );
+    }
+}
+
+/// Regression: stale-slot dead-byte credits under multi-level churn.
+///
+/// A version shadowed by a newer one keeps its slot in the ABI or the
+/// last level until a merge drops it; GC resolves liveness by the newest
+/// version, so it can reclaim (and reuse) the shadowed version's extent
+/// first. Crediting the later drop without validating the slot used to
+/// count those bytes twice: at bench scale `dead_bytes` overtook
+/// `appended_bytes`, the live estimate saturated to zero, and GC went
+/// into a thrash loop (120+ passes where ~30 suffice). The small
+/// gc-interleavings proptest above never populates the last level, so
+/// this pins the multi-level shape deterministically: rotating-skip
+/// overwrites (every round spares a different quarter of the keys, so
+/// extents die slowly and slots sit shadowed across many GC passes).
+#[test]
+fn gc_stale_slot_credits_never_double_count() {
+    const KEYS: u64 = 600;
+    const ROUNDS: u64 = 12;
+    let dev = PmemDevice::optane(256 << 20);
+    let mut cfg = ChameleonConfig::tiny();
+    cfg.log = LogConfig {
+        capacity: 1 << 20,
+        batch_bytes: 512,
+        max_value: 8 << 10,
+        extent_bytes: 16 << 10,
+    };
+    cfg.bg.synchronous = true;
+    let db = ChameleonDb::create(Arc::clone(&dev), cfg).unwrap();
+    let mut ctx = ThreadCtx::with_default_cost();
+    let value = |k: u64, round: u64| {
+        let mut v = vec![0u8; 256];
+        v[..8].copy_from_slice(&k.to_le_bytes());
+        v[8..16].copy_from_slice(&round.to_le_bytes());
+        v
+    };
+    let mut newest = vec![0u64; KEYS as usize];
+    for k in 0..KEYS {
+        db.put(&mut ctx, k, &value(k, 0)).unwrap();
+    }
+    for round in 1..=ROUNDS {
+        for k in 0..KEYS {
+            if k % 4 == round % 4 {
+                continue;
+            }
+            db.put(&mut ctx, k, &value(k, round)).unwrap();
+            newest[k as usize] = round;
+        }
+        db.sync(&mut ctx).unwrap();
+        // The accounting must stay sane at every round boundary, not
+        // just at the end — the double-credit built up monotonically.
+        let s = db.space_stats();
+        assert!(
+            s.dead_bytes <= s.appended_bytes,
+            "round {round}: dead {} overtook appended {}",
+            s.dead_bytes,
+            s.appended_bytes
+        );
+    }
+    db.drain_maintenance().unwrap();
+    let m = db.metrics();
+    assert!(m.gc_runs > 0, "workload never triggered GC");
+    assert!(
+        m.stale_credit_skips > 0,
+        "no stale slot was ever dropped — the regression shape was not exercised"
+    );
+    // Exactly-once crediting: resident referenced bytes plus credited
+    // dead bytes account for every resident byte.
+    let s = db.space_stats();
+    let live = db.audit_live_bytes(&mut ctx);
+    assert_eq!(
+        live + s.dead_bytes,
+        s.appended_bytes,
+        "accounting drift: audited live {} + dead {} != appended {}",
+        live,
+        s.dead_bytes,
+        s.appended_bytes
+    );
+    // And the churn survived: every key reads back its newest version.
+    let mut out = Vec::new();
+    for k in 0..KEYS {
+        assert!(db.get(&mut ctx, k, &mut out).unwrap(), "key {k} lost");
+        assert_eq!(&out, &value(k, newest[k as usize]), "key {k} stale");
+    }
 }

@@ -49,6 +49,51 @@ impl std::error::Error for KvError {}
 /// Convenience alias for store results.
 pub type Result<T> = std::result::Result<T, KvError>;
 
+/// Space accounting of a value log with extent-lifecycle management.
+///
+/// Index *location words* (packed `{offset, size-hint}`; see `kvlog`) are
+/// **repointable**: garbage collection may relocate an entry and rewrite
+/// every index word referencing it, so a location word is only stable
+/// while its reader holds an epoch pin. The entry a word points at is
+/// always readable — GC quarantines emptied extents until every pinned
+/// reader that could hold the old word has drained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogSpaceStats {
+    /// Bytes of entries appended and not yet reclaimed (live + dead).
+    pub appended_bytes: u64,
+    /// Bytes still referenced by some index structure.
+    pub live_bytes: u64,
+    /// Bytes superseded by overwrites/deletes, awaiting reclamation.
+    pub dead_bytes: u64,
+    /// Bytes occupied by in-use extents (what space amplification bounds:
+    /// `footprint / live <= target`).
+    pub footprint_bytes: u64,
+}
+
+impl LogSpaceStats {
+    /// Space amplification as parts-per-thousand (`u64::MAX` when no live
+    /// bytes but a nonzero footprint remains).
+    pub fn space_amp_milli(&self) -> u64 {
+        match self
+            .footprint_bytes
+            .saturating_mul(1000)
+            .checked_div(self.live_bytes)
+        {
+            Some(amp) => amp,
+            None if self.footprint_bytes == 0 => 1000,
+            None => u64::MAX,
+        }
+    }
+
+    /// Live fraction of appended bytes as parts-per-thousand.
+    pub fn live_ratio_milli(&self) -> u64 {
+        self.live_bytes
+            .saturating_mul(1000)
+            .checked_div(self.appended_bytes)
+            .unwrap_or(1000)
+    }
+}
+
 /// A key-value store over simulated persistent memory.
 ///
 /// Keys are 8 bytes (the paper's key size); all stores place items by the

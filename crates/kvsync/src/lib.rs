@@ -144,6 +144,31 @@ impl EpochDomain {
             slot_count(v) == 0 || slot_epoch(v) > epoch
         })
     }
+
+    /// Starts a grace period: advances the global epoch and returns a
+    /// token for [`try_sync`](Self::try_sync). Any reader that pins after
+    /// this call observes the advanced epoch (the pin's `SeqCst` load
+    /// synchronizes with the advance), so once the token quiesces, no
+    /// reader can still hold state loaded before `begin_sync` returned.
+    pub fn begin_sync(&self) -> u64 {
+        self.advance()
+    }
+
+    /// Whether the grace period started by [`begin_sync`](Self::begin_sync)
+    /// has expired: every pin taken before it has dropped.
+    pub fn try_sync(&self, token: u64) -> bool {
+        self.quiesced(token)
+    }
+
+    /// Blocks until every pin taken before this call has dropped — the
+    /// quarantine primitive GC uses before reusing relocated-away log
+    /// space. Spin-yields; callers are maintenance paths, never readers.
+    pub fn synchronize(&self) {
+        let token = self.advance();
+        while !self.quiesced(token) {
+            std::thread::yield_now();
+        }
+    }
 }
 
 /// An active reader pin (see [`EpochDomain::pin`]).
@@ -371,6 +396,47 @@ mod tests {
         let _pin = domain.pin(0);
         cell.collect();
         assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn sync_tokens_track_pins() {
+        let domain = EpochDomain::new(4);
+        let early = domain.pin(0);
+        let token = domain.begin_sync();
+        assert!(!domain.try_sync(token), "pre-advance pin must block");
+        // Pins taken after begin_sync never block the grace period.
+        let late = domain.pin(1);
+        drop(early);
+        assert!(domain.try_sync(token));
+        drop(late);
+        domain.synchronize(); // no pins: returns immediately
+    }
+
+    #[test]
+    fn synchronize_waits_for_straggling_reader() {
+        let domain = Arc::new(EpochDomain::new(4));
+        let released = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&domain);
+        let r = Arc::clone(&released);
+        let pinned = Arc::new(AtomicUsize::new(0));
+        let p = Arc::clone(&pinned);
+        let reader = std::thread::spawn(move || {
+            let pin = d.pin(2);
+            p.store(1, Ordering::SeqCst);
+            while r.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            drop(pin);
+        });
+        while pinned.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let token = domain.begin_sync();
+        assert!(!domain.try_sync(token));
+        released.store(1, Ordering::SeqCst);
+        domain.synchronize();
+        assert!(domain.try_sync(token));
+        reader.join().unwrap();
     }
 
     #[test]

@@ -190,6 +190,62 @@ impl FixedHashTable {
     pub fn free(self, dev: &PmemDevice) {
         dev.dealloc(self.region.off, self.region.len);
     }
+
+    /// Rewrites one slot's location word in place, for GC repointing.
+    ///
+    /// Probes for `hash` exactly like [`FixedHashTable::get`]; if the slot
+    /// is found and its location (tombstone bit aside) equals `old_loc`,
+    /// the 8-byte word is rewritten to `new_loc` with the tombstone bit
+    /// preserved. The word is 8-byte aligned so the store is atomic at
+    /// crash granularity: recovery sees either the old or the new location,
+    /// never a torn mix.
+    ///
+    /// Issues a non-temporal store but **no fence** — the caller batches
+    /// repoints across an extent and fences once before declaring the GC
+    /// commit durable.
+    pub fn repoint_slot(
+        &self,
+        dev: &PmemDevice,
+        ctx: &mut ThreadCtx,
+        hash: u64,
+        old_loc: u64,
+        new_loc: u64,
+    ) -> bool {
+        use crate::slot::TOMBSTONE_BIT;
+        let n = self.header.num_slots;
+        if n == 0 {
+            return false;
+        }
+        let base = self.region.off + TABLE_HEADER_BYTES as u64;
+        let mut idx = hash % n;
+        let mut buf = [0u8; SLOT_BYTES];
+        let mut first = true;
+        for _ in 0..n {
+            let off = base + idx * SLOT_BYTES as u64;
+            if first {
+                dev.read(ctx, off, &mut buf);
+                first = false;
+            } else {
+                dev.read_adjacent(ctx, off, &mut buf);
+            }
+            let slot = Slot::decode(&buf);
+            ctx.charge(ctx.cost.key_cmp_ns);
+            if slot.is_empty() {
+                return false;
+            }
+            if slot.hash == hash {
+                if slot.loc & !TOMBSTONE_BIT != old_loc & !TOMBSTONE_BIT {
+                    return false;
+                }
+                let tomb = slot.loc & TOMBSTONE_BIT;
+                let word = (new_loc & !TOMBSTONE_BIT) | tomb;
+                dev.write_nt(ctx, off + 8, &word.to_le_bytes());
+                return true;
+            }
+            idx = (idx + 1) % n;
+        }
+        false
+    }
 }
 
 /// Builds an immutable table in DRAM, then persists it in one sequential
@@ -208,6 +264,14 @@ pub struct TableBuilder {
     /// Set when a tombstone was staged with `drop_tombstone`: the final
     /// image is re-hashed without tombstones at [`TableBuilder::build`].
     prune_tombstones: bool,
+    /// Slots this build drops from the index: older duplicates shadowed
+    /// by a newer staged version, and tombstones pruned from a last-level
+    /// image. Once the merge commits (sources freed) nothing references
+    /// these log entries, so the committer credits them as dead bytes.
+    /// Whole slots (not bare location words) so the committer can verify
+    /// each against the log — a long-shadowed version's extent may have
+    /// been garbage-collected since, leaving the slot stale.
+    dropped: Vec<Slot>,
 }
 
 impl TableBuilder {
@@ -220,6 +284,7 @@ impl TableBuilder {
             entries: 0,
             max_log_seq: 0,
             prune_tombstones: false,
+            dropped: Vec::new(),
         }
     }
 
@@ -279,14 +344,20 @@ impl TableBuilder {
             let cur = self.slots[idx];
             if cur.is_empty() {
                 if slot.is_tombstone() && drop_tombstone {
+                    // Staged only to shadow older sources; `build` prunes
+                    // it from the image, so its log entry dies with this
+                    // merge.
                     self.prune_tombstones = true;
+                    self.dropped.push(slot);
                 }
                 self.slots[idx] = slot;
                 self.entries += 1;
                 return Ok(true);
             }
             if cur.hash == slot.hash {
-                // Already staged by a newer source.
+                // Already staged by a newer source — the older version's
+                // log entry leaves the index when this merge commits.
+                self.dropped.push(slot);
                 return Ok(false);
             }
             idx = (idx + 1) % self.slots.len();
@@ -294,16 +365,38 @@ impl TableBuilder {
         Err(KvError::Full("table builder"))
     }
 
+    /// Slots dropped so far (older duplicates and to-be-pruned
+    /// tombstones). See the field doc; exposed for dead-byte crediting.
+    pub fn dropped_slots(&self) -> &[Slot] {
+        &self.dropped
+    }
+
     /// Persists the staged table: header + slots, written sequentially with
     /// non-temporal stores and a single trailing fence.
     pub fn build(
-        mut self,
+        self,
         dev: &Arc<PmemDevice>,
         ctx: &mut ThreadCtx,
         shard: u32,
         level: u32,
         table_seq: u64,
     ) -> Result<FixedHashTable> {
+        self.build_and_drops(dev, ctx, shard, level, table_seq)
+            .map(|(t, _)| t)
+    }
+
+    /// Like [`TableBuilder::build`], but also returns the slots the merge
+    /// dropped from the index, for the committer to credit as dead log
+    /// bytes (after validating residency) once the source tables are
+    /// freed.
+    pub fn build_and_drops(
+        mut self,
+        dev: &Arc<PmemDevice>,
+        ctx: &mut ThreadCtx,
+        shard: u32,
+        level: u32,
+        table_seq: u64,
+    ) -> Result<(FixedHashTable, Vec<Slot>)> {
         if self.prune_tombstones {
             // Tombstones were staged only to shadow older sources during
             // the merge; re-hash the survivors so the persisted image holds
@@ -353,7 +446,7 @@ impl TableBuilder {
             dev.write_nt(ctx, base + written, &chunk);
         }
         dev.fence(ctx);
-        Ok(FixedHashTable { region, header })
+        Ok((FixedHashTable { region, header }, self.dropped))
     }
 }
 
@@ -537,6 +630,66 @@ mod tests {
         // The last inserted hash probes past index 15 into block 1.
         let s = t.get(&dev, &mut ctx, hashes[5]).unwrap();
         assert_eq!(s.loc, 6);
+    }
+
+    #[test]
+    fn build_reports_dropped_locations() {
+        let (dev, mut ctx) = setup();
+        let ha = hash64(1);
+        let hb = hash64(2);
+        let mut b = TableBuilder::new(32);
+        // Newest source: A deleted (tombstone at loc 900), B live at 200.
+        assert!(b.insert(&mut ctx, Slot::tombstone(ha, 900), true).unwrap());
+        assert!(b.insert(&mut ctx, Slot::new(hb, 200), true).unwrap());
+        // Older source still holds A at 100 and B at 150 — both shadowed.
+        assert!(!b.insert(&mut ctx, Slot::new(ha, 100), true).unwrap());
+        assert!(!b.insert(&mut ctx, Slot::new(hb, 150), true).unwrap());
+        let (t, mut drops) = b.build_and_drops(&dev, &mut ctx, 0, 3, 1).unwrap();
+        // The pruned tombstone and both shadowed versions die with the
+        // merge; the surviving B@200 does not. Each drop keeps its hash so
+        // the committer can validate the credit against the log.
+        drops.sort_unstable_by_key(|s| s.loc);
+        let expect_tomb = 900 | crate::slot::TOMBSTONE_BIT;
+        assert_eq!(
+            drops,
+            vec![
+                Slot::new(ha, 100),
+                Slot::new(hb, 150),
+                Slot {
+                    hash: ha,
+                    loc: expect_tomb
+                },
+            ]
+        );
+        assert_eq!(t.num_entries(), 1);
+    }
+
+    #[test]
+    fn repoint_slot_rewrites_persistently() {
+        let (dev, mut ctx) = setup();
+        let h = hash64(42);
+        let ht = hash64(43);
+        let mut b = TableBuilder::new(32);
+        b.insert(&mut ctx, Slot::new(h, 111), false).unwrap();
+        b.insert(&mut ctx, Slot::tombstone(ht, 300), false).unwrap();
+        let t = b.build(&dev, &mut ctx, 0, 0, 1).unwrap();
+        // Wrong old location refuses.
+        assert!(!t.repoint_slot(&dev, &mut ctx, h, 999, 555));
+        assert_eq!(t.get(&dev, &mut ctx, h).unwrap().loc, 111);
+        // Matching old location rewrites; caller fences the batch.
+        assert!(t.repoint_slot(&dev, &mut ctx, h, 111, 555));
+        assert!(t.repoint_slot(&dev, &mut ctx, ht, 300, 400));
+        dev.fence(&mut ctx);
+        assert_eq!(t.get(&dev, &mut ctx, h).unwrap().loc, 555);
+        let ts = t.get(&dev, &mut ctx, ht).unwrap();
+        assert!(ts.is_tombstone());
+        assert_eq!(ts.location(), 400);
+        // Survives a crash after the fence.
+        dev.crash();
+        let reopened = FixedHashTable::open(&dev, &mut ctx, t.region()).unwrap();
+        assert_eq!(reopened.get(&dev, &mut ctx, h).unwrap().loc, 555);
+        // Missing hash is a no-op.
+        assert!(!reopened.repoint_slot(&dev, &mut ctx, hash64(777), 1, 2));
     }
 
     #[test]

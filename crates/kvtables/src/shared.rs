@@ -228,6 +228,42 @@ impl SharedTable {
         None
     }
 
+    /// Repoints the slot for `hash` from `old_loc` to `new_loc`,
+    /// preserving the tombstone bit carried in the stored word. Writer
+    /// side (externally serialized); readers racing this see either the
+    /// old or the new word, both of which GC guarantees are readable.
+    ///
+    /// Returns `false` (and changes nothing) if the hash is absent or its
+    /// stored word no longer matches `old_loc` — a newer overwrite has
+    /// already superseded the entry GC is relocating.
+    pub fn repoint(&self, ctx: &mut ThreadCtx, hash: u64, old_loc: u64, new_loc: u64) -> bool {
+        let mut idx = (hash & self.mask) as usize;
+        ctx.charge(self.first_probe_ns(ctx));
+        for probe in 0..self.slots.len() {
+            if probe > 0 {
+                ctx.charge(ctx.cost.key_cmp_ns + ctx.cost.dram_seq_line_ns);
+            }
+            let cur = &self.slots[idx];
+            let loc = cur.loc.load(Ordering::Acquire);
+            if loc == 0 {
+                return false;
+            }
+            if cur.hash.load(Ordering::Relaxed) == hash {
+                let tomb = loc & crate::slot::TOMBSTONE_BIT;
+                if loc & !crate::slot::TOMBSTONE_BIT != old_loc & !crate::slot::TOMBSTONE_BIT {
+                    return false;
+                }
+                cur.loc.store(
+                    (new_loc & !crate::slot::TOMBSTONE_BIT) | tomb,
+                    Ordering::Release,
+                );
+                return true;
+            }
+            idx = (idx + 1) & self.mask as usize;
+        }
+        false
+    }
+
     /// Snapshot of every occupied slot in probe order. Writer-side use
     /// (flush/merge under the shard lock); safe against readers.
     pub fn iter(&self) -> Vec<Slot> {
@@ -333,6 +369,28 @@ mod tests {
         t.note_seq(10);
         t.note_seq(4);
         assert_eq!(t.max_seq(), 10);
+    }
+
+    #[test]
+    fn repoint_preserves_tombstone_and_checks_old_loc() {
+        let t = SharedTable::new(8);
+        let mut c = ctx();
+        let h = hash64(1);
+        t.insert(&mut c, Slot::new(h, 10)).unwrap();
+        // Stale expectation: the slot moved on, repoint must refuse.
+        assert!(!t.repoint(&mut c, h, 99, 500));
+        assert_eq!(t.get(&mut c, h).unwrap().loc, 10);
+        assert!(t.repoint(&mut c, h, 10, 500));
+        assert_eq!(t.get(&mut c, h).unwrap().loc, 500);
+        // Tombstones keep their marker bit across relocation.
+        let h2 = hash64(2);
+        t.insert(&mut c, Slot::tombstone(h2, 30)).unwrap();
+        assert!(t.repoint(&mut c, h2, 30, 600));
+        let s = t.get(&mut c, h2).unwrap();
+        assert!(s.is_tombstone());
+        assert_eq!(s.location(), 600);
+        // Absent hash: no-op.
+        assert!(!t.repoint(&mut c, hash64(42), 1, 2));
     }
 
     #[test]
