@@ -15,6 +15,7 @@ pub mod overall;
 pub mod serve;
 pub mod top;
 pub mod trace_dump;
+pub mod ycsb_e;
 
 use kvapi::KvStore;
 use pmem_sim::{PmemDevice, ThreadCtx};

@@ -1,0 +1,542 @@
+//! `ycsb-e` — range scans end-to-end over the ordered key index.
+//!
+//! Two phases. The embedded phase measures what the ordered index costs
+//! the point-op path: the same YCSB-A run (simulated time, identical
+//! seeds) with the index off and on must keep get/put p99.9 within 10%,
+//! then YCSB-E (95% scan / 5% insert) runs against the indexed store.
+//! The TCP phase is the adversarial one: a kvserver with four scanner
+//! clients running the YCSB-E mix over the wire while four writer
+//! clients append durable puts, and *every* scan result is audited
+//! against a shadow model — strictly sorted, contiguous over the
+//! preloaded key range (no holes, no phantoms), and churn-region keys
+//! bounded by the writers' published ack floors. Periodic frontier
+//! scans additionally prove no acked write is ever missing from a scan
+//! that covers it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use chameleon_obs::ServerObs;
+use chameleondb::{ChameleonConfig, ChameleonDb};
+use kvapi::mix64;
+use kvclient::Client;
+use kvserver::{KvServer, ServerConfig};
+use pmem_sim::{Histogram, PmemDevice};
+use serde::Serialize;
+use ycsb::{Distribution, KeyChooser, RunResult, Workload};
+
+use super::{load_store, run_workload};
+use crate::util::{header, Opts};
+
+/// Churn keys live far above the preloaded range so scans that start in
+/// the stable region only cross into them after exhausting it. Scanner
+/// inserts sit below the writer region so frontier scans (start =
+/// `WRITER_BASE`) see writer stripes only.
+const SCANNER_BASE: u64 = 1 << 40;
+const WRITER_BASE: u64 = 1 << 41;
+const STRIPE_SHIFT: u32 = 32;
+const STRIPE_MASK: u64 = (1 << STRIPE_SHIFT) - 1;
+const WRITERS: usize = 4;
+const SCANNERS: usize = 4;
+/// Frontier audits scan `[WRITER_BASE, ..)` with this limit; the writer
+/// op budget keeps the total writer-key count under it so the audit
+/// always sees every stripe uncut.
+const FRONTIER_LIMIT: u32 = 4096;
+
+/// One embedded YCSB-A measurement (simulated time).
+#[derive(Debug, Clone, Serialize)]
+pub struct PointOpRow {
+    pub config: String,
+    pub get_p50_ns: u64,
+    pub get_p99_ns: u64,
+    pub get_p999_ns: u64,
+    pub put_p50_ns: u64,
+    pub put_p99_ns: u64,
+    pub put_p999_ns: u64,
+    pub mops_per_sec: f64,
+}
+
+/// The embedded YCSB-E measurement (simulated time).
+#[derive(Debug, Clone, Serialize)]
+pub struct LocalERow {
+    pub records: u64,
+    pub ops: u64,
+    pub scans: u64,
+    pub inserts: u64,
+    pub scanned_keys: u64,
+    pub keys_per_scan: f64,
+    pub scan_p50_ns: u64,
+    pub scan_p99_ns: u64,
+    pub insert_p99_ns: u64,
+    pub mops_per_sec: f64,
+}
+
+/// The TCP phase: audited scans racing concurrent durable writers.
+#[derive(Debug, Clone, Serialize)]
+pub struct TcpRow {
+    pub records: u64,
+    pub writers: usize,
+    pub scanners: usize,
+    pub writer_puts: u64,
+    pub scanner_inserts: u64,
+    pub scans: u64,
+    pub frontier_audits: u64,
+    pub keys_returned: u64,
+    /// Client-observed wall-clock scan latency (kvclient histograms).
+    pub scan_p50_us: f64,
+    pub scan_p99_us: f64,
+    pub scan_p999_us: f64,
+    pub put_p50_us: f64,
+    pub put_p99_us: f64,
+    pub retries: u64,
+    pub wall_secs: f64,
+    pub server_scans: u64,
+}
+
+fn new_store(dev: &Arc<PmemDevice>, ordered: bool) -> ChameleonDb {
+    let mut cfg = ChameleonConfig::with_shards(64);
+    cfg.obs = chameleon_obs::ObsConfig::on();
+    cfg.ordered_index = ordered;
+    ChameleonDb::create(Arc::clone(dev), cfg).expect("ycsb-e: store create failed")
+}
+
+fn point_row(config: &str, r: &RunResult) -> PointOpRow {
+    PointOpRow {
+        config: config.into(),
+        get_p50_ns: r.read_hist.median(),
+        get_p99_ns: r.read_hist.quantile(0.99),
+        get_p999_ns: r.read_hist.quantile(0.999),
+        put_p50_ns: r.write_hist.median(),
+        put_p99_ns: r.write_hist.quantile(0.99),
+        put_p999_ns: r.write_hist.quantile(0.999),
+        mops_per_sec: r.sum_rate_ops_per_ns * 1e3,
+    }
+}
+
+/// Embedded phase: the point-op tax of maintaining the ordered index,
+/// then YCSB-E itself. Identical seeds and simulated time make the
+/// comparison deterministic, so the 10% budget is a real regression
+/// gate, not a wall-clock coin flip.
+fn local_phase(opts: &Opts) -> (PointOpRow, PointOpRow, LocalERow) {
+    let threads = opts.threads.clamp(1, 8);
+    // Keys divisible by the thread count so the load phase populates
+    // exactly [0, records) (the driver stripes inserts across threads).
+    let records = (opts.keys / 10).clamp(10_000, 200_000) / threads as u64 * threads as u64;
+    let ops = (opts.ops / 5).clamp(20_000, 200_000);
+    println!("  embedded: {records} records, {ops} ops, {threads} threads (simulated time)\n");
+
+    let mut rows = Vec::new();
+    for ordered in [false, true] {
+        let dev = PmemDevice::optane(1 << 30);
+        let store = new_store(&dev, ordered);
+        load_store(&store, &dev, records, threads);
+        let a = run_workload(&store, &dev, Workload::A, records, ops, threads);
+        rows.push(point_row(
+            if ordered { "ordered-index" } else { "baseline" },
+            &a,
+        ));
+    }
+    let indexed = rows.pop().expect("indexed row");
+    let baseline = rows.pop().expect("baseline row");
+
+    println!("  YCSB-A        get p50     p99     p99.9   put p50     p99     p99.9   Mops/s");
+    for r in [&baseline, &indexed] {
+        println!(
+            "  {:<13} {:>7} {:>7} {:>9} {:>9} {:>7} {:>9} {:>8.2}",
+            r.config,
+            r.get_p50_ns,
+            r.get_p99_ns,
+            r.get_p999_ns,
+            r.put_p50_ns,
+            r.put_p99_ns,
+            r.put_p999_ns,
+            r.mops_per_sec,
+        );
+    }
+
+    // The acceptance gate: get/put p99.9 within 10% of the index-off
+    // baseline (plus a small absolute floor for quantile granularity).
+    let budget = |base: u64| base + base / 10 + 500;
+    assert!(
+        indexed.get_p999_ns <= budget(baseline.get_p999_ns),
+        "ordered index regressed get p99.9 beyond 10%: {} -> {} sim-ns",
+        baseline.get_p999_ns,
+        indexed.get_p999_ns
+    );
+    assert!(
+        indexed.put_p999_ns <= budget(baseline.put_p999_ns),
+        "ordered index regressed put p99.9 beyond 10%: {} -> {} sim-ns",
+        baseline.put_p999_ns,
+        indexed.put_p999_ns
+    );
+
+    // YCSB-E against a freshly loaded indexed store.
+    let dev = PmemDevice::optane(1 << 30);
+    let store = new_store(&dev, true);
+    load_store(&store, &dev, records, threads);
+    let e = run_workload(&store, &dev, Workload::E, records, ops, threads);
+    let scans = e.scan_hist.count();
+    assert!(scans > 0 && e.scanned_keys > 0, "YCSB-E ran no scans");
+    let e_row = LocalERow {
+        records,
+        ops: e.ops,
+        scans,
+        inserts: e.write_hist.count(),
+        scanned_keys: e.scanned_keys,
+        keys_per_scan: e.scanned_keys as f64 / scans as f64,
+        scan_p50_ns: e.scan_hist.median(),
+        scan_p99_ns: e.scan_hist.quantile(0.99),
+        insert_p99_ns: e.write_hist.quantile(0.99),
+        mops_per_sec: e.sum_rate_ops_per_ns * 1e3,
+    };
+    println!(
+        "\n  YCSB-E: {} scans ({:.1} keys/scan, p50 {}ns p99 {}ns), {} inserts, {:.2} Mops/s",
+        e_row.scans,
+        e_row.keys_per_scan,
+        e_row.scan_p50_ns,
+        e_row.scan_p99_ns,
+        e_row.inserts,
+        e_row.mops_per_sec,
+    );
+    (baseline, indexed, e_row)
+}
+
+fn next_rand(state: &mut u64) -> u64 {
+    *state = mix64(state.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    *state
+}
+
+/// Audits one YCSB-E scan result against the shadow model. `records`
+/// keys `[0, records)` were preloaded and are never deleted, so a scan
+/// window that fits inside them must come back full and contiguous; any
+/// key beyond them must decode to a writer/scanner stripe and sit at or
+/// below that stripe's published ack floor (reading the floor *after*
+/// the scan makes the bound race-free: acks only raise it).
+fn audit_scan(
+    keys: &[u64],
+    start: u64,
+    len: u32,
+    records: u64,
+    floors: &[AtomicU64],
+    ceils: &[AtomicU64],
+    writer_ops: u64,
+) {
+    assert!(
+        keys.len() <= len as usize,
+        "scan({start},{len}) returned {} keys, over its limit",
+        keys.len()
+    );
+    for pair in keys.windows(2) {
+        assert!(
+            pair[0] < pair[1],
+            "scan({start},{len}) not strictly ascending: {pair:?}"
+        );
+    }
+    if let Some(&first) = keys.first() {
+        assert!(
+            first >= start,
+            "scan({start},{len}) returned {first} < start"
+        );
+    }
+    let stable = keys.iter().take_while(|&&k| k < records).count();
+    for (j, &k) in keys[..stable].iter().enumerate() {
+        assert_eq!(
+            k,
+            start + j as u64,
+            "scan({start},{len}) has a hole in the always-live range"
+        );
+    }
+    if start + len as u64 <= records {
+        // The window fits inside the preloaded range: nothing in it was
+        // ever deleted, so the scan must fill its limit from it exactly.
+        assert_eq!(
+            keys.len(),
+            len as usize,
+            "scan({start},{len}) dropped live preloaded keys"
+        );
+        assert_eq!(stable, keys.len());
+    } else {
+        assert_eq!(
+            stable as u64,
+            records - start,
+            "scan({start},{len}) missed preloaded keys before the churn region"
+        );
+    }
+    for &k in &keys[stable..] {
+        if k >= WRITER_BASE {
+            let rel = k - WRITER_BASE;
+            let (w, i) = ((rel >> STRIPE_SHIFT) as usize, rel & STRIPE_MASK);
+            assert!(
+                w < floors.len() && i < writer_ops,
+                "phantom writer key {k:#x}"
+            );
+            assert!(
+                i <= floors[w].load(Ordering::Acquire),
+                "writer key {k:#x} beyond its ack floor"
+            );
+        } else {
+            assert!(k >= SCANNER_BASE, "key {k:#x} in the unpopulated gap");
+            let rel = k - SCANNER_BASE;
+            let (s, i) = ((rel >> STRIPE_SHIFT) as usize, rel & STRIPE_MASK);
+            assert!(s < ceils.len(), "phantom scanner key {k:#x}");
+            assert!(
+                i <= ceils[s].load(Ordering::Acquire),
+                "scanner key {k:#x} beyond its insert ceiling"
+            );
+        }
+    }
+}
+
+/// Scans the whole writer region and proves no acked write is missing:
+/// floors are snapshotted *before* the scan, so every index below a
+/// snapshot floor was durably acked when the scan started and must
+/// appear, hole-free, in its stripe.
+fn frontier_audit(c: &mut Client, floors: &[AtomicU64], writer_ops: u64) -> u64 {
+    let before: Vec<u64> = floors.iter().map(|f| f.load(Ordering::Acquire)).collect();
+    let keys = c
+        .scan(WRITER_BASE, FRONTIER_LIMIT)
+        .expect("ycsb-e: frontier scan");
+    for pair in keys.windows(2) {
+        assert!(
+            pair[0] < pair[1],
+            "frontier scan not strictly ascending: {pair:?}"
+        );
+    }
+    let mut seen: Vec<Vec<u64>> = vec![Vec::new(); floors.len()];
+    for &k in &keys {
+        assert!(
+            k >= WRITER_BASE,
+            "frontier scan returned {k:#x} below its start"
+        );
+        let rel = k - WRITER_BASE;
+        let (w, i) = ((rel >> STRIPE_SHIFT) as usize, rel & STRIPE_MASK);
+        assert!(
+            w < floors.len() && i < writer_ops,
+            "phantom writer key {k:#x}"
+        );
+        seen[w].push(i);
+    }
+    for (w, &acked) in before.iter().enumerate() {
+        assert!(
+            seen[w].len() as u64 >= acked,
+            "writer {w}: scan saw {} keys but {acked} were acked before it started",
+            seen[w].len()
+        );
+        for (j, &i) in seen[w].iter().take(acked as usize).enumerate() {
+            assert_eq!(i, j as u64, "writer {w}: hole below the ack floor");
+        }
+    }
+    keys.len() as u64
+}
+
+#[derive(Default)]
+struct ScanTally {
+    scans: u64,
+    frontier_audits: u64,
+    inserts: u64,
+    keys_returned: u64,
+    scan_lat: Histogram,
+}
+
+/// TCP phase: YCSB-E scanner clients audit every result while writer
+/// clients append durable puts through the same server.
+fn tcp_phase(opts: &Opts) -> TcpRow {
+    let records: u64 = if opts.quick { 4_000 } else { 20_000 };
+    let writer_ops: u64 = if opts.quick { 300 } else { 800 };
+    let scanner_ops: u64 = if opts.quick { 400 } else { 1_500 };
+    assert!(
+        WRITERS as u64 * writer_ops <= FRONTIER_LIMIT as u64,
+        "writer region must fit in one frontier scan"
+    );
+    println!(
+        "\n  TCP: {records} preloaded records, {WRITERS} writers x {writer_ops} durable puts, \
+         {SCANNERS} scanners x {scanner_ops} YCSB-E ops, every scan audited\n"
+    );
+
+    let dev = PmemDevice::optane(1 << 30);
+    let store = Arc::new(new_store(&dev, true));
+    load_store(store.as_ref(), &dev, records, 4);
+    let obs = Arc::new(ServerObs::new());
+    let server = KvServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&dev),
+        Arc::clone(&store),
+        Arc::clone(&obs),
+        ServerConfig::default(),
+    )
+    .expect("ycsb-e: bind failed");
+    let addr = server.local_addr();
+
+    // Published ack floors: writer/scanner threads store them after each
+    // durable ack, scan audits read them to bound the churn regions.
+    let floors: Vec<AtomicU64> = (0..WRITERS).map(|_| AtomicU64::new(0)).collect();
+    let ceils: Vec<AtomicU64> = (0..SCANNERS).map(|_| AtomicU64::new(0)).collect();
+    let (floors, ceils) = (&floors, &ceils);
+
+    let started = Instant::now();
+    let (writer_out, scanner_out): (Vec<(Histogram, u64)>, Vec<ScanTally>) = thread::scope(|sc| {
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                sc.spawn(move || {
+                    let mut c = Client::connect(addr).expect("ycsb-e: writer connect");
+                    let value = [0xE5u8; 64];
+                    let mut retries = 0u64;
+                    for i in 0..writer_ops {
+                        let key = WRITER_BASE | ((w as u64) << STRIPE_SHIFT) | i;
+                        retries += c
+                            .put_retrying(key, &value, true)
+                            .expect("ycsb-e: writer put");
+                        floors[w].store(i + 1, Ordering::Release);
+                    }
+                    (c.latencies().put.clone(), retries)
+                })
+            })
+            .collect();
+        let scanners: Vec<_> = (0..SCANNERS)
+            .map(|s| {
+                sc.spawn(move || {
+                    let mut c = Client::connect(addr).expect("ycsb-e: scanner connect");
+                    let mut chooser =
+                        KeyChooser::new(Distribution::Zipfian, records, 0xE5EED ^ s as u64);
+                    let mut rng = (s as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                    let value = [0x5Cu8; 64];
+                    let mut t = ScanTally::default();
+                    for op in 0..scanner_ops {
+                        if next_rand(&mut rng) % 100 < 95 {
+                            let start = chooser.next_key();
+                            let len = 1 + (next_rand(&mut rng) % 100) as u32;
+                            let keys = c.scan(start, len).expect("ycsb-e: scan");
+                            audit_scan(&keys, start, len, records, floors, ceils, writer_ops);
+                            t.scans += 1;
+                            t.keys_returned += keys.len() as u64;
+                        } else {
+                            let key = SCANNER_BASE | ((s as u64) << STRIPE_SHIFT) | t.inserts;
+                            c.put_retrying(key, &value, true).expect("ycsb-e: insert");
+                            ceils[s].store(t.inserts + 1, Ordering::Release);
+                            t.inserts += 1;
+                        }
+                        if op % 64 == 63 {
+                            t.keys_returned += frontier_audit(&mut c, floors, writer_ops);
+                            t.frontier_audits += 1;
+                        }
+                    }
+                    t.scan_lat = c.latencies().scan.clone();
+                    t
+                })
+            })
+            .collect();
+        (
+            writers.into_iter().map(|h| h.join().unwrap()).collect(),
+            scanners.into_iter().map(|h| h.join().unwrap()).collect(),
+        )
+    });
+    let wall = started.elapsed();
+
+    let mut put_lat = Histogram::new();
+    let mut retries = 0u64;
+    for (h, r) in &writer_out {
+        put_lat.merge(h);
+        retries += r;
+    }
+    let mut scan_lat = Histogram::new();
+    let (mut scans, mut audits, mut inserts, mut keys_returned) = (0u64, 0u64, 0u64, 0u64);
+    for t in &scanner_out {
+        scan_lat.merge(&t.scan_lat);
+        scans += t.scans;
+        audits += t.frontier_audits;
+        inserts += t.inserts;
+        keys_returned += t.keys_returned;
+    }
+    assert!(
+        scans > 0 && audits > 0 && inserts > 0,
+        "mix never exercised a branch"
+    );
+
+    server.shutdown().expect("ycsb-e: shutdown");
+    assert_eq!(
+        obs.protocol_errors.load(Ordering::Relaxed),
+        0,
+        "ycsb-e: protocol errors on loopback"
+    );
+    let server_scans = obs.scans.load(Ordering::Relaxed);
+    assert_eq!(
+        server_scans,
+        scans + audits,
+        "server scan counter disagrees with the clients"
+    );
+
+    let row = TcpRow {
+        records,
+        writers: WRITERS,
+        scanners: SCANNERS,
+        writer_puts: WRITERS as u64 * writer_ops,
+        scanner_inserts: inserts,
+        scans,
+        frontier_audits: audits,
+        keys_returned,
+        scan_p50_us: scan_lat.median() as f64 / 1e3,
+        scan_p99_us: scan_lat.quantile(0.99) as f64 / 1e3,
+        scan_p999_us: scan_lat.quantile(0.999) as f64 / 1e3,
+        put_p50_us: put_lat.median() as f64 / 1e3,
+        put_p99_us: put_lat.quantile(0.99) as f64 / 1e3,
+        retries,
+        wall_secs: wall.as_secs_f64(),
+        server_scans,
+    };
+    println!(
+        "  {} scans + {} frontier audits all clean ({} keys returned, {} violations)",
+        row.scans, row.frontier_audits, row.keys_returned, 0
+    );
+    println!(
+        "  scan p50 {:.1}us / p99 {:.1}us / p99.9 {:.1}us   put p50 {:.1}us / p99 {:.1}us   {:.1}s wall",
+        row.scan_p50_us, row.scan_p99_us, row.scan_p999_us, row.put_p50_us, row.put_p99_us,
+        row.wall_secs,
+    );
+    row
+}
+
+/// `repro ycsb-e`: the ordered-index point-op gate, embedded YCSB-E,
+/// and the audited scan/write race over TCP.
+pub fn run(opts: &Opts) {
+    header("ycsb-e: range scans over the ordered key index");
+    let (baseline, indexed, local_e) = local_phase(opts);
+    let tcp = tcp_phase(opts);
+
+    if let Some(dir) = &opts.out_dir {
+        let d = dir.join("pr9_scan");
+        std::fs::create_dir_all(&d).expect("create pr9_scan dir");
+        let pct = |base: u64, now: u64| {
+            if base == 0 {
+                0.0
+            } else {
+                100.0 * (now as f64 - base as f64) / base as f64
+            }
+        };
+        #[derive(Serialize)]
+        struct Artifact {
+            local_baseline: PointOpRow,
+            local_indexed: PointOpRow,
+            get_p999_delta_pct: f64,
+            put_p999_delta_pct: f64,
+            local_ycsb_e: LocalERow,
+            tcp: TcpRow,
+        }
+        let payload = Artifact {
+            get_p999_delta_pct: pct(baseline.get_p999_ns, indexed.get_p999_ns),
+            put_p999_delta_pct: pct(baseline.put_p999_ns, indexed.put_p999_ns),
+            local_baseline: baseline,
+            local_indexed: indexed,
+            local_ycsb_e: local_e,
+            tcp,
+        };
+        let path = d.join("ycsb_e.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&payload).expect("serialize ycsb-e artifact"),
+        )
+        .expect("write ycsb-e artifact");
+        println!("  [artifact] {}", path.display());
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! Experiments: `fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //! table4 ablate-abi ablate-loadfactor ablate-ratio obs bg-maint crash churn
-//! serve serve-bench all`.
+//! serve serve-bench ycsb-e all`.
 //! `table2`/`table3` are printed by `fig11`/`fig13`; `fig3` by `table4`.
 //! `obs` exercises the observability layer and honors `--obs-json` /
 //! `--progress`. `crash` runs the crash-matrix fault-injection campaign
@@ -14,7 +14,9 @@
 //! survival campaign (footprint bound, flat put tail, restart gap vs
 //! Dram-Hash) and exits nonzero on any violation. `serve` runs the kvserver TCP front-end
 //! on `--port` until SIGINT/SIGTERM; `serve-bench` measures group commit
-//! against fence-per-put over TCP loopback. `trace-dump` drives a
+//! against fence-per-put over TCP loopback. `ycsb-e` gates the ordered
+//! index (point-op p99.9 within 10% of index-off) and audits range
+//! scans racing concurrent writers over TCP. `trace-dump` drives a
 //! force-traced workload against a running server and exports Chrome
 //! trace JSON; `top` is a live dashboard over the `--http-port` metrics
 //! sidecar.
@@ -99,6 +101,9 @@ fn main() {
         "serve-bench" => {
             exp::serve::bench(&opts);
         }
+        "ycsb-e" => {
+            exp::ycsb_e::run(&opts);
+        }
         "trace-dump" => {
             exp::trace_dump::run(&opts);
         }
@@ -141,6 +146,6 @@ fn usage() {
          \x20                       [--conns N] [--open-loop]   (serve-bench: connection scaling / load sweep)\n\
          experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
                       table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs crash churn\n\
-                      serve serve-bench trace-dump top all"
+                      serve serve-bench ycsb-e trace-dump top all"
     );
 }

@@ -477,6 +477,7 @@ mod tests {
             1_000,
             &ops,
             &pmem_sim::Histogram::new(),
+            &pmem_sim::Histogram::new(),
             dev.snapshot(),
             ServerTickCounters {
                 batches: 2,

@@ -98,15 +98,17 @@ pub enum OpKind {
     Put,
     Get,
     Delete,
+    Scan,
 }
 
 impl OpKind {
-    /// Stable lowercase name used in exports ("put"/"get"/"delete").
+    /// Stable lowercase name used in exports ("put"/"get"/"delete"/"scan").
     pub fn name(&self) -> &'static str {
         match self {
             OpKind::Put => "put",
             OpKind::Get => "get",
             OpKind::Delete => "delete",
+            OpKind::Scan => "scan",
         }
     }
 }
@@ -117,6 +119,7 @@ pub struct OpHists {
     pub put: Histogram,
     pub get: Histogram,
     pub delete: Histogram,
+    pub scan: Histogram,
 }
 
 impl OpHists {
@@ -125,6 +128,7 @@ impl OpHists {
         self.put.merge(&other.put);
         self.get.merge(&other.get);
         self.delete.merge(&other.delete);
+        self.scan.merge(&other.scan);
     }
 
     fn hist_mut(&mut self, op: OpKind) -> &mut Histogram {
@@ -132,6 +136,7 @@ impl OpHists {
             OpKind::Put => &mut self.put,
             OpKind::Get => &mut self.get,
             OpKind::Delete => &mut self.delete,
+            OpKind::Scan => &mut self.scan,
         }
     }
 }
@@ -149,6 +154,10 @@ pub struct Obs {
     /// backpressure (frozen-MemTable queue at capacity). Store-level, not
     /// per-shard: stalls are rare by design, so one lock suffices.
     stall_hist: Mutex<Histogram>,
+    /// Keys returned per range scan. Store-level like the stall
+    /// histogram: scans are cross-shard by nature, so per-shard lanes
+    /// would attribute arbitrarily.
+    scan_keys_hist: Mutex<Histogram>,
     /// Stage currently inside an open span (0 = none, else index + 1).
     /// Spans never nest (flush/compaction entry points start theirs after
     /// any nested maintenance), so one slot suffices; fault-injection
@@ -170,6 +179,7 @@ impl Obs {
             stages: span::StageTable::new(),
             op_hists: (0..lanes).map(|_| Mutex::new(OpHists::default())).collect(),
             stall_hist: Mutex::new(Histogram::default()),
+            scan_keys_hist: Mutex::new(Histogram::default()),
             active_stage: std::sync::atomic::AtomicU8::new(0),
         }
     }
@@ -286,6 +296,20 @@ impl Obs {
     /// Copy of the write-stall duration histogram.
     pub fn stall_rollup(&self) -> Histogram {
         self.stall_hist.lock().clone()
+    }
+
+    /// Records the result-set size of one range scan.
+    #[inline]
+    pub fn record_scan_keys(&self, keys: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.scan_keys_hist.lock().record(keys);
+    }
+
+    /// Copy of the keys-returned-per-scan histogram.
+    pub fn scan_keys_rollup(&self) -> Histogram {
+        self.scan_keys_hist.lock().clone()
     }
 
     /// Merges every shard's histograms into one store-level [`OpHists`].

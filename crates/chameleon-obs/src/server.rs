@@ -54,6 +54,8 @@ pub struct ServerObs {
     pub requests: AtomicU64,
     /// GET requests served (inline, lock-free read path).
     pub gets: AtomicU64,
+    /// SCAN requests served (inline, under one epoch pin).
+    pub scans: AtomicU64,
     /// PUT requests routed to a commit lane.
     pub puts: AtomicU64,
     /// DELETE requests routed to a commit lane.
@@ -166,6 +168,7 @@ impl ServerObs {
                 ("disconnects", self.disconnects.load(Ordering::Relaxed)),
                 ("requests", self.requests.load(Ordering::Relaxed)),
                 ("gets", self.gets.load(Ordering::Relaxed)),
+                ("scans", self.scans.load(Ordering::Relaxed)),
                 ("puts", self.puts.load(Ordering::Relaxed)),
                 ("deletes", self.deletes.load(Ordering::Relaxed)),
                 ("syncs", self.syncs.load(Ordering::Relaxed)),

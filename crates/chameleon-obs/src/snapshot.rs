@@ -155,9 +155,13 @@ pub(crate) fn build(
         op_summary(OpKind::Put.name(), &roll.put),
         op_summary(OpKind::Get.name(), &roll.get),
         op_summary(OpKind::Delete.name(), &roll.delete),
+        op_summary(OpKind::Scan.name(), &roll.scan),
         // Not a front-door op, but the same summary shape: how long puts
         // stalled on frozen-queue backpressure (count == stalls recorded).
         op_summary("write_stall", &obs.stall_rollup()),
+        // Also not a latency: the keys-returned-per-scan distribution
+        // (count == scans recorded, "ns" fields are key counts).
+        op_summary("scan_keys", &obs.scan_keys_rollup()),
     ];
 
     ObsSnapshot {
@@ -183,7 +187,7 @@ impl ObsSnapshot {
         self.stages.iter().find(|s| s.stage == name)
     }
 
-    /// Looks up an op row by name (`"put"`/`"get"`/`"delete"`).
+    /// Looks up an op row by name (`"put"`/`"get"`/`"delete"`/`"scan"`).
     pub fn op(&self, name: &str) -> Option<&OpSummary> {
         self.ops.iter().find(|o| o.op == name)
     }

@@ -37,8 +37,10 @@ pub struct Window {
     /// Actual wall length of the interval, ms (nominally the configured
     /// interval; the sampler reports what it measured).
     pub wall_ms: u64,
-    /// put/get/delete rows (always all three, zero-count rows included)
-    /// plus a `"write_stall"` row whose count is stalls this window.
+    /// put/get/delete/scan rows (always all four, zero-count rows
+    /// included) plus a `"write_stall"` row whose count is stalls this
+    /// window and a `"scan_keys"` row whose "ns" fields are keys
+    /// returned per scan this window.
     pub ops: Vec<WindowOpStat>,
     /// Batches committed this window.
     pub batches: u64,
@@ -62,11 +64,12 @@ impl Window {
         self.ops.iter().find(|o| o.op == name)
     }
 
-    /// Total front-door ops in the window (excludes the stall row).
+    /// Total front-door ops in the window (excludes the stall and
+    /// scan-keys rows, which are distributions, not operations).
     pub fn total_ops(&self) -> u64 {
         self.ops
             .iter()
-            .filter(|o| o.op != "write_stall")
+            .filter(|o| o.op != "write_stall" && o.op != "scan_keys")
             .map(|o| o.count)
             .sum()
     }
@@ -191,6 +194,7 @@ impl ServerTickCounters {
 pub struct DeltaTracker {
     prev_ops: OpHists,
     prev_stall: Histogram,
+    prev_scan_keys: Histogram,
     prev_media: StatsSnapshot,
     prev_server: ServerTickCounters,
 }
@@ -209,6 +213,7 @@ impl DeltaTracker {
         wall_ms: u64,
         ops: &OpHists,
         stall: &Histogram,
+        scan_keys: &Histogram,
         media: StatsSnapshot,
         server: ServerTickCounters,
     ) -> Window {
@@ -220,7 +225,9 @@ impl DeltaTracker {
                 op_stat("put", &ops.put.delta(&self.prev_ops.put)),
                 op_stat("get", &ops.get.delta(&self.prev_ops.get)),
                 op_stat("delete", &ops.delete.delta(&self.prev_ops.delete)),
+                op_stat("scan", &ops.scan.delta(&self.prev_ops.scan)),
                 op_stat("write_stall", &stall.delta(&self.prev_stall)),
+                op_stat("scan_keys", &scan_keys.delta(&self.prev_scan_keys)),
             ],
             batches: server.batches.saturating_sub(self.prev_server.batches),
             batched_ops: server
@@ -234,6 +241,7 @@ impl DeltaTracker {
         };
         self.prev_ops = ops.clone();
         self.prev_stall = stall.clone();
+        self.prev_scan_keys = scan_keys.clone();
         self.prev_media = media;
         self.prev_server = server;
         w
@@ -265,10 +273,12 @@ mod tests {
         for _ in 0..100 {
             ops.put.record(1_000);
         }
+        let scan_keys = Histogram::new();
         let w1 = tr.tick(
             1_000,
             &ops,
             &stall,
+            &scan_keys,
             media(4096, 0, 10),
             ServerTickCounters {
                 batches: 5,
@@ -296,6 +306,7 @@ mod tests {
             500,
             &ops,
             &stall,
+            &scan_keys,
             media(8192, 1024, 12),
             ServerTickCounters {
                 batches: 6,
@@ -322,6 +333,7 @@ mod tests {
             1_000,
             &ops,
             &stall,
+            &scan_keys,
             media(8192, 1024, 12),
             ServerTickCounters {
                 batches: 6,
@@ -340,10 +352,12 @@ mod tests {
         let mut tr = DeltaTracker::new();
         let ops = OpHists::default();
         let mut stall = Histogram::new();
+        let scan_keys = Histogram::new();
         tr.tick(
             1_000,
             &ops,
             &stall,
+            &scan_keys,
             StatsSnapshot::default(),
             ServerTickCounters::default(),
         );
@@ -353,6 +367,7 @@ mod tests {
             1_000,
             &ops,
             &stall,
+            &scan_keys,
             StatsSnapshot::default(),
             ServerTickCounters::default(),
         );

@@ -141,6 +141,14 @@ pub struct ChameleonConfig {
     /// levels in Pmem (isolating the ABI's contribution; the ABI is still
     /// maintained for compactions and recovery).
     pub use_abi_for_get: bool,
+    /// Maintain the volatile ordered key index (`kvorder`) that serves
+    /// range scans. When false, `scan` returns
+    /// `KvError::Unsupported` and the write path pays nothing — the
+    /// pre-index baseline the scan-regression experiment compares
+    /// against. Not part of the persisted config blob: when enabled, the
+    /// first scan after a recovery rebuilds the index from the durable
+    /// structures (recovery itself never pays for it).
+    pub ordered_index: bool,
     /// Observability configuration (event journal, maintenance spans,
     /// per-op latency histograms). Off by default — when off, the hot
     /// paths pay one branch and nothing is allocated. Deliberately *not*
@@ -180,6 +188,7 @@ impl ChameleonConfig {
             manifest_bytes: 4 << 20,
             gpm: GpmConfig::default(),
             use_abi_for_get: true,
+            ordered_index: true,
             obs: ObsConfig::off(),
             bg: BgConfig::default(),
             gc: GcConfig::default(),

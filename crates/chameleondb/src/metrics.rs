@@ -59,6 +59,10 @@ pub struct StoreMetrics {
     /// finally dropped its slot. The bytes already left the accounting
     /// when the extent was reclaimed, so the credit must not land.
     pub stale_credit_skips: AtomicU64,
+    /// Range scans served from the ordered index.
+    pub scans: AtomicU64,
+    /// Live keys returned across all scans.
+    pub scanned_keys: AtomicU64,
 }
 
 macro_rules! snapshot_fields {
@@ -98,6 +102,8 @@ impl StoreMetrics {
             gc_relocated_bytes,
             gc_reclaimed_extents,
             stale_credit_skips,
+            scans,
+            scanned_keys,
         )
     }
 
@@ -134,6 +140,8 @@ pub struct StoreMetricsSnapshot {
     pub gc_relocated_bytes: u64,
     pub gc_reclaimed_extents: u64,
     pub stale_credit_skips: u64,
+    pub scans: u64,
+    pub scanned_keys: u64,
 }
 
 impl StoreMetricsSnapshot {
@@ -191,6 +199,8 @@ impl StoreMetricsSnapshot {
             ("gc_relocated_bytes", self.gc_relocated_bytes),
             ("gc_reclaimed_extents", self.gc_reclaimed_extents),
             ("stale_credit_skips", self.stale_credit_skips),
+            ("scans", self.scans),
+            ("scanned_keys", self.scanned_keys),
         ]
     }
 }
@@ -226,6 +236,8 @@ impl std::ops::Sub for StoreMetricsSnapshot {
             gc_relocated_bytes: self.gc_relocated_bytes - earlier.gc_relocated_bytes,
             gc_reclaimed_extents: self.gc_reclaimed_extents - earlier.gc_reclaimed_extents,
             stale_credit_skips: self.stale_credit_skips - earlier.stale_credit_skips,
+            scans: self.scans - earlier.scans,
+            scanned_keys: self.scanned_keys - earlier.scanned_keys,
         }
     }
 }
@@ -289,12 +301,12 @@ mod tests {
     fn counters_flatten_every_field() {
         let s = StoreMetricsSnapshot {
             puts: 7,
-            stale_credit_skips: 9,
+            scanned_keys: 9,
             ..Default::default()
         };
         let c = s.counters();
-        assert_eq!(c.len(), 24);
+        assert_eq!(c.len(), 26);
         assert_eq!(c[0], ("puts", 7));
-        assert_eq!(*c.last().unwrap(), ("stale_credit_skips", 9));
+        assert_eq!(*c.last().unwrap(), ("scanned_keys", 9));
     }
 }

@@ -1,6 +1,7 @@
 //! The ChameleonDB store: shard routing, modes, persistence, recovery.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::ops::Deref;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -10,6 +11,7 @@ use std::thread::JoinHandle;
 use chameleon_obs::{CounterSection, EventKind, Obs, ObsSnapshot, OpKind, Stage, TraceSpan};
 use kvapi::{hash64, CrashRecover, KvError, KvStore, LogSpaceStats, Result};
 use kvlog::{EntryMeta, LogWriter, StorageLog, ENTRY_HEADER};
+use kvorder::OrderedIndex;
 use kvsync::{EpochDomain, ViewCell};
 use kvtables::{FixedHashTable, Slot};
 use parking_lot::Mutex;
@@ -95,6 +97,25 @@ pub struct StoreInner {
     views: Vec<ViewCell<ShardView>>,
     /// Reader-pin domain for view reclamation (sized to `max_threads`).
     epochs: Arc<EpochDomain>,
+    /// Ordered DRAM index over live *user keys* (range-scan support).
+    /// `None` when `cfg.ordered_index` is off — scans then return
+    /// [`KvError::Unsupported`] and the write path pays nothing. Keyed by
+    /// user key, so GC relocation (which only moves log entries) never
+    /// touches it; after a recovery it is rebuilt lazily by the first
+    /// scan (see `order_stale`).
+    order: Option<Arc<OrderedIndex>>,
+    /// True after a recovery until the first scan rebuilds the ordered
+    /// index. Rebuilding reads one log-entry header per live key, so
+    /// doing it eagerly would turn the cheap manifest-replay restart
+    /// into a full-dataset walk (Table 4's trade-off, the same reason
+    /// ABI rebuilds are deferred); instead recovery leaves the index
+    /// empty and the first scan pays for it, serialized by
+    /// `order_rebuild`. Point ops maintain the (possibly still partial)
+    /// index as usual in the interim — the rebuild resolves newest
+    /// versions under each shard lock, so post-recovery writes are
+    /// folded in exactly once.
+    order_stale: AtomicBool,
+    order_rebuild: Mutex<()>,
     meta: MetaLog,
     metrics: StoreMetrics,
     mode: ModeController,
@@ -257,6 +278,9 @@ impl ChameleonDb {
         let mode = ModeController::new(base_mode, cfg.gpm.clone());
         let obs = Obs::new(cfg.obs, cfg.shards);
         let maint = Maint::new(cfg.bg.enabled, cfg.shards);
+        let order = cfg
+            .ordered_index
+            .then(|| Arc::new(OrderedIndex::new(cfg.shards, Arc::clone(&epochs))));
         Ok(ChameleonDb::start(StoreInner {
             shard_shift: 64 - cfg.shards.trailing_zeros(),
             dev,
@@ -266,6 +290,9 @@ impl ChameleonDb {
             shards: shards.into_iter().map(Mutex::new).collect(),
             views,
             epochs,
+            order,
+            order_stale: AtomicBool::new(false),
+            order_rebuild: Mutex::new(()),
             meta: MetaLog {
                 manifest,
                 registry: Mutex::new(HashMap::new()),
@@ -409,6 +436,9 @@ impl ChameleonDb {
         // thread so the ascending-seq replay invariant is untouched. The
         // pool is spawned at the end, together with the writers.
         let maint = Maint::new(cfg.bg.enabled, cfg.shards);
+        let order = cfg
+            .ordered_index
+            .then(|| Arc::new(OrderedIndex::new(cfg.shards, Arc::clone(&epochs))));
         let store = StoreInner {
             shard_shift,
             dev,
@@ -418,6 +448,9 @@ impl ChameleonDb {
             shards: shards.into_iter().map(Mutex::new).collect(),
             views,
             epochs,
+            order,
+            order_stale: AtomicBool::new(true),
+            order_rebuild: Mutex::new(()),
             meta: MetaLog {
                 manifest,
                 registry: Mutex::new(registry),
@@ -472,6 +505,10 @@ impl ChameleonDb {
                 }
             }
         }
+        // The ordered key index is volatile but NOT rebuilt here: that
+        // would read one log-entry header per live key and forfeit the
+        // cheap-restart trade-off (Table 4). `order_stale` is already
+        // set; the first scan rebuilds it (see `ensure_ordered_index`).
         // Now that recovery is done, install the configured mode and the
         // per-thread writers.
         let base_mode = if store.cfg.write_intensive {
@@ -935,6 +972,153 @@ impl StoreInner {
         total
     }
 
+    /// Rebuilds the ordered index if a recovery left it stale, before
+    /// the calling scan walks it. Serialized on `order_rebuild`; the
+    /// double-check means every later scan pays one relaxed load.
+    fn ensure_ordered_index(&self, ctx: &mut ThreadCtx) -> Result<()> {
+        if !self.order_stale.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let _g = self.order_rebuild.lock();
+        if self.order_stale.load(Ordering::Acquire) {
+            self.rebuild_ordered_index(ctx)?;
+            self.order_stale.store(false, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the volatile ordered key index from the live shard
+    /// structures. One precedence walk per shard — the same freshness
+    /// order `get` probes — picks the newest version per hash
+    /// (first-seen-wins), then the log entry header supplies the user
+    /// key, since tables store only hashes and location words. Hashes
+    /// whose newest version is a tombstone are skipped, as are stale
+    /// slots whose log entry no longer matches (reclaimed pre-crash).
+    ///
+    /// The shard lock is held across each shard's walk *and* inserts:
+    /// when the rebuild runs lazily (first scan after recovery) it races
+    /// concurrent put/delete index maintenance, and releasing the lock
+    /// between resolving a key as live and inserting it would let an
+    /// interleaved delete's removal be overwritten — a phantom key.
+    fn rebuild_ordered_index(&self, ctx: &mut ThreadCtx) -> Result<()> {
+        let Some(order) = &self.order else {
+            return Ok(());
+        };
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let s = shard.lock();
+            let mut newest: HashMap<u64, Slot> = HashMap::new();
+            for t in std::iter::once(&s.memtable)
+                .chain(s.frozen.iter().rev())
+                .chain(s.in_flight.iter())
+            {
+                for sl in t.iter() {
+                    newest.entry(sl.hash).or_insert(sl);
+                }
+            }
+            if s.abi_valid {
+                for sl in s.abi.iter() {
+                    newest.entry(sl.hash).or_insert(sl);
+                }
+            } else {
+                // Degraded shard: resolve the newest upper-level version
+                // per hash by table sequence, as the degraded get would.
+                let mut upper_newest: HashMap<u64, (u64, Slot)> = HashMap::new();
+                for t in s.uppers.iter().flatten() {
+                    let seq = t.table().header().table_seq;
+                    for sl in t.table().iter_entries(&self.dev, ctx) {
+                        let e = upper_newest.entry(sl.hash).or_insert((seq, sl));
+                        if seq > e.0 {
+                            *e = (seq, sl);
+                        }
+                    }
+                }
+                for (hash, (_, sl)) in upper_newest {
+                    newest.entry(hash).or_insert(sl);
+                }
+            }
+            for t in s.dumped.iter().rev() {
+                for sl in t.table().iter_entries(&self.dev, ctx) {
+                    newest.entry(sl.hash).or_insert(sl);
+                }
+            }
+            if let Some(t) = &s.last {
+                for sl in t.table().iter_entries(&self.dev, ctx) {
+                    newest.entry(sl.hash).or_insert(sl);
+                }
+            }
+            for (hash, sl) in newest {
+                if sl.is_tombstone() {
+                    continue;
+                }
+                let (off, _) = kvlog::unpack_loc(sl.location());
+                let Ok(meta) = self.log.entry_meta_at(ctx, off) else {
+                    continue;
+                };
+                if meta.tombstone || hash64(meta.key) != hash {
+                    continue;
+                }
+                order.insert(idx, meta.key);
+            }
+            drop(s);
+        }
+        Ok(())
+    }
+
+    /// Range scan: up to `limit` live keys `>= start_key`, ascending
+    /// ([`KvStore::scan`]). A k-way merge over the per-shard skiplist
+    /// cursors yields globally sorted candidates (shards partition the
+    /// hash space, so a key lives in exactly one cursor); every candidate
+    /// is then resolved through the newest-version probe under the same
+    /// epoch pin, so results never include tombstoned or shadowed
+    /// versions, and dead candidates do not count toward `limit`.
+    pub fn scan(&self, ctx: &mut ThreadCtx, start_key: u64, limit: usize) -> Result<Vec<u64>> {
+        let Some(order) = &self.order else {
+            return Err(KvError::Unsupported("range scan (ordered_index off)"));
+        };
+        self.ensure_ordered_index(ctx)?;
+        StoreMetrics::bump(&self.metrics.scans);
+        let start = ctx.clock.now();
+        ctx.charge(ctx.cost.op_overhead_ns);
+        let mut keys = Vec::with_capacity(limit.min(1024));
+        if limit > 0 {
+            let pin = self.epochs.pin(ctx.thread_id);
+            let mut cursors: Vec<_> = (0..self.shards.len())
+                .map(|i| order.range_from(i, start_key, &pin))
+                .collect();
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+            for (i, c) in cursors.iter_mut().enumerate() {
+                if let Some(k) = c.next() {
+                    heap.push(Reverse((k, i)));
+                }
+            }
+            while keys.len() < limit {
+                let Some(Reverse((key, i))) = heap.pop() else {
+                    break;
+                };
+                if let Some(k) = cursors[i].next() {
+                    heap.push(Reverse((k, i)));
+                }
+                let hash = hash64(key);
+                let shard_idx = self.shard_of(hash);
+                let view = self.views[shard_idx].load(&pin);
+                match view.get(&self.dev, ctx, hash, self.cfg.use_abi_for_get) {
+                    Some((slot, _)) if !slot.is_tombstone() => keys.push(key),
+                    _ => {}
+                }
+            }
+            drop(pin);
+        }
+        self.metrics
+            .scanned_keys
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let elapsed = ctx.clock.now().saturating_sub(start);
+        // Cross-shard op; attribute the latency to the start key's shard.
+        self.obs
+            .record_op(self.shard_of_key(start_key), OpKind::Scan, elapsed);
+        self.obs.record_scan_keys(keys.len() as u64);
+        Ok(keys)
+    }
+
     #[inline]
     fn shard_of(&self, hash: u64) -> usize {
         if self.shards.len() == 1 {
@@ -1170,6 +1354,17 @@ impl StoreInner {
             // credit its extent exactly once.
             credit_dead_word(&self.log, ctx, old);
         }
+        // Maintain the ordered key index at the same publish point as the
+        // hash index, still under the shard mutex so per-shard order
+        // matches log order (a racing put+delete on one key cannot leave
+        // the skiplist disagreeing with the newest version).
+        if let Some(order) = &self.order {
+            if tombstone {
+                order.remove(shard_idx, key);
+            } else {
+                order.insert(shard_idx, key);
+            }
+        }
         Ok(())
     }
 
@@ -1328,7 +1523,12 @@ impl StoreInner {
     }
 
     fn dram_footprint(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().dram_bytes()).sum()
+        let order = self.order.as_ref().map_or(0, |o| o.dram_bytes());
+        self.shards
+            .iter()
+            .map(|s| s.lock().dram_bytes())
+            .sum::<u64>()
+            + order
     }
 
     fn approx_len(&self) -> u64 {
@@ -1461,6 +1661,10 @@ impl KvStore for ChameleonDb {
 
     fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Result<bool> {
         self.inner.delete(ctx, key)
+    }
+
+    fn scan(&self, ctx: &mut ThreadCtx, start_key: u64, limit: usize) -> Result<Vec<u64>> {
+        self.inner.scan(ctx, start_key, limit)
     }
 
     fn sync(&self, ctx: &mut ThreadCtx) -> Result<()> {
@@ -1683,7 +1887,11 @@ mod tests {
 
     #[test]
     fn dram_footprint_counts_memtables_and_abis() {
-        let cfg = ChameleonConfig::tiny();
+        // Exact accounting for the hash structures alone; the ordered
+        // index adds its own (population-dependent) bytes on top, covered
+        // by `ordered_index_counts_toward_dram_footprint`.
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.ordered_index = false;
         let expected = (cfg.shards
             * (cfg.memtable_slots.next_power_of_two()
                 + cfg.effective_abi_slots().next_power_of_two())
@@ -2226,5 +2434,130 @@ mod tests {
             assert!(db.get(&mut c, k, &mut out).unwrap(), "key {k} lost");
             assert_eq!(out, [k as u8; 64]);
         }
+    }
+
+    #[test]
+    fn scan_returns_sorted_contiguous_live_keys() {
+        let db = new_store(ChameleonConfig::tiny());
+        let mut c = ctx();
+        fill(&db, &mut c, 2000);
+        // Mid-range: exactly the next `limit` keys, ascending.
+        let keys = db.scan(&mut c, 500, 100).unwrap();
+        assert_eq!(keys, (500..600).collect::<Vec<u64>>());
+        // Inclusive start, and a scan past the max key is empty.
+        assert_eq!(db.scan(&mut c, 0, 3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(db.scan(&mut c, 1999, 10).unwrap(), vec![1999]);
+        assert!(db.scan(&mut c, 2000, 10).unwrap().is_empty());
+        assert!(db.scan(&mut c, 42, 0).unwrap().is_empty());
+        let m = db.metrics();
+        assert_eq!(m.scans, 5);
+        assert_eq!(m.scanned_keys, 104);
+    }
+
+    #[test]
+    fn scan_skips_deletes_and_survives_compactions() {
+        // 60k keys through tiny geometry force flushes and mid/last-level
+        // compactions in every shard; the ordered index must keep exact
+        // membership through all of it.
+        let db = new_store(ChameleonConfig::tiny());
+        let mut c = ctx();
+        fill(&db, &mut c, 60_000);
+        for k in (0..1000u64).map(|i| i * 2) {
+            db.delete(&mut c, k).unwrap();
+        }
+        db.checkpoint(&mut c).unwrap();
+        let keys = db.scan(&mut c, 0, 1000).unwrap();
+        let expect: Vec<u64> = (0..2000u64).filter(|k| k % 2 == 1).collect();
+        assert_eq!(keys, expect, "scan must skip tombstoned keys");
+        // Limit counts live results, not candidates: the 1000 dead evens
+        // in [0, 2000) did not eat into it.
+        assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    fn scan_unsupported_without_ordered_index() {
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.ordered_index = false;
+        let db = new_store(cfg);
+        let mut c = ctx();
+        fill(&db, &mut c, 100);
+        assert!(matches!(
+            db.scan(&mut c, 0, 10),
+            Err(KvError::Unsupported(_))
+        ));
+        assert_eq!(db.metrics().scans, 0);
+    }
+
+    #[test]
+    fn ordered_index_counts_toward_dram_footprint() {
+        let mut cfg = ChameleonConfig::tiny();
+        cfg.ordered_index = false;
+        let bare = new_store(cfg);
+        let indexed = new_store(ChameleonConfig::tiny());
+        let mut c = ctx();
+        fill(&bare, &mut c, 1000);
+        fill(&indexed, &mut c, 1000);
+        assert!(
+            indexed.dram_footprint() > bare.dram_footprint(),
+            "ordered index DRAM not accounted: {} vs {}",
+            indexed.dram_footprint(),
+            bare.dram_footprint()
+        );
+    }
+
+    #[test]
+    fn recovery_rebuilds_ordered_index() {
+        let db = new_store(ChameleonConfig::tiny());
+        let mut c = ctx();
+        fill(&db, &mut c, 8000);
+        for k in 3000..3500u64 {
+            db.delete(&mut c, k).unwrap();
+        }
+        db.sync(&mut c).unwrap();
+        let before = db.scan(&mut c, 2900, 700).unwrap();
+        let mut db = db;
+        db.crash_and_recover(&mut c).unwrap();
+        // Degraded window: ABI not rebuilt yet, scans resolve through the
+        // upper-level walk and must already agree with the pre-crash set.
+        let degraded = db.scan(&mut c, 2900, 700).unwrap();
+        assert_eq!(degraded, before, "degraded-window scan diverged");
+        // After the ABI rebuild (first structural transition via new
+        // writes) the same scan still holds.
+        fill(&db, &mut c, 2000);
+        db.drain_maintenance().unwrap();
+        let fresh = db.scan(&mut c, 2900, 700).unwrap();
+        assert_eq!(fresh, before, "post-rebuild scan diverged");
+        let expect: Vec<u64> = (2900..3000).chain(3500..4100).collect();
+        assert_eq!(fresh, expect);
+    }
+
+    #[test]
+    fn recovery_rebuild_reflects_unsynced_tail_loss() {
+        // Keys that never became durable must not reappear in the rebuilt
+        // ordered index: scan and get agree after a torn crash.
+        let dev = PmemDevice::optane(512 << 20);
+        let cfg = ChameleonConfig::tiny();
+        let db = ChameleonDb::create(Arc::clone(&dev), cfg.clone()).unwrap();
+        let mut c = ctx();
+        fill(&db, &mut c, 4000);
+        db.sync(&mut c).unwrap();
+        for k in 4000..4200u64 {
+            db.put(&mut c, k, &value_for(k)).unwrap();
+        }
+        drop(db); // graceful-shutdown-free handle drop keeps the tail torn
+        dev.crash();
+        let db = ChameleonDb::recover(Arc::clone(&dev), cfg, &mut c).unwrap();
+        let keys = db.scan(&mut c, 0, 10_000).unwrap();
+        let mut out = Vec::new();
+        for &k in &keys {
+            assert!(
+                db.get(&mut c, k, &mut out).unwrap(),
+                "scan returned key {k} that get cannot see"
+            );
+        }
+        let live: Vec<u64> = (0..4200u64)
+            .filter(|&k| db.get(&mut c, k, &mut out).unwrap())
+            .collect();
+        assert_eq!(keys, live, "rebuilt index disagrees with the read path");
     }
 }

@@ -629,6 +629,7 @@ fn audit(
     // Inclusive intervals of feasible cuts, intersected key by key.
     let mut feasible: Vec<(u64, u64)> = vec![(synced, completed + 1)];
     let mut out = Vec::new();
+    let mut live_keys: Vec<u64> = Vec::new();
     for (&key, versions) in model {
         let found = match db.get(ctx, key, &mut out) {
             Ok(f) => f,
@@ -637,6 +638,9 @@ fn audit(
                 continue;
             }
         };
+        if found {
+            live_keys.push(key);
+        }
         let allowed: Vec<(u64, u64)> = if found {
             if out.len() != 16 || out[..8] != key.to_le_bytes() {
                 violations.push(format!("key {key}: garbled value {out:?}"));
@@ -695,6 +699,38 @@ fn audit(
         } else {
             feasible = narrowed;
         }
+    }
+    // Post-recovery scan audit: the ordered index is rebuilt wholesale
+    // during recovery, so one full scan (served inside the degraded
+    // window, before any ABI rebuild) must agree *exactly* with what the
+    // hash-index gets above observed — same live key set, strictly
+    // sorted. A mismatch is an index divergence the point-get audit
+    // cannot see (resurrected tombstone, dropped rebuild entry).
+    match db.scan(ctx, 0, model.len() + 16) {
+        Ok(scanned) => {
+            if !scanned.windows(2).all(|w| w[0] < w[1]) {
+                violations.push("post-recovery scan not strictly ascending".into());
+            }
+            if scanned != live_keys {
+                let extra: Vec<u64> = scanned
+                    .iter()
+                    .filter(|k| live_keys.binary_search(k).is_err())
+                    .copied()
+                    .collect();
+                let missing: Vec<u64> = live_keys
+                    .iter()
+                    .filter(|k| scanned.binary_search(k).is_err())
+                    .copied()
+                    .collect();
+                violations.push(format!(
+                    "post-recovery scan diverged from gets: {} phantom key(s) {extra:?}, \
+                     {} missing key(s) {missing:?}",
+                    extra.len(),
+                    missing.len()
+                ));
+            }
+        }
+        Err(e) => violations.push(format!("post-recovery scan failed: {e}")),
     }
     violations
 }

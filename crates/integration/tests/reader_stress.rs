@@ -450,6 +450,144 @@ fn degraded_reads_after_restart_are_counted_and_correct() {
     );
 }
 
+/// Audits one range scan taken while writers race: `floor` stable keys
+/// of writer `w` were acked (in ascending key order) before the scan
+/// started, so a window starting at index `i0 < floor` must open with
+/// the contiguous acked run (up to `floor` or the limit). Keys past that
+/// run raced with the writers — each must still decode to a key some
+/// writer could legitimately have put (no phantoms), and the whole
+/// result must be strictly ascending.
+fn audit_racing_scan(keys: &[u64], w: usize, i0: u64, limit: u64, floor: u64, writers: usize) {
+    assert!(
+        keys.len() as u64 <= limit,
+        "scan returned more than its limit"
+    );
+    for pair in keys.windows(2) {
+        assert!(pair[0] < pair[1], "scan not strictly ascending: {pair:?}");
+    }
+    let guaranteed = (floor - i0).min(limit);
+    assert!(
+        keys.len() as u64 >= guaranteed,
+        "scan from writer {w} index {i0} returned {} keys but {guaranteed} were acked in-window",
+        keys.len()
+    );
+    for (j, &k) in keys.iter().take(guaranteed as usize).enumerate() {
+        assert_eq!(
+            k,
+            stable_key(w, i0 + j as u64),
+            "scan missed an acked stable key (writer {w}, start {i0}, floor {floor})"
+        );
+    }
+    for &k in &keys[guaranteed as usize..] {
+        let kw = (k >> 32) as usize;
+        let rest = k & 0xFFFF_FFFF;
+        assert!(kw < writers, "phantom key {k:#x}: no such writer");
+        if rest & (1 << 24) != 0 {
+            assert!(
+                (rest ^ (1 << 24)) < CHURN_PER_WRITER,
+                "phantom churn key {k:#x}"
+            );
+        } else {
+            assert!(rest < STABLE_PER_WRITER, "phantom stable key {k:#x}");
+        }
+    }
+}
+
+/// Range scans racing concurrent puts and deletes. Writers run the usual
+/// stress mix (versioned overwrites of stable keys, delete/re-put churn)
+/// while scanner threads sweep windows of the stable ranges and hold
+/// every result to the shadow model: no acked key missing, no phantom
+/// keys, strict order. Afterwards one full scan must agree exactly with
+/// the live key set — deletions must not resurrect and re-puts must not
+/// duplicate.
+#[test]
+fn scans_vs_concurrent_puts_and_deletes() {
+    let writers = 2usize;
+    let rounds = 3u64;
+    let dev = PmemDevice::optane(1 << 30);
+    let db = ChameleonDb::create(Arc::clone(&dev), stress_cfg()).unwrap();
+    dev.set_active_threads((writers + 2) as u32);
+    let cost = Arc::new(CostModel::default());
+    let stop = AtomicBool::new(false);
+    let writers_left = AtomicUsize::new(writers);
+    // present[w]: stable keys of writer w put at least once. Stable keys
+    // are first inserted in ascending order, so presence is a prefix and
+    // one cursor per writer is a complete shadow of round 1.
+    let present: Vec<AtomicU64> = (0..writers).map(|_| AtomicU64::new(0)).collect();
+
+    crossbeam::thread::scope(|s| {
+        for w in 0..writers {
+            let (db, present, stop, writers_left) = (&db, &present, &stop, &writers_left);
+            let cost = Arc::clone(&cost);
+            s.spawn(move |_| {
+                let mut ctx = ThreadCtx::for_thread(cost, w);
+                for round in 1..=rounds {
+                    for i in 0..STABLE_PER_WRITER {
+                        let k = stable_key(w, i);
+                        db.put(&mut ctx, k, &value_for(k, round)).expect("put");
+                        if round == 1 {
+                            present[w].store(i + 1, Ordering::Release);
+                        }
+                    }
+                    for i in 0..CHURN_PER_WRITER {
+                        let k = churn_key(w, i);
+                        if round.is_multiple_of(2) {
+                            db.delete(&mut ctx, k).expect("delete");
+                        }
+                        db.put(&mut ctx, k, &value_for(k, round)).expect("put");
+                    }
+                }
+                if writers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    stop.store(true, Ordering::Release);
+                }
+            });
+        }
+        for r in 0..2usize {
+            let (db, present, stop) = (&db, &present, &stop);
+            let cost = Arc::clone(&cost);
+            s.spawn(move |_| {
+                let mut ctx = ThreadCtx::for_thread(cost, writers + r);
+                let mut rng = 0xA5A5_5A5A_0F0F_F0F0u64 ^ ((r as u64) << 21);
+                while !stop.load(Ordering::Acquire) {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let w = (rng >> 32) as usize % writers;
+                    // Floor BEFORE the scan: everything below it is acked
+                    // and must appear in the scan's window.
+                    let floor = present[w].load(Ordering::Acquire);
+                    if floor == 0 {
+                        continue;
+                    }
+                    let i0 = rng % floor;
+                    let limit = 1 + (rng >> 17) % 128;
+                    let keys = db
+                        .scan(&mut ctx, stable_key(w, i0), limit as usize)
+                        .expect("scan");
+                    audit_racing_scan(&keys, w, i0, limit, floor, writers);
+                }
+            });
+        }
+    })
+    .expect("scope");
+
+    // End state, single-threaded: every stable and churn key is live
+    // (each round ends with a re-put), so one full scan must reproduce
+    // the exact sorted key set.
+    let mut ctx = ThreadCtx::with_default_cost();
+    let mut expected: Vec<u64> = Vec::new();
+    for w in 0..writers {
+        expected.extend((0..STABLE_PER_WRITER).map(|i| stable_key(w, i)));
+        expected.extend((0..CHURN_PER_WRITER).map(|i| churn_key(w, i)));
+    }
+    expected.sort_unstable();
+    let scanned = db.scan(&mut ctx, 0, expected.len() + 10).expect("scan");
+    assert_eq!(
+        scanned, expected,
+        "post-race scan disagrees with the live set"
+    );
+}
+
 /// The get path is read-only on media: a burst of gets (hits and misses)
 /// moves no persistent-memory write traffic at all.
 #[test]

@@ -23,6 +23,9 @@ pub enum KvError {
     Full(&'static str),
     /// The value is larger than the store's configured maximum.
     ValueTooLarge { len: usize, max: usize },
+    /// The store does not implement this operation (e.g. a hash-only
+    /// baseline asked for a range scan).
+    Unsupported(&'static str),
 }
 
 impl From<PmemError> for KvError {
@@ -40,6 +43,7 @@ impl std::fmt::Display for KvError {
             KvError::ValueTooLarge { len, max } => {
                 write!(f, "value of {len} bytes exceeds maximum {max}")
             }
+            KvError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
     }
 }
@@ -97,9 +101,12 @@ impl LogSpaceStats {
 /// A key-value store over simulated persistent memory.
 ///
 /// Keys are 8 bytes (the paper's key size); all stores place items by the
-/// key's 64-bit hash and do not support range scans (the paper excludes
-/// YCSB-E for the same reason). Values are opaque bytes stored in a
-/// persistent log.
+/// key's 64-bit hash. Values are opaque bytes stored in a persistent log.
+/// Range scans ([`KvStore::scan`]) are optional: the paper excludes
+/// YCSB-E because its structures are hash-keyed, so hash-only baselines
+/// keep the default [`KvError::Unsupported`] implementation, while
+/// ChameleonDB serves scans from a volatile ordered index over live keys
+/// (the `kvorder` crate).
 ///
 /// Implementations are internally synchronized: `&self` methods may be
 /// called from many threads, each passing its own [`ThreadCtx`].
@@ -116,6 +123,15 @@ pub trait KvStore: Send + Sync {
 
     /// Removes `key`; returns `true` if it was present.
     fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Result<bool>;
+
+    /// Range scan: up to `limit` live keys `>= start_key`, ascending.
+    ///
+    /// Results never include tombstoned or shadowed versions — every
+    /// candidate is resolved through the store's newest-version probe.
+    /// Stores without an ordered index keep this default.
+    fn scan(&self, _ctx: &mut ThreadCtx, _start_key: u64, _limit: usize) -> Result<Vec<u64>> {
+        Err(KvError::Unsupported("range scan"))
+    }
 
     /// Forces volatile write buffers (e.g. log batch buffers) to media so
     /// that everything previously accepted is crash-recoverable.

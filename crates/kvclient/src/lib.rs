@@ -40,6 +40,8 @@ pub struct ClientLatencies {
     pub get: Histogram,
     /// Blocking [`Client::delete`] round-trips.
     pub delete: Histogram,
+    /// Blocking [`Client::scan`] round-trips.
+    pub scan: Histogram,
 }
 
 /// Outcome of a single write attempt.
@@ -324,6 +326,26 @@ impl Client {
         Ok(out)
     }
 
+    /// Blocking range scan: up to `limit` live keys `>= start_key`,
+    /// ascending (`limit` is capped server-side at
+    /// [`MAX_SCAN_KEYS`](kvserver::proto::MAX_SCAN_KEYS); page longer
+    /// ranges by re-issuing from `last_key + 1`).
+    pub fn scan(&mut self, start_key: u64, limit: u32) -> io::Result<Vec<u64>> {
+        let t0 = Instant::now();
+        let id = self.send(Request::Scan {
+            req_id: 0,
+            start_key,
+            limit,
+        })?;
+        let keys = match self.recv_for(id)? {
+            Response::Keys { keys, .. } => Ok(keys),
+            Response::Err { message, .. } => Err(io::Error::other(message)),
+            other => Err(bad_data(unexpected(&other))),
+        }?;
+        self.lat.scan.record(t0.elapsed().as_nanos() as u64);
+        Ok(keys)
+    }
+
     /// SYNC barrier: returns once every commit lane has fenced all
     /// writes submitted before this call on this connection.
     pub fn sync(&mut self) -> io::Result<()> {
@@ -379,7 +401,8 @@ fn set_req_id(req: &mut Request, id: u64) {
         | Request::Sync { req_id }
         | Request::Stats { req_id, .. }
         | Request::Trace { req_id, .. }
-        | Request::Mode { req_id, .. } => *req_id = id,
+        | Request::Mode { req_id, .. }
+        | Request::Scan { req_id, .. } => *req_id = id,
     }
 }
 
@@ -394,5 +417,6 @@ fn unexpected(resp: &Response) -> &'static str {
         Response::Retry { .. } => "unexpected RETRY",
         Response::Err { .. } => "unexpected ERR",
         Response::Trace { .. } => "unexpected TRACE",
+        Response::Keys { .. } => "unexpected KEYS",
     }
 }

@@ -713,6 +713,7 @@ fn sampler_loop(sh: &Arc<Shared>) {
             elapsed.as_millis() as u64,
             &obs.op_rollup(),
             &obs.stall_rollup(),
+            &obs.scan_keys_rollup(),
             sh.dev.stats().snapshot(),
             ServerTickCounters::capture(&sh.obs),
         );
@@ -956,6 +957,27 @@ pub(crate) fn handle_request(
             let events = sh.store.obs().journal().tail(64);
             let text = encode_trace_payload(&spans, &events);
             reply.send(&Response::Trace { req_id, text }, None);
+        }
+        Request::Scan {
+            req_id,
+            start_key,
+            limit,
+        } => {
+            ServerObs::bump(&obs.scans);
+            let span = sh.tracer.sample("scan", start_key);
+            if let Some(s) = &span {
+                s.stamp("decode");
+            }
+            // Served inline like GET: the store scans under its own epoch
+            // pin (merge + per-candidate probe), no lane round-trip.
+            let resp = match sh.store.scan(ctx, start_key, limit as usize) {
+                Ok(keys) => Response::Keys { req_id, keys },
+                Err(e) => Response::Err {
+                    req_id,
+                    message: format!("{e:?}"),
+                },
+            };
+            reply.send(&resp, span);
         }
         Request::Mode { req_id, arg } => {
             ServerObs::bump(&obs.mode_reqs);

@@ -17,6 +17,7 @@
 //!   MODE   (0x06) := mode:u8           (0 = Normal, 1 = WriteIntensive,
 //!                                       0xFF = query current mode)
 //!   TRACE  (0x07) := max:u32           (newest completed spans to return)
+//!   SCAN   (0x08) := start_key:u64 limit:u32   (limit <= MAX_SCAN_KEYS)
 //! response := status:u8 req_id:u64 body
 //!   OK        (0x00) :=
 //!   VALUE     (0x01) := vlen:u32 value[vlen]
@@ -27,6 +28,7 @@
 //!   RETRY     (0x06) :=                 (lane queue full; resubmit)
 //!   ERR       (0x07) := len:u32 utf8[len]
 //!   TRACE     (0x08) := len:u32 text[len]   (trace-payload JSON)
+//!   KEYS      (0x09) := count:u32 key:u64 * count   (ascending live keys)
 //! ```
 //!
 //! `flags` bit 0 on PUT/DELETE marks the write *durable*: its ack is
@@ -46,8 +48,12 @@ use std::io::{self, Read, Write};
 /// Largest accepted value, in bytes.
 pub const MAX_VALUE: usize = 1 << 20;
 /// Largest accepted frame payload (a PUT of a maximal value, with slack
-/// for the header; also bounds STATS/ERR text).
+/// for the header; also bounds STATS/ERR text and a maximal KEYS body).
 pub const MAX_FRAME: usize = MAX_VALUE + 64;
+/// Largest per-SCAN result count, bounding both the request's `limit`
+/// and a decoded KEYS body (8 * 4096 = 32 KiB, well inside `MAX_FRAME`).
+/// Clients page longer ranges by re-issuing from `last_key + 1`.
+pub const MAX_SCAN_KEYS: usize = 4096;
 
 /// PUT/DELETE flag bit: withhold the ack until the write is fenced.
 pub const FLAG_DURABLE: u8 = 0x01;
@@ -118,6 +124,12 @@ pub enum Request {
         req_id: u64,
         max: u32,
     },
+    /// Range scan: up to `limit` live keys `>= start_key`, ascending.
+    Scan {
+        req_id: u64,
+        start_key: u64,
+        limit: u32,
+    },
 }
 
 impl Request {
@@ -129,7 +141,8 @@ impl Request {
             | Request::Sync { req_id }
             | Request::Stats { req_id, .. }
             | Request::Mode { req_id, .. }
-            | Request::Trace { req_id, .. } => req_id,
+            | Request::Trace { req_id, .. }
+            | Request::Scan { req_id, .. } => req_id,
         }
     }
 }
@@ -170,6 +183,11 @@ pub enum Response {
         req_id: u64,
         text: String,
     },
+    /// SCAN result: live keys, ascending.
+    Keys {
+        req_id: u64,
+        keys: Vec<u64>,
+    },
 }
 
 impl Response {
@@ -183,7 +201,8 @@ impl Response {
             | Response::Mode { req_id, .. }
             | Response::Retry { req_id }
             | Response::Err { req_id, .. }
-            | Response::Trace { req_id, .. } => req_id,
+            | Response::Trace { req_id, .. }
+            | Response::Keys { req_id, .. } => req_id,
         }
     }
 }
@@ -195,6 +214,7 @@ const OP_SYNC: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
 const OP_MODE: u8 = 0x06;
 const OP_TRACE: u8 = 0x07;
+const OP_SCAN: u8 = 0x08;
 
 const ST_OK: u8 = 0x00;
 const ST_VALUE: u8 = 0x01;
@@ -205,6 +225,7 @@ const ST_MODE: u8 = 0x05;
 const ST_RETRY: u8 = 0x06;
 const ST_ERR: u8 = 0x07;
 const ST_TRACE: u8 = 0x08;
+const ST_KEYS: u8 = 0x09;
 
 /// Strict little-endian cursor over one frame payload.
 struct Cursor<'a> {
@@ -338,6 +359,18 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             req_id,
             max: c.u32()?,
         },
+        OP_SCAN => {
+            let start_key = c.u64()?;
+            let limit = c.u32()?;
+            if limit as usize > MAX_SCAN_KEYS {
+                return Err(ProtoError("scan limit too large"));
+            }
+            Request::Scan {
+                req_id,
+                start_key,
+                limit,
+            }
+        }
         _ => return Err(ProtoError("unknown opcode")),
     };
     c.finish()?;
@@ -404,6 +437,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&req_id.to_le_bytes());
             out.extend_from_slice(&max.to_le_bytes());
         }
+        Request::Scan {
+            req_id,
+            start_key,
+            limit,
+        } => {
+            debug_assert!(*limit as usize <= MAX_SCAN_KEYS);
+            out.push(OP_SCAN);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&start_key.to_le_bytes());
+            out.extend_from_slice(&limit.to_le_bytes());
+        }
     }
     out
 }
@@ -469,6 +513,17 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 .to_owned();
             Response::Trace { req_id, text }
         }
+        ST_KEYS => {
+            let count = c.u32()? as usize;
+            if count > MAX_SCAN_KEYS {
+                return Err(ProtoError("key list too large"));
+            }
+            let mut keys = Vec::with_capacity(count);
+            for _ in 0..count {
+                keys.push(c.u64()?);
+            }
+            Response::Keys { req_id, keys }
+        }
         _ => return Err(ProtoError("unknown status")),
     };
     c.finish()?;
@@ -526,6 +581,15 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.extend_from_slice(&req_id.to_le_bytes());
             out.extend_from_slice(&(text.len() as u32).to_le_bytes());
             out.extend_from_slice(text.as_bytes());
+        }
+        Response::Keys { req_id, keys } => {
+            debug_assert!(keys.len() <= MAX_SCAN_KEYS);
+            out.push(ST_KEYS);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+            for k in keys {
+                out.extend_from_slice(&k.to_le_bytes());
+            }
         }
     }
     out
@@ -607,6 +671,11 @@ mod tests {
                 arg: ModeArg::Query,
             },
             Request::Trace { req_id: 8, max: 64 },
+            Request::Scan {
+                req_id: 9,
+                start_key: u64::MAX,
+                limit: MAX_SCAN_KEYS as u32,
+            },
         ];
         for req in reqs {
             let wire = encode_request(&req);
@@ -640,6 +709,14 @@ mod tests {
             Response::Trace {
                 req_id: 9,
                 text: "{\"spans\":[],\"events\":[]}".to_owned(),
+            },
+            Response::Keys {
+                req_id: 10,
+                keys: Vec::new(),
+            },
+            Response::Keys {
+                req_id: 11,
+                keys: vec![0, 1, u64::MAX],
             },
         ];
         for resp in resps {
@@ -695,6 +772,40 @@ mod tests {
             };
             assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn scan_limit_and_key_count_are_bounded() {
+        // SCAN limit above the cap: rejected without serving.
+        let mut wire = vec![OP_SCAN];
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        wire.extend_from_slice(&((MAX_SCAN_KEYS + 1) as u32).to_le_bytes());
+        assert_eq!(
+            decode_request(&wire),
+            Err(ProtoError("scan limit too large"))
+        );
+
+        // KEYS count above the cap: rejected before allocating the list.
+        let mut wire = vec![ST_KEYS];
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            decode_response(&wire),
+            Err(ProtoError("key list too large"))
+        );
+
+        // Truncated and padded KEYS bodies are errors at every cut.
+        let wire = encode_response(&Response::Keys {
+            req_id: 2,
+            keys: vec![3, 4, 5],
+        });
+        for cut in 0..wire.len() {
+            assert!(decode_response(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut padded = wire.clone();
+        padded.push(0);
+        assert!(decode_response(&padded).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use kvserver::proto::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ModeArg, Request, Response, StatsFormat, MAX_FRAME,
+    ModeArg, Request, Response, StatsFormat, MAX_FRAME, MAX_SCAN_KEYS,
 };
 use proptest::prelude::*;
 
@@ -15,7 +15,7 @@ fn make_request(disc: u8, req_id: u64, key: u64, value: Vec<u8>, flag: bool) -> 
     // A second independent draw, distilled from bits the variant doesn't
     // otherwise consume, exercises the durable × traced flag grid.
     let flag2 = disc & 0x80 != 0;
-    match disc % 7 {
+    match disc % 8 {
         0 => Request::Get { req_id, key },
         1 => Request::Put {
             req_id,
@@ -47,16 +47,21 @@ fn make_request(disc: u8, req_id: u64, key: u64, value: Vec<u8>, flag: bool) -> 
                 _ => ModeArg::Query,
             },
         },
-        _ => Request::Trace {
+        6 => Request::Trace {
             req_id,
             max: key as u32,
+        },
+        _ => Request::Scan {
+            req_id,
+            start_key: key,
+            limit: (key as u32) % (MAX_SCAN_KEYS as u32 + 1),
         },
     }
 }
 
 fn make_response(disc: u8, req_id: u64, value: Vec<u8>, flag: bool) -> Response {
     let text = || String::from_utf8_lossy(&value).into_owned();
-    match disc % 9 {
+    match disc % 10 {
         0 => Response::Ok { req_id },
         1 => Response::Value { req_id, value },
         2 => Response::NotFound { req_id },
@@ -74,9 +79,18 @@ fn make_response(disc: u8, req_id: u64, value: Vec<u8>, flag: bool) -> Response 
             req_id,
             message: text(),
         },
-        _ => Response::Trace {
+        8 => Response::Trace {
             req_id,
             text: text(),
+        },
+        // Key list distilled from the value draw: 8-byte LE chunks,
+        // naturally bounded far below MAX_SCAN_KEYS by the draw size.
+        _ => Response::Keys {
+            req_id,
+            keys: value
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
         },
     }
 }

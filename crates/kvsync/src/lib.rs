@@ -178,6 +178,16 @@ pub struct Pin<'d> {
     idx: usize,
 }
 
+impl Pin<'_> {
+    /// The domain this pin protects loads in. Structures that accept a
+    /// caller-supplied pin (e.g. an epoch-safe index) use this to assert
+    /// the pin actually guards *their* reclamation domain, the same check
+    /// [`ViewCell::load`] performs.
+    pub fn domain(&self) -> &EpochDomain {
+        self.domain
+    }
+}
+
 impl Drop for Pin<'_> {
     fn drop(&mut self) {
         let slot = &self.domain.slots[self.idx].0;

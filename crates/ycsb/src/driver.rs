@@ -11,6 +11,8 @@ pub enum OpKind {
     Get,
     Put,
     ReadModifyWrite,
+    /// Range scan (YCSB-E): Zipfian start key, uniform length.
+    Scan,
 }
 
 /// Driver configuration for one measured run.
@@ -28,10 +30,14 @@ pub struct RunConfig {
     pub workload: Workload,
     /// Base RNG seed (thread `t` uses `seed + t`).
     pub seed: u64,
-    /// First key for unique-key inserts (`Load` workload).
+    /// First key for unique-key inserts (`Load`, and YCSB-E's insert
+    /// half — set it to `record_count` there so fresh keys extend the
+    /// loaded space instead of overwriting it).
     pub insert_start: u64,
     /// Simulated-time bucket for the throughput timeline; 0 disables.
     pub timeline_bucket_ns: u64,
+    /// Largest scan length (YCSB-E draws uniformly from `[1, this]`).
+    pub scan_max_len: usize,
 }
 
 impl RunConfig {
@@ -44,8 +50,13 @@ impl RunConfig {
             value_size: 8,
             workload,
             seed: 0x59_43_53_42,
-            insert_start: 0,
+            insert_start: if workload == Workload::E {
+                record_count.max(1)
+            } else {
+                0
+            },
             timeline_bucket_ns: 0,
+            scan_max_len: 100,
         }
     }
 }
@@ -66,6 +77,10 @@ pub struct RunResult {
     /// Latency histogram of write operations (puts; RMW counts the whole
     /// read+write pair).
     pub write_hist: Histogram,
+    /// Latency histogram of range scans (YCSB-E).
+    pub scan_hist: Histogram,
+    /// Total keys returned across all scans.
+    pub scanned_keys: u64,
     /// Gets that found no value.
     pub not_found: u64,
     /// `(bucket_start_ns, ops_completed)` series when a timeline bucket
@@ -93,6 +108,8 @@ impl RunResult {
 struct ThreadOutcome {
     read_hist: Histogram,
     write_hist: Histogram,
+    scan_hist: Histogram,
+    scanned_keys: u64,
     not_found: u64,
     elapsed_ns: u64,
     timeline: Vec<(u64, u64)>,
@@ -128,6 +145,8 @@ pub fn run<S: KvStore + ?Sized>(store: &S, cfg: &RunConfig) -> RunResult {
 
     let mut read_hist = Histogram::new();
     let mut write_hist = Histogram::new();
+    let mut scan_hist = Histogram::new();
+    let mut scanned_keys = 0;
     let mut not_found = 0;
     let mut elapsed = 0;
     let mut sum_rate = 0.0;
@@ -135,6 +154,8 @@ pub fn run<S: KvStore + ?Sized>(store: &S, cfg: &RunConfig) -> RunResult {
     for o in outcomes {
         read_hist.merge(&o.read_hist);
         write_hist.merge(&o.write_hist);
+        scan_hist.merge(&o.scan_hist);
+        scanned_keys += o.scanned_keys;
         not_found += o.not_found;
         elapsed = elapsed.max(o.elapsed_ns);
         if o.elapsed_ns > 0 {
@@ -150,6 +171,8 @@ pub fn run<S: KvStore + ?Sized>(store: &S, cfg: &RunConfig) -> RunResult {
         sum_rate_ops_per_ns: sum_rate,
         read_hist,
         write_hist,
+        scan_hist,
+        scanned_keys,
         not_found,
         timeline: timeline_map.into_iter().collect(),
     }
@@ -177,6 +200,8 @@ fn run_thread<S: KvStore + ?Sized>(
     let mut out = Vec::with_capacity(cfg.value_size.max(8));
     let mut read_hist = Histogram::new();
     let mut write_hist = Histogram::new();
+    let mut scan_hist = Histogram::new();
+    let mut scanned_keys = 0u64;
     let mut not_found = 0u64;
     let mut timeline: std::collections::BTreeMap<u64, u64> = Default::default();
 
@@ -184,7 +209,7 @@ fn run_thread<S: KvStore + ?Sized>(
         let start = ctx.clock.now();
         match pick_op(cfg.workload, next_mix()) {
             OpKind::Put => {
-                let key = if cfg.workload == Workload::Load {
+                let key = if cfg.workload.inserts_new_keys() {
                     // Unique keys, partitioned across threads.
                     cfg.insert_start + i * cfg.threads as u64 + t as u64
                 } else {
@@ -208,6 +233,13 @@ fn run_thread<S: KvStore + ?Sized>(
                 store.put(&mut ctx, key, &value).expect("put failed");
                 write_hist.record(ctx.clock.since(start));
             }
+            OpKind::Scan => {
+                let start_key = chooser.next_key();
+                let len = 1 + (next_mix() as usize) % cfg.scan_max_len.max(1);
+                let keys = store.scan(&mut ctx, start_key, len).expect("scan failed");
+                scanned_keys += keys.len() as u64;
+                scan_hist.record(ctx.clock.since(start));
+            }
         }
         if let Some(bucket) = ctx
             .clock
@@ -221,6 +253,8 @@ fn run_thread<S: KvStore + ?Sized>(
     ThreadOutcome {
         read_hist,
         write_hist,
+        scan_hist,
+        scanned_keys,
         not_found,
         elapsed_ns: ctx.clock.now(),
         timeline: timeline.into_iter().collect(),
@@ -231,7 +265,11 @@ fn pick_op(workload: Workload, mix: u64) -> OpKind {
     let read_frac = workload.read_fraction();
     let u = (mix >> 11) as f64 / (1u64 << 53) as f64;
     if u < read_frac {
-        OpKind::Get
+        if workload.is_scan() {
+            OpKind::Scan
+        } else {
+            OpKind::Get
+        }
     } else if workload.is_rmw() {
         OpKind::ReadModifyWrite
     } else {
@@ -275,6 +313,19 @@ mod tests {
         fn delete(&self, ctx: &mut ThreadCtx, key: u64) -> Result<bool> {
             ctx.charge(self.op_ns);
             Ok(self.map.lock().remove(&key).is_some())
+        }
+        fn scan(&self, ctx: &mut ThreadCtx, start_key: u64, limit: usize) -> Result<Vec<u64>> {
+            ctx.charge(self.op_ns);
+            let mut keys: Vec<u64> = self
+                .map
+                .lock()
+                .keys()
+                .copied()
+                .filter(|&k| k >= start_key)
+                .collect();
+            keys.sort_unstable();
+            keys.truncate(limit);
+            Ok(keys)
         }
         fn sync(&self, _ctx: &mut ThreadCtx) -> Result<()> {
             Ok(())
@@ -343,6 +394,23 @@ mod tests {
         let r = run(&s, &RunConfig::new(Workload::F, 1, 1000, 100));
         // RMW latency includes both halves: minimum 200ns in the stub.
         assert!(r.write_hist.min() >= 200);
+    }
+
+    #[test]
+    fn ycsb_e_scans_dominate_and_inserts_extend_the_key_space() {
+        let s = stub(50);
+        run(&s, &RunConfig::new(Workload::Load, 1, 1000, 1));
+        assert_eq!(s.approx_len(), 1000);
+        let r = run(&s, &RunConfig::new(Workload::E, 2, 4000, 1000));
+        let scans = r.scan_hist.count() as f64;
+        let inserts = r.write_hist.count() as f64;
+        assert_eq!(r.read_hist.count(), 0, "YCSB-E reads are scans, not gets");
+        assert!((scans / (scans + inserts) - 0.95).abs() < 0.02);
+        assert!(r.scanned_keys > 0, "scans over a loaded store return keys");
+        // Inserts land above the loaded space (insert_start defaults to
+        // record_count for E) and never overwrite it.
+        assert!(s.approx_len() > 1000);
+        assert!(s.map.lock().keys().any(|&k| k >= 1000));
     }
 
     #[test]

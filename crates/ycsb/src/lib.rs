@@ -1,7 +1,9 @@
 //! YCSB-style workload generation and a multi-threaded simulation driver.
 //!
 //! Implements the workload mixes of the paper's Table 5 (LOAD, A, B, C, D,
-//! F — E is excluded because the hash-keyed stores do not support scans)
+//! F — the paper excludes E because its hash-keyed stores do not support
+//! scans; this workspace adds it as [`Workload::E`], 95% scan / 5% insert,
+//! runnable against any store whose [`kvapi::KvStore::scan`] is implemented)
 //! with the standard YCSB request distributions (scrambled Zipfian with the
 //! classic `theta = 0.99`, latest, uniform), plus the driver used by every
 //! throughput/latency harness: it runs real OS threads over a store,
@@ -40,17 +42,22 @@ pub enum Workload {
     C,
     /// Get most recently inserted keys.
     D,
+    /// 95% range scan / 5% insert (standard YCSB-E; scan start keys are
+    /// Zipfian, scan lengths uniform in `[1, scan_max_len]`). Requires a
+    /// store with [`kvapi::KvStore::scan`]; excluded from [`Workload::all`]
+    /// so hash-only baselines keep running the Table 5 set.
+    E,
     /// 50% get / 50% read-modify-write.
     F,
 }
 
 impl Workload {
-    /// Fraction of operations that are reads.
+    /// Fraction of operations that are reads (scans, for YCSB-E).
     pub fn read_fraction(&self) -> f64 {
         match self {
             Workload::Load => 0.0,
             Workload::A => 0.5,
-            Workload::B => 0.95,
+            Workload::B | Workload::E => 0.95,
             Workload::C | Workload::D => 1.0,
             Workload::F => 0.5,
         }
@@ -59,6 +66,17 @@ impl Workload {
     /// Whether the write half is a read-modify-write (YCSB-F).
     pub fn is_rmw(&self) -> bool {
         matches!(self, Workload::F)
+    }
+
+    /// Whether the read half is a range scan (YCSB-E).
+    pub fn is_scan(&self) -> bool {
+        matches!(self, Workload::E)
+    }
+
+    /// Whether writes insert fresh unique keys instead of updating
+    /// existing ones (LOAD, and YCSB-E's insert half).
+    pub fn inserts_new_keys(&self) -> bool {
+        matches!(self, Workload::Load | Workload::E)
     }
 
     /// The request distribution this workload uses.
@@ -78,12 +96,14 @@ impl Workload {
             "b" | "ycsb_b" => Some(Workload::B),
             "c" | "ycsb_c" => Some(Workload::C),
             "d" | "ycsb_d" => Some(Workload::D),
+            "e" | "ycsb_e" => Some(Workload::E),
             "f" | "ycsb_f" => Some(Workload::F),
             _ => None,
         }
     }
 
-    /// All workloads in Table 5 order.
+    /// All workloads in Table 5 order (E is not in Table 5 — run it
+    /// explicitly against scan-capable stores).
     pub fn all() -> [Workload; 6] {
         [
             Workload::Load,
@@ -103,6 +123,7 @@ impl Workload {
             Workload::B => "YCSB_B",
             Workload::C => "YCSB_C",
             Workload::D => "YCSB_D",
+            Workload::E => "YCSB_E",
             Workload::F => "YCSB_F",
         }
     }
@@ -178,7 +199,20 @@ mod tests {
     fn parse_names() {
         assert_eq!(Workload::parse("YCSB_A"), Some(Workload::A));
         assert_eq!(Workload::parse("load"), Some(Workload::Load));
-        assert_eq!(Workload::parse("e"), None);
+        assert_eq!(Workload::parse("e"), Some(Workload::E));
+        assert_eq!(Workload::parse("YCSB_E"), Some(Workload::E));
+        assert_eq!(Workload::parse("g"), None);
+    }
+
+    #[test]
+    fn ycsb_e_is_scan_heavy_and_inserts() {
+        assert_eq!(Workload::E.read_fraction(), 0.95);
+        assert!(Workload::E.is_scan());
+        assert!(Workload::E.inserts_new_keys());
+        assert!(!Workload::E.is_rmw());
+        assert_eq!(Workload::E.distribution(), Distribution::Zipfian);
+        // Table 5 set stays scan-free for the hash-only baselines.
+        assert!(Workload::all().iter().all(|w| !w.is_scan()));
     }
 
     #[test]
