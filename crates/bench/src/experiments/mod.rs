@@ -12,6 +12,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod obs;
 pub mod overall;
+pub mod replicate;
 pub mod serve;
 pub mod top;
 pub mod trace_dump;

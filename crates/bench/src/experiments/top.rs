@@ -158,6 +158,34 @@ fn render(m: &Metrics, addr: &str, clear: bool) {
         m.scalar("chameleon_win_fences").unwrap_or(0.0) as u64,
     ));
 
+    // Replication floors, when the node is a primary with subscribers
+    // (shipped/acked from the hub) or a replica (received/applied). The
+    // windowed pair shows shipping rate and the live lag gauge.
+    if let Some(lag) = m.scalar("chameleon_repl_lag") {
+        let floor = |n: &str| m.scalar(&format!("chameleon_repl_{n}")).unwrap_or(0.0) as u64;
+        let role_floors = if m.scalar("chameleon_repl_subscribers").is_some() {
+            format!(
+                "shipped {}  min-acked {}  subscribers {}",
+                floor("shipped"),
+                floor("min_acked"),
+                floor("subscribers"),
+            )
+        } else {
+            format!(
+                "received {}  applied {}  acked {}",
+                floor("received"),
+                floor("applied"),
+                floor("acked"),
+            )
+        };
+        out.push_str(&format!(
+            "  repl: {role_floors}  lag {}  (win: shipped {}  lag {})\n",
+            lag as u64,
+            m.scalar("chameleon_win_repl_shipped").unwrap_or(0.0) as u64,
+            m.scalar("chameleon_win_repl_lag").unwrap_or(0.0) as u64,
+        ));
+    }
+
     let stages = m.label_values("chameleon_trace_stage_count", "stage");
     if !stages.is_empty() {
         out.push_str(&format!(

@@ -19,7 +19,9 @@
 //! scans racing concurrent writers over TCP. `trace-dump` drives a
 //! force-traced workload against a running server and exports Chrome
 //! trace JSON; `top` is a live dashboard over the `--http-port` metrics
-//! sidecar.
+//! sidecar. `replicate` runs the primary→replica log-shipping campaign
+//! (quorum-acked writers, staleness-bound-0 audited replica reads, and a
+//! kill-the-primary promotion drill) and exits nonzero on any violation.
 
 use chameleon_bench::experiments as exp;
 use chameleon_bench::util::Opts;
@@ -110,6 +112,9 @@ fn main() {
         "top" => {
             exp::top::run(&opts);
         }
+        "replicate" => {
+            exp::replicate::run(&opts);
+        }
         "all" => {
             exp::fig01::run(&opts);
             exp::fig02::run(&opts);
@@ -146,6 +151,6 @@ fn usage() {
          \x20                       [--conns N] [--open-loop]   (serve-bench: connection scaling / load sweep)\n\
          experiments: fig1 fig2 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
                       table2 table3 table4 fig3 ablate-abi ablate-loadfactor ablate-ratio obs crash churn\n\
-                      serve serve-bench ycsb-e trace-dump top all"
+                      serve serve-bench ycsb-e trace-dump top replicate all"
     );
 }

@@ -175,6 +175,7 @@ impl ObsSnapshot {
                 "    {{ \"seq\": {}, \"wall_ms\": {}, \"ops_per_sec\": {}, \
                  \"batches\": {}, \"batched_ops\": {}, \"acks\": {}, \"retries\": {}, \
                  \"media_bytes_written\": {}, \"media_bytes_read\": {}, \"fences\": {}, \
+                 \"repl_shipped\": {}, \"repl_lag\": {}, \
                  \"ops\": [ {ops} ] }}{comma}",
                 win.seq,
                 win.wall_ms,
@@ -185,7 +186,9 @@ impl ObsSnapshot {
                 win.retries,
                 win.media_bytes_written,
                 win.media_bytes_read,
-                win.fences
+                win.fences,
+                win.repl_shipped,
+                win.repl_lag
             );
         }
         w.push_str("  ],\n");
@@ -333,7 +336,7 @@ impl ObsSnapshot {
         // so only the *latest* window exports (the full ring is in the
         // JSON rendering). Absent entirely when no sampler runs.
         if let Some(win) = self.windows.last() {
-            let win_scalars: [(&str, u64); 9] = [
+            let win_scalars: [(&str, u64); 11] = [
                 ("seq", win.seq),
                 ("wall_ms", win.wall_ms),
                 ("batches", win.batches),
@@ -343,6 +346,8 @@ impl ObsSnapshot {
                 ("media_bytes_written", win.media_bytes_written),
                 ("media_bytes_read", win.media_bytes_read),
                 ("fences", win.fences),
+                ("repl_shipped", win.repl_shipped),
+                ("repl_lag", win.repl_lag),
             ];
             for (name, val) in win_scalars {
                 let metric = format!("chameleon_win_{name}");
@@ -484,6 +489,8 @@ mod tests {
                 batched_ops: 50,
                 acks: 50,
                 retries: 1,
+                repl_shipped: 4,
+                repl_lag: 2,
             },
         ));
         snap.windows = series.windows();

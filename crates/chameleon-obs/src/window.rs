@@ -56,6 +56,13 @@ pub struct Window {
     pub media_bytes_read: u64,
     /// Device fences this window.
     pub fences: u64,
+    /// Replication chunks shipped this window (primary: published to
+    /// subscribers; replica: received from its primary).
+    pub repl_shipped: u64,
+    /// Replication lag at the tick — a gauge, not a delta (primary:
+    /// shipped minus the slowest subscriber's ack floor; replica:
+    /// received minus applied).
+    pub repl_lag: u64,
 }
 
 impl Window {
@@ -172,10 +179,17 @@ pub struct ServerTickCounters {
     pub batched_ops: u64,
     pub acks: u64,
     pub retries: u64,
+    /// Cumulative replication chunks shipped (delta'd into the window).
+    /// Not part of [`ServerObs`]; the sampler fills it from the
+    /// replication hub (or replica floors) after `capture`.
+    pub repl_shipped: u64,
+    /// Replication lag gauge at the tick (copied through, not delta'd).
+    pub repl_lag: u64,
 }
 
 impl ServerTickCounters {
-    /// Reads the relevant counters out of a [`ServerObs`].
+    /// Reads the relevant counters out of a [`ServerObs`]. Replication
+    /// fields start at zero; the sampler overwrites them from the hub.
     pub fn capture(obs: &ServerObs) -> Self {
         use std::sync::atomic::Ordering::Relaxed;
         Self {
@@ -183,6 +197,8 @@ impl ServerTickCounters {
             batched_ops: obs.batched_ops.load(Relaxed),
             acks: obs.acks.load(Relaxed),
             retries: obs.retries.load(Relaxed),
+            repl_shipped: 0,
+            repl_lag: 0,
         }
     }
 }
@@ -238,6 +254,10 @@ impl DeltaTracker {
             media_bytes_written: media_d.media_bytes_written,
             media_bytes_read: media_d.media_bytes_read,
             fences: media_d.fences,
+            repl_shipped: server
+                .repl_shipped
+                .saturating_sub(self.prev_server.repl_shipped),
+            repl_lag: server.repl_lag,
         };
         self.prev_ops = ops.clone();
         self.prev_stall = stall.clone();
@@ -285,6 +305,8 @@ mod tests {
                 batched_ops: 100,
                 acks: 100,
                 retries: 0,
+                repl_shipped: 8,
+                repl_lag: 3,
             },
         );
         assert_eq!(w1.op("put").unwrap().count, 100);
@@ -294,6 +316,9 @@ mod tests {
         assert_eq!(w1.batches, 5);
         assert!((w1.mean_batch() - 20.0).abs() < 1e-9);
         assert!((w1.ops_per_sec() - 100.0).abs() < 1e-9);
+        // Shipped is delta'd (first tick from zero), lag copies through.
+        assert_eq!(w1.repl_shipped, 8);
+        assert_eq!(w1.repl_lag, 3);
 
         // Second interval: 50 slower puts, 20 gets, more media traffic.
         for _ in 0..50 {
@@ -313,6 +338,8 @@ mod tests {
                 batched_ops: 150,
                 acks: 150,
                 retries: 3,
+                repl_shipped: 10,
+                repl_lag: 1,
             },
         );
         let put = w2.op("put").unwrap();
@@ -325,6 +352,8 @@ mod tests {
         assert_eq!(w2.fences, 2);
         assert_eq!(w2.batches, 1);
         assert_eq!(w2.retries, 3);
+        assert_eq!(w2.repl_shipped, 2);
+        assert_eq!(w2.repl_lag, 1);
         assert_eq!(w2.total_ops(), 70);
         assert!((w2.ops_per_sec() - 140.0).abs() < 1e-9);
 
@@ -340,9 +369,12 @@ mod tests {
                 batched_ops: 150,
                 acks: 150,
                 retries: 3,
+                repl_shipped: 10,
+                repl_lag: 0,
             },
         );
         assert_eq!(w3.total_ops(), 0);
+        assert_eq!(w3.repl_shipped, 0);
         assert_eq!(w3.media_bytes_written, 0);
         assert_eq!(w3.op("put").unwrap().p99_ns, 0);
     }

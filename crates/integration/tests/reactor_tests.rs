@@ -431,6 +431,64 @@ fn idle_reactor_polls_near_zero() {
 
 /// Satellite (half-open peers): a connection that goes silent past the
 /// idle timeout is reaped and counted, so dead peers cannot pin
+/// Satellite regression (ISSUE 10): a slow-but-live reader must not be
+/// reaped as idle. The client pipelines far more response bytes than
+/// the kernel will buffer, then goes read-silent past the idle timeout
+/// while the server still holds queued response bytes (`queued_bytes >
+/// 0` — an obligation, not idleness). Draining afterwards must yield
+/// every response, with `idle_disconnects` still zero.
+#[test]
+fn slow_reader_with_queued_bytes_is_not_reaped() {
+    let dev = PmemDevice::optane(512 << 20);
+    let store = Arc::new(ChameleonDb::create(Arc::clone(&dev), test_store_config()).unwrap());
+    let (server, addr) = start_server(
+        &dev,
+        &store,
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            // Generous: this test wants queued bytes, not shedding.
+            resp_queue_cap: 64 << 20,
+            ..ServerConfig::default()
+        },
+    );
+
+    let big = vec![0xB7u8; 1 << 17];
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(
+        c.put(1, &big, true).unwrap(),
+        WriteOutcome::Done { existed: true }
+    );
+
+    // 16 MiB of responses, no reads: loopback buffers a few MiB at
+    // most, so the rest sits in the connection's out-queue across many
+    // sweep periods (the sweep runs at idle/4).
+    let n = 128u64;
+    let ids: Vec<u64> = (0..n)
+        .map(|_| {
+            c.send(kvclient::Request::Get { req_id: 0, key: 1 })
+                .unwrap()
+        })
+        .collect();
+    c.flush().unwrap();
+    thread::sleep(Duration::from_millis(600));
+
+    // Drain slowly; every response must still arrive, in order.
+    for id in ids {
+        match c.recv_for(id) {
+            Ok(Response::Value { value, .. }) => assert_eq!(value.len(), big.len()),
+            other => panic!("slow reader lost its connection: {other:?}"),
+        }
+    }
+
+    let prom = c.stats(StatsFormat::Prometheus).unwrap();
+    assert_eq!(
+        gauge(&prom, "chameleon_server_idle_disconnects"),
+        0,
+        "idle sweep reaped a connection with queued response bytes"
+    );
+    server.shutdown().unwrap();
+}
+
 /// per-connection state forever.
 #[test]
 fn idle_connection_times_out_and_is_reaped() {

@@ -15,7 +15,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use kvserver::proto::{decode_response, encode_request, read_frame, write_frame};
-pub use kvserver::proto::{ModeArg, Request, Response, StatsFormat};
+pub use kvserver::proto::{ModeArg, Request, Response, StatsFormat, MAX_SCAN_KEYS};
 use pmem_sim::Histogram;
 
 pub mod openloop;
@@ -56,6 +56,23 @@ pub enum WriteOutcome {
 
 fn bad_data(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.to_owned())
+}
+
+/// Maps a server ERR message to an [`io::Error`] whose kind tells the
+/// caller whether resubmitting could ever help. A clean shutdown or a
+/// read-only replica refuses *every* future write on this connection, so
+/// those surface as [`io::ErrorKind::ConnectionAborted`] /
+/// [`io::ErrorKind::Unsupported`] — terminal kinds retry loops must not
+/// burn a backoff schedule against (ISSUE 10 satellite 3). Anything else
+/// stays [`io::ErrorKind::Other`].
+fn server_err(message: String) -> io::Error {
+    if message.contains("shutting down") {
+        io::Error::new(io::ErrorKind::ConnectionAborted, message)
+    } else if message.contains("read-only replica") {
+        io::Error::new(io::ErrorKind::Unsupported, message)
+    } else {
+        io::Error::other(message)
+    }
 }
 
 /// Bounded, jittered exponential backoff for [`Client::put_retrying_with`].
@@ -260,6 +277,16 @@ impl Client {
 
     /// Blocking PUT that resubmits on RETRY with explicit backoff
     /// bounds. See [`RetryPolicy`].
+    ///
+    /// Only RETRY — "this commit lane was momentarily full" — is
+    /// retryable. Terminal responses fail fast on the first attempt:
+    /// a clean server shutdown surfaces as
+    /// [`io::ErrorKind::ConnectionAborted`], a write refused by a
+    /// read-only replica as [`io::ErrorKind::Unsupported`], and a dead
+    /// connection as whatever the transport reports. None of them burn
+    /// the backoff schedule: resubmitting to a server that told us it is
+    /// going away cannot succeed, it can only delay the caller by the
+    /// sum of every backoff sleep.
     pub fn put_retrying_with(
         &mut self,
         key: u64,
@@ -307,7 +334,7 @@ impl Client {
             }
             Response::NotFound { .. } => Ok(WriteOutcome::Done { existed: false }),
             Response::Retry { .. } => Ok(WriteOutcome::Retry),
-            Response::Err { message, .. } => Err(io::Error::other(message)),
+            Response::Err { message, .. } => Err(server_err(message)),
             other => Err(bad_data(unexpected(&other))),
         }
     }
@@ -319,7 +346,7 @@ impl Client {
         let out = match self.recv_for(id)? {
             Response::Value { value, .. } => Ok(Some(value)),
             Response::NotFound { .. } => Ok(None),
-            Response::Err { message, .. } => Err(io::Error::other(message)),
+            Response::Err { message, .. } => Err(server_err(message)),
             other => Err(bad_data(unexpected(&other))),
         }?;
         self.lat.get.record(t0.elapsed().as_nanos() as u64);
@@ -339,11 +366,48 @@ impl Client {
         })?;
         let keys = match self.recv_for(id)? {
             Response::Keys { keys, .. } => Ok(keys),
-            Response::Err { message, .. } => Err(io::Error::other(message)),
+            Response::Err { message, .. } => Err(server_err(message)),
             other => Err(bad_data(unexpected(&other))),
         }?;
         self.lat.scan.record(t0.elapsed().as_nanos() as u64);
         Ok(keys)
+    }
+
+    /// Range scan that transparently pages past the server's per-request
+    /// [`MAX_SCAN_KEYS`] cap: up to `limit` live keys `>= start_key`,
+    /// ascending, fetched as a sequence of capped pages.
+    ///
+    /// The resume key after a full page is `last_returned + 1` — exactly
+    /// one past the boundary key. Resuming *at* the boundary key would
+    /// return it twice; resuming two past it would skip a key if
+    /// `last + 1` happens to be live. The `+ 1` stays correct even when
+    /// the boundary key is deleted between pages: the next page asks for
+    /// keys `>= last + 1`, a range the deleted key was never in, so the
+    /// scan neither re-finds it nor skips its neighbors (ISSUE 10
+    /// satellite 1; pinned against an embedded full scan in
+    /// `integration/tests/replication_tests.rs`).
+    ///
+    /// Keys are collected page-at-a-time, so concurrent writers see the
+    /// usual per-page consistency, not a range-wide snapshot.
+    pub fn scan_paged(&mut self, start_key: u64, limit: usize) -> io::Result<Vec<u64>> {
+        let mut out = Vec::new();
+        let mut resume = start_key;
+        while out.len() < limit {
+            let page_limit = (limit - out.len()).min(MAX_SCAN_KEYS) as u32;
+            let page = self.scan(resume, page_limit)?;
+            let short = page.len() < page_limit as usize;
+            let last = page.last().copied();
+            out.extend(page);
+            if short {
+                break; // range exhausted before the limit
+            }
+            match last.and_then(|k| k.checked_add(1)) {
+                Some(next) => resume = next,
+                // Page ended at u64::MAX: no key can follow.
+                None => break,
+            }
+        }
+        Ok(out)
     }
 
     /// SYNC barrier: returns once every commit lane has fenced all
@@ -352,7 +416,7 @@ impl Client {
         let id = self.send(Request::Sync { req_id: 0 })?;
         match self.recv_for(id)? {
             Response::Ok { .. } => Ok(()),
-            Response::Err { message, .. } => Err(io::Error::other(message)),
+            Response::Err { message, .. } => Err(server_err(message)),
             other => Err(bad_data(unexpected(&other))),
         }
     }
@@ -362,7 +426,7 @@ impl Client {
         let id = self.send(Request::Stats { req_id: 0, format })?;
         match self.recv_for(id)? {
             Response::Stats { text, .. } => Ok(text),
-            Response::Err { message, .. } => Err(io::Error::other(message)),
+            Response::Err { message, .. } => Err(server_err(message)),
             other => Err(bad_data(unexpected(&other))),
         }
     }
@@ -374,7 +438,7 @@ impl Client {
         let id = self.send(Request::Trace { req_id: 0, max })?;
         match self.recv_for(id)? {
             Response::Trace { text, .. } => Ok(text),
-            Response::Err { message, .. } => Err(io::Error::other(message)),
+            Response::Err { message, .. } => Err(server_err(message)),
             other => Err(bad_data(unexpected(&other))),
         }
     }
@@ -387,9 +451,125 @@ impl Client {
             Response::Mode {
                 write_intensive, ..
             } => Ok(write_intensive),
-            Response::Err { message, .. } => Err(io::Error::other(message)),
+            Response::Err { message, .. } => Err(server_err(message)),
             other => Err(bad_data(unexpected(&other))),
         }
+    }
+
+    /// Polls the server's replication floors. Against a primary this
+    /// returns `(shipped, quorum_acked, 0)`; against a replica,
+    /// `(received, acked, applied)`. All three are ship indices — the
+    /// dense sequence numbers of the replication stream — so
+    /// `primary.shipped - replica.applied` is the replica's lag in
+    /// chunks (see [`ReplicaReader::get_within`]).
+    pub fn repl_floor(&mut self) -> io::Result<ReplFloors> {
+        let id = self.send(Request::ReplFloor { req_id: 0 })?;
+        match self.recv_for(id)? {
+            Response::ReplFloor {
+                shipped,
+                acked,
+                applied,
+                ..
+            } => Ok(ReplFloors {
+                shipped,
+                acked,
+                applied,
+            }),
+            Response::Err { message, .. } => Err(server_err(message)),
+            other => Err(bad_data(unexpected(&other))),
+        }
+    }
+}
+
+/// One REPL_FLOOR poll: the server's view of the replication stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplFloors {
+    /// Primary: highest ship index published. Replica: highest received.
+    pub shipped: u64,
+    /// Primary: quorum-acked floor. Replica: highest ship acked back.
+    pub acked: u64,
+    /// Primary: always 0. Replica: highest ship applied to its image.
+    pub applied: u64,
+}
+
+/// Read-from-replica with a staleness bound, generalizing the ack-floor
+/// protocol across the wire: reads are served by a replica, but only
+/// once its applied floor is provably within `bound` ship indices of the
+/// primary's shipped floor at poll time.
+///
+/// The guarantee is prefix-based: a successful [`ReplicaReader::get_within`]
+/// with bound `b` reflects every write the primary had shipped at least
+/// `b` chunks before the poll — with `b = 0`, *every* write shipped
+/// before the poll. Combined with the `replica-quorum` ack policy (a
+/// durable ack implies the write was shipped *and* quorum-applied), a
+/// bound-0 read issued after an ack is observed always sees that write.
+pub struct ReplicaReader {
+    primary: Client,
+    replica: Client,
+}
+
+impl ReplicaReader {
+    /// Connects one control connection to the primary (floor polls only)
+    /// and one to the replica (floor polls + reads).
+    pub fn connect<A: ToSocketAddrs, B: ToSocketAddrs>(primary: A, replica: B) -> io::Result<Self> {
+        Ok(Self {
+            primary: Client::connect(primary)?,
+            replica: Client::connect(replica)?,
+        })
+    }
+
+    /// The replica's current lag behind the primary, in ship indices.
+    pub fn lag(&mut self) -> io::Result<u64> {
+        let shipped = self.primary.repl_floor()?.shipped;
+        let applied = self.replica.repl_floor()?.applied;
+        Ok(shipped.saturating_sub(applied))
+    }
+
+    /// Staleness-bounded GET: waits (polling) until the replica's
+    /// applied floor is within `bound` ship indices of the primary's
+    /// shipped floor, then reads `key` from the replica. Fails with
+    /// [`io::ErrorKind::TimedOut`] if the replica cannot close to within
+    /// the bound before `timeout` — e.g. it is partitioned or dead —
+    /// rather than silently serving a stale read.
+    pub fn get_within(
+        &mut self,
+        key: u64,
+        bound: u64,
+        timeout: Duration,
+    ) -> io::Result<Option<Vec<u8>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Poll order matters: read the primary's shipped floor
+            // *before* the replica's applied floor. Applied can only
+            // grow in between, so `shipped - applied` never understates
+            // the lag relative to the shipped floor we compare against.
+            let shipped = self.primary.repl_floor()?.shipped;
+            let applied = self.replica.repl_floor()?.applied;
+            if shipped.saturating_sub(applied) <= bound {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "replica lag {} above staleness bound {bound}",
+                        shipped.saturating_sub(applied)
+                    ),
+                ));
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        self.replica.get(key)
+    }
+
+    /// Direct access to the replica connection (scans, stats, …).
+    pub fn replica(&mut self) -> &mut Client {
+        &mut self.replica
+    }
+
+    /// Direct access to the primary connection.
+    pub fn primary(&mut self) -> &mut Client {
+        &mut self.primary
     }
 }
 
@@ -402,7 +582,10 @@ fn set_req_id(req: &mut Request, id: u64) {
         | Request::Stats { req_id, .. }
         | Request::Trace { req_id, .. }
         | Request::Mode { req_id, .. }
-        | Request::Scan { req_id, .. } => *req_id = id,
+        | Request::Scan { req_id, .. }
+        | Request::ReplSubscribe { req_id, .. }
+        | Request::ReplAck { req_id, .. }
+        | Request::ReplFloor { req_id } => *req_id = id,
     }
 }
 
@@ -418,5 +601,7 @@ fn unexpected(resp: &Response) -> &'static str {
         Response::Err { .. } => "unexpected ERR",
         Response::Trace { .. } => "unexpected TRACE",
         Response::Keys { .. } => "unexpected KEYS",
+        Response::ReplBatch { .. } => "unexpected REPL_BATCH",
+        Response::ReplFloor { .. } => "unexpected REPL_FLOOR",
     }
 }

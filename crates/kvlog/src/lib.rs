@@ -657,6 +657,35 @@ impl StorageLog {
         Ok(out)
     }
 
+    /// Collects every committed entry with `seq > after_seq` — metadata
+    /// plus value bytes — across Active and Sealed extents, ordered by
+    /// sequence. This is the replication tailing primitive: group commit
+    /// assigns a dense sequence range per batch and fences it whole, so a
+    /// caller holding floor `f` reads back exactly the suffix it has not
+    /// yet shipped (or, for an audit, the whole committed stream with
+    /// `after_seq = 0`).
+    pub fn tail_committed(
+        &self,
+        ctx: &mut ThreadCtx,
+        after_seq: u64,
+    ) -> Result<Vec<(EntryMeta, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for i in 0..self.cfg.data_extents() {
+            match self.slots[i as usize].state() {
+                ExtentState::Free | ExtentState::Gced => continue,
+                ExtentState::Active | ExtentState::Sealed => {
+                    for (meta, value) in self.extent_entries(ctx, i)? {
+                        if meta.seq > after_seq {
+                            out.push((meta, value));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|(m, _)| m.seq);
+        Ok(out)
+    }
+
     /// Sealed extents ranked deadest-first: `(idx, dead, appended)` for
     /// every sealed extent with at least `min_dead` dead bytes.
     pub fn gc_candidates(&self, min_dead: u64) -> Vec<(u64, u64, u64)> {

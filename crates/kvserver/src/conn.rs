@@ -113,6 +113,17 @@ pub(crate) struct Conn {
     /// `resp_queue_cap` to detect slow consumers.
     pub queued_bytes: usize,
     pub last_activity: Instant,
+    /// Requests dispatched whose response has not yet come back through
+    /// the worker's inbox (e.g. a durable write waiting on its fence).
+    /// A connection with work in flight is live no matter how long the
+    /// socket has been read-silent — the idle sweep must not reap it.
+    pub inflight: usize,
+    /// A replication subscription was dispatched on this connection.
+    /// The stream is push-based — after the subscribe the peer may
+    /// legitimately send nothing for arbitrarily long (acks only follow
+    /// shipped batches) — so a pinned connection is exempt from the
+    /// idle sweep for its lifetime.
+    pub pinned: bool,
     /// Peer closed its write side: no more requests will arrive, but
     /// already-queued replies still flush before the close.
     pub eof: bool,
@@ -131,6 +142,8 @@ impl Conn {
             outq: VecDeque::new(),
             queued_bytes: 0,
             last_activity: Instant::now(),
+            inflight: 0,
+            pinned: false,
             eof: false,
             doomed: false,
         }
@@ -182,6 +195,10 @@ impl Conn {
             match self.stream.write(&front.bytes[front.written..]) {
                 Ok(0) => return false,
                 Ok(n) => {
+                    // Write progress is activity: a peer slowly draining
+                    // a large response is alive, even if it has sent no
+                    // request bytes for longer than the idle timeout.
+                    self.last_activity = Instant::now();
                     front.written += n;
                     self.queued_bytes -= n;
                     if front.written == front.bytes.len() {

@@ -86,6 +86,7 @@ use crate::proto::{
     decode_request, encode_response, read_frame, ModeArg, Request, Response, StatsFormat,
 };
 use crate::reactor::{self, WakePipe, WorkerShared};
+use crate::repl::{self, AckPolicy, ReplHub, ReplicaFloors};
 
 /// How the front end multiplexes connections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,8 +137,24 @@ pub struct ServerConfig {
     pub resp_queue_cap: usize,
     /// A connection silent (no bytes read) this long is disconnected —
     /// a dead or half-open peer must not pin a slot forever. `None`
-    /// disables the sweep.
+    /// disables the sweep. A connection with queued response bytes still
+    /// draining is live regardless of read silence (see
+    /// [`crate::conn::Conn`]).
     pub idle_timeout: Option<Duration>,
+    /// When durable write acks are released: at the local fence, or only
+    /// once a quorum of subscribed replicas confirm it (see
+    /// [`crate::repl`]).
+    pub ack_policy: AckPolicy,
+    /// Published replication chunks retained for late subscribers; on
+    /// overrun the oldest is dropped and subscribes below the new base
+    /// are refused.
+    pub repl_retain: usize,
+    /// Serve reads only: PUT/DELETE/SYNC answer ERR. A replica applies
+    /// shipped batches out-of-band and must not take divergent writes.
+    pub read_only: bool,
+    /// Replica-side shipped/applied/acked floors, filled by the replica's
+    /// apply loop and served via REPL_FLOOR and the obs snapshot.
+    pub replica_floors: Option<Arc<ReplicaFloors>>,
 }
 
 impl Default for ServerConfig {
@@ -155,6 +172,10 @@ impl Default for ServerConfig {
             io: IoModel::Reactor { workers: 4 },
             resp_queue_cap: 4 << 20,
             idle_timeout: Some(Duration::from_secs(300)),
+            ack_policy: AckPolicy::LocalFence,
+            repl_retain: 4096,
+            read_only: false,
+            replica_floors: None,
         }
     }
 }
@@ -317,6 +338,9 @@ pub(crate) struct Shared {
     pub(crate) drained: AtomicBool,
     /// Reactor I/O workers (empty under [`IoModel::Threaded`]).
     pub(crate) workers: Vec<Arc<WorkerShared>>,
+    /// Replication hub: committers publish fenced batches, subscribers
+    /// and their acks register through [`handle_request`].
+    pub(crate) repl: ReplHub,
     accept_wake: WakePipe,
     pub(crate) http_wake: WakePipe,
     /// Pairs with `stop_cv`: sleepers (the sampler) wait here instead of
@@ -350,6 +374,11 @@ impl Shared {
     pub(crate) fn obs_snapshot(&self, ctx: &mut ThreadCtx) -> ObsSnapshot {
         let mut sections = vec![self.obs.section(), self.tracer.section()];
         if let Some(sec) = reactor::section(&self.workers) {
+            sections.push(sec);
+        }
+        if let Some(floors) = &self.cfg.replica_floors {
+            sections.push(repl::replica_section(floors));
+        } else if let Some(sec) = self.repl.section() {
             sections.push(sec);
         }
         let mut snap = self.store.obs_snapshot_with(ctx.clock.now(), sections);
@@ -415,6 +444,7 @@ impl KvServer {
             .collect::<io::Result<Vec<_>>>()?;
         let tracer = Arc::new(Tracer::new(cfg.trace));
         let windows = Arc::new(WindowedSeries::new(cfg.window_cap));
+        let repl_hub = ReplHub::new(cfg.ack_policy, cfg.repl_retain);
         let shared = Arc::new(Shared {
             store,
             dev,
@@ -427,6 +457,7 @@ impl KvServer {
             discard: AtomicBool::new(false),
             drained: AtomicBool::new(false),
             workers,
+            repl: repl_hub,
             accept_wake: WakePipe::new()?,
             http_wake: WakePipe::new()?,
             stop_mu: Mutex::new(()),
@@ -709,13 +740,22 @@ fn sampler_loop(sh: &Arc<Shared>) {
         }
         last = Instant::now();
         let obs = sh.store.obs();
+        let mut server = ServerTickCounters::capture(&sh.obs);
+        // Replication floors: shipped is cumulative (delta'd into the
+        // window), lag is a gauge sampled at the tick.
+        let (repl_shipped, repl_lag) = match &sh.cfg.replica_floors {
+            Some(floors) => floors.tick(),
+            None => sh.repl.tick(),
+        };
+        server.repl_shipped = repl_shipped;
+        server.repl_lag = repl_lag;
         let w = tracker.tick(
             elapsed.as_millis() as u64,
             &obs.op_rollup(),
             &obs.stall_rollup(),
             &obs.scan_keys_rollup(),
             sh.dev.stats().snapshot(),
-            ServerTickCounters::capture(&sh.obs),
+            server,
         );
         sh.windows.push(w);
     }
@@ -886,6 +926,21 @@ pub(crate) fn handle_request(
     valbuf: &mut Vec<u8>,
 ) {
     let obs = &sh.obs;
+    if sh.cfg.read_only {
+        if let Request::Put { req_id, .. }
+        | Request::Delete { req_id, .. }
+        | Request::Sync { req_id } = req
+        {
+            reply.send(
+                &Response::Err {
+                    req_id,
+                    message: "read-only replica".to_owned(),
+                },
+                None,
+            );
+            return;
+        }
+    }
     match req {
         Request::Get { req_id, key } => {
             ServerObs::bump(&obs.gets);
@@ -993,6 +1048,57 @@ pub(crate) fn handle_request(
                 },
                 None,
             );
+        }
+        Request::ReplSubscribe { req_id, start_ship } => {
+            if sh.cfg.replica_floors.is_some() {
+                // Cascading replication is not supported: a replica's
+                // stream comes from its primary, not from other replicas.
+                reply.send(
+                    &Response::Err {
+                        req_id,
+                        message: "replica does not serve subscriptions".to_owned(),
+                    },
+                    None,
+                );
+            } else if let Err(message) = sh.repl.subscribe(start_ship, req_id, reply.clone()) {
+                reply.send(&Response::Err { req_id, message }, None);
+            }
+        }
+        Request::ReplAck {
+            req_id,
+            sub_id,
+            ship,
+        } => {
+            if sh.repl.ack(sub_id, ship) {
+                reply.send(&Response::Ok { req_id }, None);
+            } else {
+                reply.send(
+                    &Response::Err {
+                        req_id,
+                        message: "unknown replication subscriber".to_owned(),
+                    },
+                    None,
+                );
+            }
+        }
+        Request::ReplFloor { req_id } => {
+            let resp = match &sh.cfg.replica_floors {
+                Some(f) => Response::ReplFloor {
+                    req_id,
+                    sub_id: 0,
+                    shipped: f.received.load(Ordering::Acquire),
+                    acked: f.acked.load(Ordering::Acquire),
+                    applied: f.applied.load(Ordering::Acquire),
+                },
+                None => Response::ReplFloor {
+                    req_id,
+                    sub_id: 0,
+                    shipped: sh.repl.shipped(),
+                    acked: sh.repl.acked_floor(),
+                    applied: 0,
+                },
+            };
+            reply.send(&resp, None);
         }
     }
 }
@@ -1189,7 +1295,12 @@ fn commit_batch(sh: &Arc<Shared>, ctx: &mut ThreadCtx, lane: &Lane, batch: Vec<S
             );
             // Acks strictly after the batch's fence (`apply_batch` has
             // returned): an injected crash at that fence unwinds above
-            // and never reaches this loop.
+            // and never reaches this loop. Under the replica-quorum
+            // policy durable acks are handed to the hub instead, which
+            // only ever delays them further — never earlier than the
+            // fence.
+            let withhold = sh.repl.withholds_acks();
+            let mut withheld = Vec::new();
             for ((req_id, durable, resp, trace), (op, existed)) in
                 writes.iter().zip(ops.iter().zip(outcomes))
             {
@@ -1206,8 +1317,15 @@ fn commit_batch(sh: &Arc<Shared>, ctx: &mut ThreadCtx, lane: &Lane, batch: Vec<S
                         }
                     }
                 };
-                resp.send(&r, trace.clone());
+                if withhold {
+                    withheld.push((resp.clone(), r, trace.clone()));
+                } else {
+                    resp.send(&r, trace.clone());
+                }
             }
+            sh.repl.publish(&ops, withheld);
+            // SYNC barriers stay local-fence under either policy: they
+            // assert device durability, not replica propagation.
             for gate in barriers {
                 gate.arrive(None);
             }

@@ -54,5 +54,7 @@ mod engine;
 mod http;
 pub mod proto;
 mod reactor;
+pub mod repl;
 
 pub use engine::{IoModel, KvServer, ServerConfig};
+pub use repl::{AckPolicy, ReplicaFloors};

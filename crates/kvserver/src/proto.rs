@@ -18,6 +18,9 @@
 //!                                       0xFF = query current mode)
 //!   TRACE  (0x07) := max:u32           (newest completed spans to return)
 //!   SCAN   (0x08) := start_key:u64 limit:u32   (limit <= MAX_SCAN_KEYS)
+//!   REPL_SUBSCRIBE (0x09) := start_ship:u64   (first ship index wanted)
+//!   REPL_ACK       (0x0A) := sub_id:u64 ship:u64
+//!   REPL_FLOOR     (0x0B) :=
 //! response := status:u8 req_id:u64 body
 //!   OK        (0x00) :=
 //!   VALUE     (0x01) := vlen:u32 value[vlen]
@@ -29,7 +32,21 @@
 //!   ERR       (0x07) := len:u32 utf8[len]
 //!   TRACE     (0x08) := len:u32 text[len]   (trace-payload JSON)
 //!   KEYS      (0x09) := count:u32 key:u64 * count   (ascending live keys)
+//!   REPL_BATCH (0x0A) := ship:u64 count:u32 op * count
+//!     op := key:u64 opflags:u8 [vlen:u32 value[vlen]]
+//!                                        (opflags bit 0 = tombstone; no
+//!                                         value field when set)
+//!   REPL_FLOOR (0x0B) := sub_id:u64 shipped:u64 acked:u64 applied:u64
 //! ```
+//!
+//! Replication frames ride the same connection machinery: a replica
+//! sends REPL_SUBSCRIBE and receives one REPL_FLOOR (its assigned
+//! `sub_id` plus the primary's floors), then a stream of REPL_BATCH
+//! frames that all reuse the subscribe's `req_id`. Each batch carries
+//! one *ship index* — a dense 1-based sequence over published chunks —
+//! which the replica acknowledges with REPL_ACK after applying.
+//! REPL_FLOOR (request) polls the shipped/acked/applied floors of
+//! either side without subscribing.
 //!
 //! `flags` bit 0 on PUT/DELETE marks the write *durable*: its ack is
 //! withheld until the group-commit fence that persists it. Bit 1 marks
@@ -59,6 +76,8 @@ pub const MAX_SCAN_KEYS: usize = 4096;
 pub const FLAG_DURABLE: u8 = 0x01;
 /// PUT/DELETE flag bit: force-sample this request into a trace span.
 pub const FLAG_TRACE: u8 = 0x02;
+/// REPL_BATCH per-op flag bit: the op is a delete (no value field).
+pub const REP_FLAG_TOMBSTONE: u8 = 0x01;
 
 /// A malformed or oversized frame. Fatal to the connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,6 +149,21 @@ pub enum Request {
         start_key: u64,
         limit: u32,
     },
+    /// Subscribe to the replication stream from ship index `start_ship`.
+    ReplSubscribe {
+        req_id: u64,
+        start_ship: u64,
+    },
+    /// Acknowledge application of every batch up to ship index `ship`.
+    ReplAck {
+        req_id: u64,
+        sub_id: u64,
+        ship: u64,
+    },
+    /// Poll the replication floors without subscribing.
+    ReplFloor {
+        req_id: u64,
+    },
 }
 
 impl Request {
@@ -142,7 +176,10 @@ impl Request {
             | Request::Stats { req_id, .. }
             | Request::Mode { req_id, .. }
             | Request::Trace { req_id, .. }
-            | Request::Scan { req_id, .. } => req_id,
+            | Request::Scan { req_id, .. }
+            | Request::ReplSubscribe { req_id, .. }
+            | Request::ReplAck { req_id, .. }
+            | Request::ReplFloor { req_id } => req_id,
         }
     }
 }
@@ -188,6 +225,29 @@ pub enum Response {
         req_id: u64,
         keys: Vec<u64>,
     },
+    /// One shipped chunk of committed, fenced write ops.
+    ReplBatch {
+        req_id: u64,
+        ship: u64,
+        ops: Vec<RepOp>,
+    },
+    /// Replication floors: reply to REPL_SUBSCRIBE (carrying the
+    /// assigned `sub_id`) and to REPL_FLOOR polls (`sub_id` = 0).
+    ReplFloor {
+        req_id: u64,
+        sub_id: u64,
+        shipped: u64,
+        acked: u64,
+        applied: u64,
+    },
+}
+
+/// One replicated write: a put carries its value, a delete is a
+/// tombstone (`value == None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepOp {
+    pub key: u64,
+    pub value: Option<Vec<u8>>,
 }
 
 impl Response {
@@ -202,7 +262,9 @@ impl Response {
             | Response::Retry { req_id }
             | Response::Err { req_id, .. }
             | Response::Trace { req_id, .. }
-            | Response::Keys { req_id, .. } => req_id,
+            | Response::Keys { req_id, .. }
+            | Response::ReplBatch { req_id, .. }
+            | Response::ReplFloor { req_id, .. } => req_id,
         }
     }
 }
@@ -215,6 +277,9 @@ const OP_STATS: u8 = 0x05;
 const OP_MODE: u8 = 0x06;
 const OP_TRACE: u8 = 0x07;
 const OP_SCAN: u8 = 0x08;
+const OP_REPL_SUBSCRIBE: u8 = 0x09;
+const OP_REPL_ACK: u8 = 0x0A;
+const OP_REPL_FLOOR: u8 = 0x0B;
 
 const ST_OK: u8 = 0x00;
 const ST_VALUE: u8 = 0x01;
@@ -226,6 +291,8 @@ const ST_RETRY: u8 = 0x06;
 const ST_ERR: u8 = 0x07;
 const ST_TRACE: u8 = 0x08;
 const ST_KEYS: u8 = 0x09;
+const ST_REPL_BATCH: u8 = 0x0A;
+const ST_REPL_FLOOR: u8 = 0x0B;
 
 /// Strict little-endian cursor over one frame payload.
 struct Cursor<'a> {
@@ -371,6 +438,16 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
                 limit,
             }
         }
+        OP_REPL_SUBSCRIBE => Request::ReplSubscribe {
+            req_id,
+            start_ship: c.u64()?,
+        },
+        OP_REPL_ACK => Request::ReplAck {
+            req_id,
+            sub_id: c.u64()?,
+            ship: c.u64()?,
+        },
+        OP_REPL_FLOOR => Request::ReplFloor { req_id },
         _ => return Err(ProtoError("unknown opcode")),
     };
     c.finish()?;
@@ -448,6 +525,25 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&start_key.to_le_bytes());
             out.extend_from_slice(&limit.to_le_bytes());
         }
+        Request::ReplSubscribe { req_id, start_ship } => {
+            out.push(OP_REPL_SUBSCRIBE);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&start_ship.to_le_bytes());
+        }
+        Request::ReplAck {
+            req_id,
+            sub_id,
+            ship,
+        } => {
+            out.push(OP_REPL_ACK);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&sub_id.to_le_bytes());
+            out.extend_from_slice(&ship.to_le_bytes());
+        }
+        Request::ReplFloor { req_id } => {
+            out.push(OP_REPL_FLOOR);
+            out.extend_from_slice(&req_id.to_le_bytes());
+        }
     }
     out
 }
@@ -524,6 +620,39 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             }
             Response::Keys { req_id, keys }
         }
+        ST_REPL_BATCH => {
+            let ship = c.u64()?;
+            let count = c.u32()? as usize;
+            if count > MAX_SCAN_KEYS {
+                return Err(ProtoError("repl batch too large"));
+            }
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = c.u64()?;
+                let opflags = c.u8()?;
+                if opflags & !REP_FLAG_TOMBSTONE != 0 {
+                    return Err(ProtoError("reserved repl op flag bits set"));
+                }
+                let value = if opflags & REP_FLAG_TOMBSTONE != 0 {
+                    None
+                } else {
+                    let vlen = c.u32()? as usize;
+                    if vlen > MAX_VALUE {
+                        return Err(ProtoError("value too large"));
+                    }
+                    Some(c.bytes(vlen)?.to_vec())
+                };
+                ops.push(RepOp { key, value });
+            }
+            Response::ReplBatch { req_id, ship, ops }
+        }
+        ST_REPL_FLOOR => Response::ReplFloor {
+            req_id,
+            sub_id: c.u64()?,
+            shipped: c.u64()?,
+            acked: c.u64()?,
+            applied: c.u64()?,
+        },
         _ => return Err(ProtoError("unknown status")),
     };
     c.finish()?;
@@ -590,6 +719,38 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             for k in keys {
                 out.extend_from_slice(&k.to_le_bytes());
             }
+        }
+        Response::ReplBatch { req_id, ship, ops } => {
+            debug_assert!(ops.len() <= MAX_SCAN_KEYS);
+            out.push(ST_REPL_BATCH);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&ship.to_le_bytes());
+            out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+            for op in ops {
+                out.extend_from_slice(&op.key.to_le_bytes());
+                match &op.value {
+                    Some(v) => {
+                        out.push(0);
+                        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                        out.extend_from_slice(v);
+                    }
+                    None => out.push(REP_FLAG_TOMBSTONE),
+                }
+            }
+        }
+        Response::ReplFloor {
+            req_id,
+            sub_id,
+            shipped,
+            acked,
+            applied,
+        } => {
+            out.push(ST_REPL_FLOOR);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&sub_id.to_le_bytes());
+            out.extend_from_slice(&shipped.to_le_bytes());
+            out.extend_from_slice(&acked.to_le_bytes());
+            out.extend_from_slice(&applied.to_le_bytes());
         }
     }
     out
@@ -676,6 +837,16 @@ mod tests {
                 start_key: u64::MAX,
                 limit: MAX_SCAN_KEYS as u32,
             },
+            Request::ReplSubscribe {
+                req_id: 10,
+                start_ship: 1,
+            },
+            Request::ReplAck {
+                req_id: 11,
+                sub_id: 3,
+                ship: u64::MAX,
+            },
+            Request::ReplFloor { req_id: 12 },
         ];
         for req in reqs {
             let wire = encode_request(&req);
@@ -717,6 +888,36 @@ mod tests {
             Response::Keys {
                 req_id: 11,
                 keys: vec![0, 1, u64::MAX],
+            },
+            Response::ReplBatch {
+                req_id: 12,
+                ship: 7,
+                ops: vec![
+                    RepOp {
+                        key: 1,
+                        value: Some(b"v1".to_vec()),
+                    },
+                    RepOp {
+                        key: 2,
+                        value: None,
+                    },
+                    RepOp {
+                        key: u64::MAX,
+                        value: Some(Vec::new()),
+                    },
+                ],
+            },
+            Response::ReplBatch {
+                req_id: 13,
+                ship: u64::MAX,
+                ops: Vec::new(),
+            },
+            Response::ReplFloor {
+                req_id: 14,
+                sub_id: 2,
+                shipped: 100,
+                acked: 90,
+                applied: 95,
             },
         ];
         for resp in resps {
@@ -799,6 +1000,63 @@ mod tests {
         let wire = encode_response(&Response::Keys {
             req_id: 2,
             keys: vec![3, 4, 5],
+        });
+        for cut in 0..wire.len() {
+            assert!(decode_response(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut padded = wire.clone();
+        padded.push(0);
+        assert!(decode_response(&padded).is_err());
+    }
+
+    #[test]
+    fn repl_batch_bounds_and_flags_are_enforced() {
+        // Op count above the cap: rejected before allocating the list.
+        let mut wire = vec![ST_REPL_BATCH];
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            decode_response(&wire),
+            Err(ProtoError("repl batch too large"))
+        );
+
+        // Oversized per-op value: rejected before allocation.
+        let mut wire = vec![ST_REPL_BATCH];
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&7u64.to_le_bytes());
+        wire.push(0);
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(decode_response(&wire), Err(ProtoError("value too large")));
+
+        // Reserved per-op flag bits: rejected (keeps encoding canonical).
+        let mut wire = vec![ST_REPL_BATCH];
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&7u64.to_le_bytes());
+        wire.push(0x02);
+        assert_eq!(
+            decode_response(&wire),
+            Err(ProtoError("reserved repl op flag bits set"))
+        );
+
+        // Truncation at every cut of a mixed put/tombstone batch.
+        let wire = encode_response(&Response::ReplBatch {
+            req_id: 2,
+            ship: 3,
+            ops: vec![
+                RepOp {
+                    key: 4,
+                    value: Some(b"abc".to_vec()),
+                },
+                RepOp {
+                    key: 5,
+                    value: None,
+                },
+            ],
         });
         for cut in 0..wire.len() {
             assert!(decode_response(&wire[..cut]).is_err(), "cut at {cut}");

@@ -37,7 +37,7 @@ use pmem_sim::ThreadCtx;
 
 use crate::conn::{Conn, ReadOutcome};
 use crate::engine::{frame_of, handle_request, seal_span, ReplyTx, Shared};
-use crate::proto::{decode_request, Response};
+use crate::proto::{decode_request, Request, Response};
 
 /// A nonblocking self-pipe: one byte written to the write end makes the
 /// read end `poll` readable, waking a worker blocked in `poll(2)`.
@@ -255,6 +255,9 @@ pub(crate) fn worker_loop(sh: &Arc<Shared>, w: &Arc<WorkerShared>) {
                 // closed is dropped: the client is gone, and its span
                 // (if any) simply never completes.
                 if let Some(c) = conns.get_mut(&comp.conn_id) {
+                    // Saturating: a replication subscription streams many
+                    // responses off one request.
+                    c.inflight = c.inflight.saturating_sub(1);
                     if !c.enqueue(comp.frame, comp.span, sh.cfg.resp_queue_cap) {
                         ServerObs::bump(&sh.obs.slow_consumer_disconnects);
                     }
@@ -300,12 +303,19 @@ pub(crate) fn worker_loop(sh: &Arc<Shared>, w: &Arc<WorkerShared>) {
         }
 
         // Periodic idle sweep: a silent (dead or half-open) peer must not
-        // pin a connection slot forever.
+        // pin a connection slot forever. Idleness is *no activity and no
+        // obligations*: a connection with queued response bytes still
+        // draining, or a request in flight (an un-acked lane submission,
+        // a pending quorum ack), is live regardless of how long the
+        // socket has been read-silent, and must not be reaped.
         if let Some(idle) = sh.cfg.idle_timeout {
             if last_sweep.elapsed() >= idle / 4 {
                 last_sweep = Instant::now();
                 let now = Instant::now();
                 conns.retain(|_, c| {
+                    if c.pinned || c.wants_write() || c.inflight > 0 {
+                        return true;
+                    }
                     if now.duration_since(c.last_activity) > idle {
                         ServerObs::bump(&sh.obs.idle_disconnects);
                         ServerObs::bump(&sh.obs.disconnects);
@@ -419,6 +429,7 @@ fn drain_conns(
         let mut inbox = w.inbox.lock();
         for comp in inbox.completions.drain(..) {
             if let Some(c) = conns.get_mut(&comp.conn_id) {
+                c.inflight = c.inflight.saturating_sub(1);
                 let _ = c.enqueue(comp.frame, comp.span, sh.cfg.resp_queue_cap);
             }
         }
@@ -476,6 +487,15 @@ fn dispatch_frames(
             }
         };
         ServerObs::bump(&sh.obs.requests);
+        // Counted before dispatch; the matching decrement happens when a
+        // completion for this connection drains from the inbox.
+        c.inflight += 1;
+        // A subscription makes this connection live for its lifetime:
+        // the replica only writes acks in response to shipped batches,
+        // so read-silence is its normal state (see Conn::pinned).
+        if matches!(req, Request::ReplSubscribe { .. }) {
+            c.pinned = true;
+        }
         let reply = ReplyTx::Reactor {
             worker: Arc::clone(w),
             conn_id: c.id,

@@ -5,7 +5,7 @@
 
 use kvserver::proto::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ModeArg, Request, Response, StatsFormat, MAX_FRAME, MAX_SCAN_KEYS,
+    ModeArg, RepOp, Request, Response, StatsFormat, MAX_FRAME, MAX_SCAN_KEYS,
 };
 use proptest::prelude::*;
 
@@ -15,7 +15,7 @@ fn make_request(disc: u8, req_id: u64, key: u64, value: Vec<u8>, flag: bool) -> 
     // A second independent draw, distilled from bits the variant doesn't
     // otherwise consume, exercises the durable × traced flag grid.
     let flag2 = disc & 0x80 != 0;
-    match disc % 8 {
+    match disc % 11 {
         0 => Request::Get { req_id, key },
         1 => Request::Put {
             req_id,
@@ -51,17 +51,49 @@ fn make_request(disc: u8, req_id: u64, key: u64, value: Vec<u8>, flag: bool) -> 
             req_id,
             max: key as u32,
         },
-        _ => Request::Scan {
+        7 => Request::Scan {
             req_id,
             start_key: key,
             limit: (key as u32) % (MAX_SCAN_KEYS as u32 + 1),
         },
+        8 => Request::ReplSubscribe {
+            req_id,
+            start_ship: key,
+        },
+        9 => Request::ReplAck {
+            req_id,
+            sub_id: key.rotate_left(17),
+            ship: key,
+        },
+        _ => Request::ReplFloor { req_id },
     }
+}
+
+/// Replication ops distilled from the raw value draw: each 9-byte chunk
+/// yields a key plus a flag byte choosing tombstone vs a put whose value
+/// is a slice of the remaining draw. Bounded far below the wire caps by
+/// the draw size, like the `Keys` distillation below.
+fn make_rep_ops(value: &[u8]) -> Vec<RepOp> {
+    value
+        .chunks_exact(9)
+        .map(|c| {
+            let key = u64::from_le_bytes(c[..8].try_into().unwrap());
+            if c[8] & 1 == 1 {
+                RepOp { key, value: None }
+            } else {
+                let take = usize::from(c[8] >> 1);
+                RepOp {
+                    key,
+                    value: Some(value[..take.min(value.len())].to_vec()),
+                }
+            }
+        })
+        .collect()
 }
 
 fn make_response(disc: u8, req_id: u64, value: Vec<u8>, flag: bool) -> Response {
     let text = || String::from_utf8_lossy(&value).into_owned();
-    match disc % 10 {
+    match disc % 12 {
         0 => Response::Ok { req_id },
         1 => Response::Value { req_id, value },
         2 => Response::NotFound { req_id },
@@ -85,12 +117,24 @@ fn make_response(disc: u8, req_id: u64, value: Vec<u8>, flag: bool) -> Response 
         },
         // Key list distilled from the value draw: 8-byte LE chunks,
         // naturally bounded far below MAX_SCAN_KEYS by the draw size.
-        _ => Response::Keys {
+        9 => Response::Keys {
             req_id,
             keys: value
                 .chunks_exact(8)
                 .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
                 .collect(),
+        },
+        10 => Response::ReplBatch {
+            req_id,
+            ship: value.len() as u64,
+            ops: make_rep_ops(&value),
+        },
+        _ => Response::ReplFloor {
+            req_id,
+            sub_id: req_id.rotate_left(11),
+            shipped: req_id.rotate_left(23),
+            acked: req_id.rotate_left(37),
+            applied: req_id.rotate_left(53),
         },
     }
 }
@@ -144,6 +188,27 @@ proptest! {
         let mut padded = wire;
         padded.push(pad);
         prop_assert!(decode_request(&padded).is_err());
+    }
+
+    /// Replication frames torn at any byte are rejected, and padding a
+    /// valid REPL_BATCH / REPL_FLOOR is rejected — the batch decoder's
+    /// per-op walk must notice a cut inside a key, a flag byte, a vlen,
+    /// or a value body, never return a shorter batch.
+    #[test]
+    fn truncated_and_padded_repl_responses_error(
+        disc: u8,
+        req_id: u64,
+        value in proptest::collection::vec(0u8..255, 0..256),
+        pad: u8,
+    ) {
+        let resp = make_response(10 + (disc % 2), req_id, value, false);
+        let wire = encode_response(&resp);
+        for cut in 0..wire.len() {
+            prop_assert!(decode_response(&wire[..cut]).is_err());
+        }
+        let mut padded = wire;
+        padded.push(pad);
+        prop_assert!(decode_response(&padded).is_err());
     }
 
     /// Arbitrary bytes never panic a decoder; a lucky decode must
